@@ -1,0 +1,51 @@
+// Experiment E15 (§1.3 / CPT20 context): aggregate-computation throughput
+// over the Theorem 2 decomposition. λ' edge-disjoint part trees answer λ'
+// independent aggregate queries concurrently, so a batch of q queries costs
+// ~ceil(q/λ') tree latencies instead of q on a single tree — the
+// "aggregation is easy, broadcast is the hard part" contrast the paper
+// draws in §1.3.
+
+#include "bench_common.hpp"
+
+#include "apps/aggregation.hpp"
+
+namespace fc::bench {
+namespace {
+
+void experiment_e15() {
+  banner("E15 / parallel aggregation",
+         "q aggregate queries (min/max/sum) on n=256, lambda=64: batched "
+         "over the decomposition vs sequential on one BFS tree.");
+  Rng rng(111);
+  const NodeId n = 256;
+  const std::uint32_t d = 64;
+  const Graph g = gen::random_regular(n, d, rng);
+
+  Table table({"queries", "parts", "decomposed rounds", "single-tree rounds",
+               "throughput gain"});
+  for (std::size_t q : {4u, 8u, 16u, 32u, 64u}) {
+    std::vector<apps::AggregateQuery> queries(q);
+    for (std::size_t i = 0; i < q; ++i) {
+      queries[i].op = static_cast<algo::AggregateOp>(i % 3);
+      queries[i].values.resize(n);
+      for (auto& v : queries[i].values) v = rng.below(1'000'000);
+    }
+    const auto report = apps::multi_aggregate(g, d, std::move(queries));
+    table.add_row(
+        {Table::num(q), Table::num(std::size_t{report.parts}),
+         Table::num(std::size_t{report.rounds}),
+         Table::num(std::size_t{report.baseline_rounds}),
+         Table::num(static_cast<double>(report.baseline_rounds) /
+                        static_cast<double>(report.rounds),
+                    2)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace fc::bench
+
+int main() {
+  fc::bench::experiment_e15();
+  return 0;
+}

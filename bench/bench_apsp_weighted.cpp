@@ -1,0 +1,84 @@
+// Experiment E5 (Theorem 5 / Corollary 1): (2k-1)-approximate weighted APSP
+// via Baswana–Sen spanner + Theorem 1 broadcast, in Õ(n^{1+1/k}/lambda)
+// rounds. Sweep the stretch parameter k; report spanner size, rounds, and
+// measured stretch on sampled pairs.
+
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "apps/weighted_apsp.hpp"
+
+namespace fc::bench {
+namespace {
+
+void experiment_e5() {
+  banner("E5 / Theorem 5",
+         "weighted APSP via (2k-1)-spanner broadcast; rounds ~ "
+         "n^{1+1/k}/lambda (fewer rounds for larger k, worse stretch).");
+  Rng rng(41);
+  const NodeId n = 256;
+  const std::uint32_t d = 32;
+  const auto g =
+      gen::with_random_weights(gen::random_regular(n, d, rng), 1, 1000, rng);
+  Table table({"k", "stretch bound", "spanner edges", "n^{1+1/k}", "rounds",
+               "worst stretch", "mean stretch"});
+  for (std::uint32_t k : {1u, 2u, 3u, 4u, apps::corollary1_k(n)}) {
+    apps::WeightedApspOptions wopts;
+    wopts.seed = k;
+    const auto report = apps::approximate_apsp_weighted(g, d, k, wopts);
+    // Measured stretch over sampled sources.
+    double worst = 0, sum = 0;
+    std::size_t pairs = 0;
+    for (NodeId src = 0; src < n; src += 64) {
+      const auto exact = dijkstra(g, src);
+      const auto est = report.distances_from(src);
+      for (NodeId v = 0; v < n; ++v) {
+        if (v == src) continue;
+        const double r = static_cast<double>(est[v]) / exact[v];
+        worst = std::max(worst, r);
+        sum += r;
+        ++pairs;
+      }
+    }
+    table.add_row(
+        {Table::num(std::size_t{k}), Table::num(std::size_t{2 * k - 1}),
+         Table::num(report.spanner.edges.size()),
+         Table::num(std::pow(n, 1.0 + 1.0 / k), 0),
+         Table::num(std::size_t{report.total_rounds}), Table::num(worst, 2),
+         Table::num(sum / static_cast<double>(pairs), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "(last row is Corollary 1's k = ceil(log n / log log n) = "
+            << apps::corollary1_k(n) << ")\n";
+}
+
+void experiment_e5_scaling() {
+  banner("E5b / Theorem 5 lambda scaling",
+         "fixed k=3: broadcast rounds scale ~1/lambda across graphs.");
+  Table table({"n", "lambda", "spanner edges", "rounds", "rounds*l"});
+  Rng seed_rng(43);
+  const NodeId n = 256;
+  for (std::uint32_t d : {16u, 32u, 64u}) {
+    Rng rng = seed_rng.fork(d);
+    const auto g =
+        gen::with_random_weights(gen::random_regular(n, d, rng), 1, 100, rng);
+    apps::WeightedApspOptions wopts;
+    wopts.seed = 5;
+    const auto report = apps::approximate_apsp_weighted(g, d, 3, wopts);
+    table.add_row({Table::num(std::size_t{n}), Table::num(std::size_t{d}),
+                   Table::num(report.spanner.edges.size()),
+                   Table::num(std::size_t{report.total_rounds}),
+                   Table::num(report.total_rounds * double(d), 0)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace fc::bench
+
+int main() {
+  fc::bench::experiment_e5();
+  fc::bench::experiment_e5_scaling();
+  return 0;
+}

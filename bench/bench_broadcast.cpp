@@ -1,0 +1,110 @@
+// Experiment E1 (Theorem 1) + E11 (§1.2 congested clique simulation).
+//
+// E1a: fast broadcast vs the textbook O(D + k) pipeline across (n, λ, k).
+//      Paper shape: for k = Ω(n) and λ ≫ log n the fast broadcast wins by
+//      ~λ/log n; measured rounds track O((n log n)/δ + (k log n)/λ).
+// E1b: crossover in k for fixed (n, λ): textbook wins for tiny k (its
+//      constant is smaller), fast broadcast wins once k log n / λ ≪ k.
+// E11: one Broadcast Congested Clique round (k = n) in Õ(n/λ) rounds.
+
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "core/fast_broadcast.hpp"
+
+namespace fc::bench {
+namespace {
+
+void experiment_e1a() {
+  banner("E1a / Theorem 1",
+         "k-broadcast rounds: fast (decomposition) vs textbook (single tree); "
+         "prediction = (n ln n)/delta + (k ln n)/lambda, floor = k/lambda.");
+  Table table({"n", "lambda=delta", "k", "D", "fast", "textbook", "speedup",
+               "pred", "fast/pred", "floor k/l"});
+  Rng seed_rng(20240412);
+  for (NodeId n : {256u, 512u, 1024u}) {
+    for (std::uint32_t d : {16u, 32u, 64u}) {
+      Rng rng = seed_rng.fork(mix64(n, d));
+      const Graph g = gen::random_regular(n, d, rng);
+      const std::uint64_t k = 4ull * n;
+      const auto msgs = random_messages(g, k, rng);
+      core::FastBroadcastOptions opts;
+      const auto fast = core::run_fast_broadcast(g, d, msgs, opts);
+      const auto slow = core::run_textbook_broadcast(g, msgs, opts);
+      const double pred = core::theorem1_prediction(n, d, d, k);
+      table.add_row(
+          {Table::num(std::size_t{n}), Table::num(std::size_t{d}),
+           Table::num(std::size_t{k}),
+           Table::num(std::size_t{diameter_double_sweep(g)}),
+           Table::num(std::size_t{fast.total_rounds}),
+           Table::num(std::size_t{slow.total_rounds}),
+           Table::num(static_cast<double>(slow.total_rounds) /
+                          static_cast<double>(fast.total_rounds),
+                      2),
+           Table::num(pred, 0),
+           Table::num(static_cast<double>(fast.total_rounds) / pred, 2),
+           Table::num(core::theorem3_lower_bound(k, d), 0)});
+      if (!fast.complete || !slow.complete)
+        std::cout << "WARNING: incomplete broadcast at n=" << n << "\n";
+    }
+  }
+  table.print(std::cout);
+}
+
+void experiment_e1b() {
+  banner("E1b / Theorem 1 crossover",
+         "fixed n=512, lambda=32; sweep k. Textbook O(D+k) vs fast "
+         "O((n log n)/d + (k log n)/l): fast wins once k is large.");
+  Rng rng(7);
+  const NodeId n = 512;
+  const std::uint32_t d = 32;
+  const Graph g = gen::random_regular(n, d, rng);
+  Table table({"k", "fast", "textbook", "winner"});
+  for (std::uint64_t k : {32ull, 128ull, 512ull, 2048ull, 8192ull}) {
+    const auto msgs = random_messages(g, k, rng);
+    core::FastBroadcastOptions opts;
+    const auto fast = core::run_fast_broadcast(g, d, msgs, opts);
+    const auto slow = core::run_textbook_broadcast(g, msgs, opts);
+    table.add_row({Table::num(std::size_t{k}),
+                   Table::num(std::size_t{fast.total_rounds}),
+                   Table::num(std::size_t{slow.total_rounds}),
+                   fast.total_rounds < slow.total_rounds ? "fast" : "textbook"});
+  }
+  table.print(std::cout);
+}
+
+void experiment_e11() {
+  banner("E11 / DKO14 simulation",
+         "One Broadcast Congested Clique round (k = n, one message per "
+         "node) in O((n log n)/lambda) rounds; universal floor n/lambda.");
+  Table table({"n", "lambda", "rounds", "(n ln n)/l", "rounds/pred",
+               "floor n/l"});
+  Rng seed_rng(99);
+  for (NodeId n : {256u, 512u, 1024u}) {
+    for (std::uint32_t d : {16u, 64u}) {
+      Rng rng = seed_rng.fork(mix64(n, d, 3));
+      const Graph g = gen::random_regular(n, d, rng);
+      std::vector<algo::PlacedMessage> msgs;
+      for (NodeId v = 0; v < n; ++v) msgs.push_back({v, v, rng()});
+      const auto report = core::run_fast_broadcast(g, d, msgs);
+      const double pred = n * std::log(static_cast<double>(n)) / d;
+      table.add_row({Table::num(std::size_t{n}), Table::num(std::size_t{d}),
+                     Table::num(std::size_t{report.total_rounds}),
+                     Table::num(pred, 0),
+                     Table::num(report.total_rounds / pred, 2),
+                     Table::num(static_cast<double>(n) / d, 1)});
+    }
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace fc::bench
+
+int main() {
+  fc::bench::experiment_e1a();
+  fc::bench::experiment_e1b();
+  fc::bench::experiment_e11();
+  return 0;
+}

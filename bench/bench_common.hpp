@@ -1,0 +1,36 @@
+#pragma once
+// Shared helpers for the experiment harnesses (bench_*).
+//
+// Each bench binary reproduces one experiment row of DESIGN.md's index:
+// it generates the workloads, runs the paper's algorithm and the baseline,
+// and prints the table the paper's theorem corresponds to. Absolute round
+// counts depend on implementation constants; the *shape* (who wins, how
+// quantities scale) is the reproduction target, per EXPERIMENTS.md.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algo/pipeline_broadcast.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace fc::bench {
+
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+inline std::vector<algo::PlacedMessage> random_messages(const Graph& g,
+                                                        std::uint64_t k,
+                                                        Rng& rng) {
+  std::vector<algo::PlacedMessage> msgs;
+  msgs.reserve(k);
+  for (std::uint64_t i = 0; i < k; ++i)
+    msgs.push_back({static_cast<NodeId>(rng.below(g.node_count())), i, rng()});
+  return msgs;
+}
+
+}  // namespace fc::bench

@@ -1,0 +1,86 @@
+// Experiment E6 (Theorem 7): estimate ALL cut sizes within (1 ± eps) in
+// Õ(n/(lambda eps^2)) rounds by broadcasting a cut sparsifier.
+// Sweep eps; verify the error on sampled cuts plus the minimum cut.
+
+#include "bench_common.hpp"
+
+#include "apps/cuts.hpp"
+#include "graph/mincut.hpp"
+
+namespace fc::bench {
+namespace {
+
+void experiment_e6() {
+  banner("E6 / Theorem 7",
+         "all-cuts (1+eps) approximation: sparsifier size ~ m ln n/(eps^2 "
+         "lambda), broadcast rounds ~ n/(lambda eps^2); max error over 200 "
+         "random cuts must stay below eps.");
+  Rng rng(51);
+  const NodeId n = 256;
+  const std::uint32_t d = 128;
+  const Graph g = gen::random_regular(n, d, rng);
+  Table table({"eps", "p", "sparsifier edges", "m", "rounds", "max err",
+               "bound eps"});
+  for (double eps : {0.1, 0.2, 0.4, 0.8}) {
+    apps::CutApproxOptions opts;
+    opts.sparsifier.c = 2.0;
+    opts.sparsifier.seed = static_cast<std::uint64_t>(eps * 1000);
+    const auto report = apps::approximate_all_cuts(g, d, eps, opts);
+    const auto cuts = random_cuts(n, 200, rng);
+    const double err = apps::max_cut_error(g, report.sparsifier, cuts);
+    table.add_row({Table::num(eps, 2), Table::num(report.sparsifier.p, 3),
+                   Table::num(report.sparsifier.size()),
+                   Table::num(std::size_t{g.edge_count()}),
+                   Table::num(std::size_t{report.total_rounds}),
+                   Table::num(err, 3), Table::num(eps, 2)});
+  }
+  table.print(std::cout);
+}
+
+void experiment_e6_lambda() {
+  banner("E6b / Theorem 7 lambda scaling",
+         "fixed eps = 0.25: rounds shrink ~1/lambda as connectivity grows.");
+  Table table({"n", "lambda", "sparsifier edges", "rounds", "rounds*l"});
+  Rng seed_rng(53);
+  const NodeId n = 256;
+  for (std::uint32_t d : {16u, 32u, 64u, 128u}) {
+    Rng rng = seed_rng.fork(d);
+    const Graph g = gen::random_regular(n, d, rng);
+    apps::CutApproxOptions opts;
+    opts.sparsifier.c = 4.0;
+    const auto report = apps::approximate_all_cuts(g, d, 0.25, opts);
+    table.add_row({Table::num(std::size_t{n}), Table::num(std::size_t{d}),
+                   Table::num(report.sparsifier.size()),
+                   Table::num(std::size_t{report.total_rounds}),
+                   Table::num(report.total_rounds * double(d), 0)});
+  }
+  table.print(std::cout);
+}
+
+void experiment_e6_mincut() {
+  banner("E6c / Theorem 7 on the minimum cut",
+         "the sparsifier preserves the dumbbell's bridge cut exactly in the "
+         "p=1 regime and within eps otherwise.");
+  Table table({"bridges", "true min cut", "estimate", "rel err"});
+  for (NodeId bridges : {2u, 4u, 8u}) {
+    const Graph g = gen::dumbbell(32, bridges);
+    const auto report = apps::approximate_all_cuts(g, bridges, 0.5);
+    std::vector<bool> side(g.node_count(), false);
+    for (NodeId v = 0; v < 32; ++v) side[v] = true;
+    const double est = report.estimate_cut(g, side);
+    table.add_row({Table::num(std::size_t{bridges}),
+                   Table::num(std::size_t{bridges}), Table::num(est, 2),
+                   Table::num(std::abs(est - bridges) / bridges, 3)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace fc::bench
+
+int main() {
+  fc::bench::experiment_e6();
+  fc::bench::experiment_e6_lambda();
+  fc::bench::experiment_e6_mincut();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Experiment E2 (Theorem 2 / Lemma 5): the communication-free random edge
+// partition yields lambda/(C ln n) spanning subgraphs whose diameter is
+// O((C n log n)/delta).
+//
+// Table 1: sweep the constant C at fixed (n, lambda): small C gives more
+//          parts but risks disconnection — exactly the n^{-Omega(C)}
+//          failure probability of the theorem.
+// Table 2: sweep lambda = delta at fixed C: the measured max tree depth
+//          tracks (n log n)/delta.
+
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "core/decomposition.hpp"
+
+namespace fc::bench {
+namespace {
+
+void sweep_constant() {
+  banner("E2a / Theorem 2, sweep C",
+         "n=1024, lambda=delta=64, 5 seeds per row. spanning%% is the "
+         "fraction of seeds where EVERY part spans (prob 1 - n^{-Omega(C)}).");
+  Rng rng(11);
+  const NodeId n = 1024;
+  const std::uint32_t d = 64;
+  const Graph g = gen::random_regular(n, d, rng);
+  Table table({"C", "parts", "spanning%", "max depth", "budget Cn ln n/d",
+               "depth/budget"});
+  for (double C : {0.75, 1.0, 1.5, 2.0, 3.0}) {
+    int ok = 0;
+    std::uint32_t depth = 0, parts = 0;
+    const int seeds = 5;
+    for (int s = 0; s < seeds; ++s) {
+      core::DecompositionOptions opts;
+      opts.C = C;
+      opts.seed = 100 + s;
+      const auto dec = core::decompose(g, d, opts);
+      parts = dec.parts;
+      if (dec.all_spanning()) {
+        ++ok;
+        depth = std::max(depth, dec.max_tree_depth());
+      }
+    }
+    const double budget = core::Decomposition::diameter_budget(n, d, C);
+    table.add_row({Table::num(C, 2), Table::num(std::size_t{parts}),
+                   Table::num(100.0 * ok / seeds, 0),
+                   Table::num(std::size_t{depth}), Table::num(budget, 1),
+                   Table::num(budget > 0 ? depth / budget : 0.0, 3)});
+  }
+  table.print(std::cout);
+}
+
+void sweep_lambda() {
+  banner("E2b / Theorem 2, sweep lambda",
+         "C=2, n=1024. Max BFS-tree depth across parts vs (n ln n)/delta.");
+  Table table({"lambda=delta", "parts", "max depth", "(n ln n)/d",
+               "depth*d/(n ln n)"});
+  Rng seed_rng(13);
+  const NodeId n = 1024;
+  for (std::uint32_t d : {16u, 32u, 64u, 128u}) {
+    Rng rng = seed_rng.fork(d);
+    const Graph g = gen::random_regular(n, d, rng);
+    core::DecompositionOptions opts;
+    opts.C = 2.0;
+    const auto dec = core::decompose(g, d, opts);
+    const double scale = n * std::log(static_cast<double>(n)) / d;
+    table.add_row({Table::num(std::size_t{d}),
+                   Table::num(std::size_t{dec.parts}),
+                   Table::num(std::size_t{dec.max_tree_depth()}),
+                   Table::num(scale, 1),
+                   Table::num(dec.max_tree_depth() / scale, 3)});
+    if (!dec.all_spanning())
+      std::cout << "WARNING: non-spanning part at d=" << d << "\n";
+  }
+  table.print(std::cout);
+}
+
+void lemma5_sampling() {
+  banner("E2c / Lemma 5 directly",
+         "Sample each edge with p = C ln n / lambda: the subgraph is "
+         "spanning and has diameter O(C n log n / delta) w.h.p.");
+  Table table({"n", "lambda", "p", "connected?", "diam (2-sweep)",
+               "n ln n/d"});
+  Rng seed_rng(17);
+  for (NodeId n : {512u, 1024u}) {
+    for (std::uint32_t d : {32u, 64u}) {
+      Rng rng = seed_rng.fork(mix64(n, d));
+      const Graph g = gen::random_regular(n, d, rng);
+      const double p =
+          std::min(1.0, 2.0 * std::log(static_cast<double>(n)) / d);
+      const auto kept = sample_edges(g, p, rng);
+      const Subgraph s = make_subgraph(g, kept);
+      const bool conn = is_connected(s.graph);
+      table.add_row(
+          {Table::num(std::size_t{n}), Table::num(std::size_t{d}),
+           Table::num(p, 3), conn ? "yes" : "NO",
+           conn ? Table::num(std::size_t{diameter_double_sweep(s.graph)})
+                : std::string("-"),
+           Table::num(n * std::log(static_cast<double>(n)) / d, 1)});
+    }
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace fc::bench
+
+int main() {
+  fc::bench::sweep_constant();
+  fc::bench::sweep_lambda();
+  fc::bench::lemma5_sampling();
+  return 0;
+}

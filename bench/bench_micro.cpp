@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark) of the substrate primitives: simulator
+// round throughput, distributed BFS, partitioning, spanner construction,
+// exact min cut. These are engineering benchmarks (items/sec), not paper
+// experiments; they guard the simulator's O(active + messages) round cost.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/bfs.hpp"
+#include "algo/leader_election.hpp"
+#include "algo/pipeline_broadcast.hpp"
+#include "apps/spanner.hpp"
+#include "core/fast_broadcast.hpp"
+#include "graph/generators.hpp"
+#include "graph/mincut.hpp"
+#include "graph/partition.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fc;
+
+void BM_GraphConstruction(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(1);
+  const Graph g = gen::random_regular(n, 16, rng);
+  const auto edges = g.edge_list();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Graph::from_edges(n, edges));
+  }
+  state.SetItemsProcessed(state.iterations() * g.edge_count());
+}
+BENCHMARK(BM_GraphConstruction)->Arg(1024)->Arg(4096);
+
+void BM_DistributedBfs(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(2);
+  const Graph g = gen::random_regular(n, 16, rng);
+  for (auto _ : state) {
+    auto out = algo::run_bfs(g, 0);
+    benchmark::DoNotOptimize(out.tree.depth);
+  }
+  state.SetItemsProcessed(state.iterations() * g.arc_count());
+}
+BENCHMARK(BM_DistributedBfs)->Arg(1024)->Arg(4096);
+
+void BM_PipelineBroadcast(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const std::uint64_t k = static_cast<std::uint64_t>(state.range(1));
+  Rng rng(3);
+  const Graph g = gen::random_regular(n, 16, rng);
+  const auto tree = algo::run_bfs(g, 0).tree;
+  std::vector<algo::PlacedMessage> msgs;
+  for (std::uint64_t i = 0; i < k; ++i)
+    msgs.push_back({static_cast<NodeId>(rng.below(n)), i, rng()});
+  for (auto _ : state) {
+    congest::Network net(g);
+    algo::PipelineBroadcast alg(g, tree, msgs);
+    const auto res = net.run(alg);
+    benchmark::DoNotOptimize(res.rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * k * n);
+}
+BENCHMARK(BM_PipelineBroadcast)->Args({512, 512})->Args({1024, 2048});
+
+void BM_FastBroadcast(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(4);
+  const Graph g = gen::random_regular(n, 32, rng);
+  std::vector<algo::PlacedMessage> msgs;
+  for (std::uint64_t i = 0; i < 4ull * n; ++i)
+    msgs.push_back({static_cast<NodeId>(rng.below(n)), i, rng()});
+  for (auto _ : state) {
+    const auto report = core::run_fast_broadcast(g, 32, msgs);
+    benchmark::DoNotOptimize(report.total_rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * msgs.size() * n);
+}
+BENCHMARK(BM_FastBroadcast)->Arg(512);
+
+void BM_EdgePartition(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(5);
+  const Graph g = gen::random_regular(n, 32, rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random_edge_partition(g, 6, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations() * g.edge_count());
+}
+BENCHMARK(BM_EdgePartition)->Arg(1024)->Arg(4096);
+
+void BM_BaswanaSen(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(6);
+  const auto g = gen::with_unit_weights(gen::random_regular(n, 16, rng));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::baswana_sen(g, 3, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations() * g.graph().edge_count());
+}
+BENCHMARK(BM_BaswanaSen)->Arg(1024)->Arg(4096);
+
+void BM_StoerWagner(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(7);
+  const auto g = gen::with_unit_weights(gen::random_regular(n, 8, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stoer_wagner_mincut(g));
+  }
+}
+BENCHMARK(BM_StoerWagner)->Arg(64)->Arg(128);
+
+void BM_LeaderElection(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(8);
+  const Graph g = gen::random_regular(n, 16, rng);
+  for (auto _ : state) {
+    congest::Network net(g);
+    algo::LeaderElection alg(g);
+    const auto res = net.run(alg);
+    benchmark::DoNotOptimize(res.rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * g.arc_count());
+}
+BENCHMARK(BM_LeaderElection)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Experiment E3 (§3.1 tree packings) + E12 (Theorem 13 / GK13 floor).
+//
+// E3a: edge-disjoint packings on well-connected graphs: Omega(lambda/log n)
+//      trees of depth O((n log n)/delta), congestion 1.
+// E3b: low-congestion packings: >= lambda trees, each edge in O(log n).
+// E12: on the thick-path bottleneck family every spanning tree must run the
+//      length of the path, so max tree diameter >= ~n/lambda — matching the
+//      paper's existential lower bound shape.
+
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "core/tree_packing.hpp"
+#include "lb/hard_families.hpp"
+
+namespace fc::bench {
+namespace {
+
+void experiment_e3a() {
+  banner("E3a / edge-disjoint tree packing",
+         "random regular, C=2: trees = lambda/(C ln n), depth = "
+         "O((n log n)/delta), every edge in at most one tree.");
+  Table table({"n", "lambda", "trees", "l/(C ln n)", "max depth",
+               "(n ln n)/d", "max edge load"});
+  Rng seed_rng(21);
+  const NodeId n = 512;
+  for (std::uint32_t d : {16u, 32u, 64u, 128u}) {
+    Rng rng = seed_rng.fork(d);
+    const Graph g = gen::random_regular(n, d, rng);
+    core::DecompositionOptions opts;
+    opts.C = 2.0;
+    const auto packing = core::build_edge_disjoint_packing(g, d, opts);
+    table.add_row(
+        {Table::num(std::size_t{n}), Table::num(std::size_t{d}),
+         Table::num(packing.tree_count()),
+         Table::num(d / (2.0 * std::log(static_cast<double>(n))), 1),
+         Table::num(std::size_t{packing.max_tree_depth()}),
+         Table::num(n * std::log(static_cast<double>(n)) / d, 1),
+         Table::num(std::size_t{packing.max_edge_load()})});
+  }
+  table.print(std::cout);
+}
+
+void experiment_e3b() {
+  banner("E3b / low-congestion packing",
+         ">= lambda spanning trees with per-edge load O(log n) via "
+         "independent recolourings.");
+  Table table({"n", "lambda", "target", "trees", "repetitions",
+               "max edge load", "log2 n"});
+  Rng seed_rng(23);
+  for (std::uint32_t d : {24u, 48u}) {
+    const NodeId n = 384;
+    Rng rng = seed_rng.fork(d);
+    const Graph g = gen::random_regular(n, d, rng);
+    core::DecompositionOptions opts;
+    opts.C = 2.0;
+    const auto packing = core::build_low_congestion_packing(g, d, d, opts);
+    table.add_row({Table::num(std::size_t{n}), Table::num(std::size_t{d}),
+                   Table::num(std::size_t{d}), Table::num(packing.tree_count()),
+                   Table::num(std::size_t{packing.repetitions}),
+                   Table::num(std::size_t{packing.max_edge_load()}),
+                   Table::num(std::log2(static_cast<double>(n)), 1)});
+  }
+  table.print(std::cout);
+}
+
+void experiment_e12() {
+  banner("E12 / Theorem 13 shape",
+         "thick path (groups x width): any spanning tree runs the whole "
+         "path, so tree diameter >= groups-1 ~ n/lambda; our packing's "
+         "depth stays within the O((n log n)/delta) budget.");
+  Table table({"groups", "width", "n", "lambda", "min tree depth",
+               "floor n/l", "max depth", "(n ln n)/d"});
+  for (NodeId groups : {8u, 16u, 32u}) {
+    const NodeId width = 6;
+    const Graph g = gen::thick_path(groups, width);
+    core::DecompositionOptions opts;
+    opts.C = 2.0;
+    const auto packing = core::build_edge_disjoint_packing(g, width, opts);
+    std::uint32_t min_depth = kUnreached;
+    for (const auto& t : packing.trees)
+      min_depth = std::min(min_depth, t.depth);
+    const NodeId n = g.node_count();
+    table.add_row(
+        {Table::num(std::size_t{groups}), Table::num(std::size_t{width}),
+         Table::num(std::size_t{n}), Table::num(std::size_t{width}),
+         Table::num(std::size_t{min_depth}),
+         Table::num(lb::tree_packing_diameter_floor(n, width), 1),
+         Table::num(std::size_t{packing.max_tree_depth()}),
+         Table::num(n * std::log(static_cast<double>(n)) / min_degree(g), 1)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace fc::bench
+
+int main() {
+  fc::bench::experiment_e3a();
+  fc::bench::experiment_e3b();
+  fc::bench::experiment_e12();
+  return 0;
+}

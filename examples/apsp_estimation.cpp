@@ -1,0 +1,81 @@
+// Distance estimation in a data-center-like fabric (paper §4.1/§4.2).
+//
+// Scenario: every switch wants a distance table to every other switch for
+// locality-aware routing, but exact APSP needs Θ(n) rounds. With high edge
+// connectivity, the paper's (3,2)-approximation finishes in Õ(n/λ) rounds,
+// and a spanner-based (2k-1)-approximation handles weighted links.
+//
+//   ./apsp_estimation [--n=128] [--degree=16] [--k=3]
+
+#include <iostream>
+
+#include "apps/cluster_apsp.hpp"
+#include "apps/weighted_apsp.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fc;
+  const Options opts(argc, argv);
+  const auto n = static_cast<NodeId>(opts.get_int("n", 128));
+  const auto degree = static_cast<std::uint32_t>(opts.get_int("degree", 16));
+  const auto k = static_cast<std::uint32_t>(opts.get_int("k", 3));
+  Rng rng(11);
+
+  const Graph g = gen::random_regular(n, degree, rng);
+  std::cout << "fabric: " << g.describe() << "\n\n";
+
+  // --- Unweighted (hop count) estimation: Theorem 4. ---
+  const auto report = apps::approximate_apsp_unweighted(g, degree);
+  const auto exact = apsp_exact(g);
+  double worst = 0, sum = 0;
+  std::size_t pairs = 0;
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double r = static_cast<double>(report.estimate(u, v)) /
+                       static_cast<double>(exact[u][v]);
+      worst = std::max(worst, r);
+      sum += r;
+      ++pairs;
+    }
+  std::cout << "(3,2)-approx hop counts: " << report.total_rounds
+            << " rounds, " << report.clustering.cluster_count()
+            << " clusters, worst ratio " << worst << ", mean "
+            << sum / static_cast<double>(pairs) << "\n";
+
+  // --- Weighted (link latency) estimation: Theorem 5. ---
+  Rng wrng(13);
+  const auto wg = gen::with_random_weights(g, 1, 100, wrng);
+  const auto wreport = apps::approximate_apsp_weighted(wg, degree, k);
+  const auto d_exact = dijkstra(wg, 0);
+  const auto d_est = wreport.distances_from(0);
+  double w_worst = 0;
+  for (NodeId v = 1; v < n; ++v)
+    w_worst = std::max(
+        w_worst, static_cast<double>(d_est[v]) / static_cast<double>(d_exact[v]));
+  std::cout << "(2k-1)-approx latencies (k=" << k << "): "
+            << wreport.total_rounds << " rounds, spanner "
+            << wreport.spanner.edges.size() << "/" << g.edge_count()
+            << " edges, worst stretch from node 0: " << w_worst
+            << " (bound " << 2 * k - 1 << ")\n\n";
+
+  // Sample rows a routing table would use.
+  Table table({"src", "dst", "true hops", "estimate", "true latency",
+               "latency est"});
+  for (int i = 0; i < 6; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(n));
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (u == v) continue;
+    table.add_row({Table::num(std::size_t{u}), Table::num(std::size_t{v}),
+                   Table::num(std::size_t{exact[u][v]}),
+                   Table::num(std::size_t{report.estimate(u, v)}),
+                   Table::num(static_cast<long long>(dijkstra(wg, u)[v])),
+                   Table::num(static_cast<long long>(
+                       wreport.distances_from(u)[v]))});
+  }
+  table.print(std::cout);
+  return 0;
+}

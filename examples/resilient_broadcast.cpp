@@ -1,0 +1,58 @@
+// Broadcasting through a network under attack (paper §1.2 + FP23).
+//
+// Scenario: a command node must distribute k configuration records while an
+// adversary corrupts up to f links per round (a "mobile" adversary — it can
+// move every round). A single spanning tree is defenceless; the Theorem 2
+// tree packing replicates each record across ~λ/log n trees and decodes by
+// majority.
+//
+//   ./resilient_broadcast [--n=128] [--degree=32] [--k=32] [--f=16]
+
+#include <iostream>
+
+#include "apps/resilient.hpp"
+#include "graph/generators.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fc;
+  const Options opts(argc, argv);
+  const auto n = static_cast<NodeId>(opts.get_int("n", 128));
+  const auto degree = static_cast<std::uint32_t>(opts.get_int("degree", 32));
+  const auto k = static_cast<std::uint64_t>(opts.get_int("k", 32));
+  const auto f = static_cast<std::uint32_t>(opts.get_int("f", 16));
+  Rng rng(23);
+
+  const Graph g = gen::random_regular(n, degree, rng);
+  std::cout << "network: " << g.describe() << ", adversary corrupts " << f
+            << " links per round\n";
+
+  core::DecompositionOptions dopts;
+  dopts.C = 1.5;
+  const auto packing = core::build_low_congestion_packing(g, degree, 9, dopts);
+  const auto single = core::build_edge_disjoint_packing(g, 4, dopts);
+  std::cout << "packing: " << packing.tree_count()
+            << " spanning trees (depth <= " << packing.max_tree_depth()
+            << ", per-edge load <= " << packing.max_edge_load() << ")\n\n";
+
+  Table table({"delivery scheme", "trees", "rounds", "corrupted copies",
+               "records lost", "loss rate"});
+  for (const auto* cfg : {&single, &packing}) {
+    apps::ResilientOptions ropts;
+    ropts.adversary = apps::AdversaryKind::kRandom;
+    ropts.f = f;
+    const auto report = apps::resilient_broadcast(g, *cfg, k, ropts);
+    table.add_row({cfg == &single ? "single tree" : "Thm 2 packing + majority",
+                   Table::num(cfg->tree_count()),
+                   Table::num(std::size_t{report.rounds}),
+                   Table::num(std::size_t{report.corrupted_copies}),
+                   Table::num(std::size_t{report.decode_failures}),
+                   Table::num(report.failure_rate, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReplication across the Theorem 2 trees absorbs the "
+               "corruption that breaks the single-tree broadcast.\n";
+  return 0;
+}

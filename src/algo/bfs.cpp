@@ -1,0 +1,101 @@
+#include "algo/bfs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fc::algo {
+
+namespace {
+constexpr std::uint32_t kTagJoin = 1;
+}
+
+DistributedBfs::DistributedBfs(const Graph& g, NodeId root)
+    : graph_(&g), root_(root) {
+  if (root >= g.node_count()) throw std::invalid_argument("bfs: bad root");
+  dist_.assign(g.node_count(), kUnreached);
+  parent_arc_.assign(g.node_count(), kInvalidArc);
+}
+
+void DistributedBfs::start(congest::Context& ctx) {
+  if (ctx.id() != root_) return;
+  dist_[root_] = 0;
+  reached_.fetch_add(1, std::memory_order_relaxed);
+  last_activity_.store(0, std::memory_order_relaxed);
+  for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
+    ctx.send(a, {kTagJoin, 0, 0});
+}
+
+void DistributedBfs::step(congest::Context& ctx) {
+  current_round_.store(ctx.round(), std::memory_order_relaxed);
+  const NodeId v = ctx.id();
+  if (dist_[v] != kUnreached || ctx.inbox().empty()) return;
+  // Adopt the first announcement (inbox is sorted by arc id).
+  const auto& first = ctx.inbox().front();
+  dist_[v] = static_cast<std::uint32_t>(first.msg.a) + 1;
+  parent_arc_[v] = first.via;
+  reached_.fetch_add(1, std::memory_order_relaxed);
+  last_activity_.store(ctx.round(), std::memory_order_relaxed);
+  for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
+    if (a != first.via) ctx.send(a, {kTagJoin, dist_[v], 0});
+}
+
+bool DistributedBfs::done() const {
+  // Quiescent: everyone reached, or one full round passed with no adoption
+  // (flood died out in a disconnected part).
+  if (reached_.load(std::memory_order_relaxed) == graph_->node_count())
+    return true;
+  const std::uint64_t round = current_round_.load(std::memory_order_relaxed);
+  return round >= 2 && round > last_activity_.load(std::memory_order_relaxed) + 1;
+}
+
+NodeId DistributedBfs::parent(NodeId v) const {
+  const ArcId a = parent_arc_[v];
+  return a == kInvalidArc ? kInvalidNode : graph_->arc_head(a);
+}
+
+std::uint32_t DistributedBfs::depth() const {
+  std::uint32_t d = 0;
+  for (std::uint32_t x : dist_)
+    if (x != kUnreached) d = std::max(d, x);
+  return d;
+}
+
+std::vector<EdgeId> SpanningTree::tree_edges(const Graph& g) const {
+  std::vector<EdgeId> out;
+  out.reserve(covered > 0 ? covered - 1 : 0);
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    if (parent_arc[v] != kInvalidArc) out.push_back(g.arc_edge(parent_arc[v]));
+  return out;
+}
+
+SpanningTree extract_tree(const Graph& g, const DistributedBfs& bfs) {
+  SpanningTree t;
+  t.root = bfs.root();
+  t.parent_arc.assign(g.node_count(), kInvalidArc);
+  t.child_arcs.assign(g.node_count(), {});
+  t.depth_of.assign(g.node_count(), kUnreached);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    t.depth_of[v] = bfs.dist(v);
+    if (bfs.dist(v) != kUnreached) {
+      ++t.covered;
+      t.depth = std::max(t.depth, bfs.dist(v));
+    }
+    const ArcId pa = bfs.parent_arc(v);
+    if (pa == kInvalidArc) continue;
+    t.parent_arc[v] = pa;
+    t.child_arcs[g.arc_head(pa)].push_back(g.arc_reverse(pa));
+  }
+  return t;
+}
+
+BfsOutcome run_bfs(const Graph& g, NodeId root,
+                   const congest::RunOptions& opts) {
+  congest::Network net(g);
+  DistributedBfs alg(g, root);
+  BfsOutcome out;
+  out.cost = net.run(alg, opts);
+  out.tree = extract_tree(g, alg);
+  return out;
+}
+
+}  // namespace fc::algo

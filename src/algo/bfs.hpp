@@ -1,0 +1,84 @@
+#pragma once
+// Distributed breadth-first search (paper Lemma 2).
+//
+// Classic synchronous flood: the root announces level 0; every node adopts
+// the first announcement it hears (lowest arc id on ties, which is
+// deterministic), records the arc to its parent, and re-announces. Because
+// rounds are synchronous the resulting tree is a true BFS tree: a node at
+// distance d is reached exactly in round d.
+//
+// Terminates by quiescence in depth+O(1) rounds; on a disconnected graph it
+// spans only the root's component (callers check `reached_count`), which is
+// exactly the behaviour the Theorem 2 validity check needs.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/properties.hpp"
+
+namespace fc::algo {
+
+class DistributedBfs : public congest::Algorithm {
+ public:
+  DistributedBfs(const Graph& g, NodeId root);
+
+  std::string name() const override { return "bfs"; }
+  void start(congest::Context& ctx) override;
+  void step(congest::Context& ctx) override;
+  bool done() const override;
+
+  NodeId root() const { return root_; }
+  /// Distance from root; kUnreached if the flood never arrived.
+  std::uint32_t dist(NodeId v) const { return dist_[v]; }
+  const std::vector<std::uint32_t>& distances() const { return dist_; }
+  /// Outgoing arc towards the parent; kInvalidArc for root/unreached.
+  ArcId parent_arc(NodeId v) const { return parent_arc_[v]; }
+  NodeId parent(NodeId v) const;
+  /// Nodes reached (== n iff the graph is connected).
+  NodeId reached_count() const {
+    return reached_.load(std::memory_order_relaxed);
+  }
+  /// Tree depth (max distance among reached nodes).
+  std::uint32_t depth() const;
+
+ private:
+  const Graph* graph_;
+  NodeId root_;
+  std::vector<std::uint32_t> dist_;
+  std::vector<ArcId> parent_arc_;
+  std::atomic<NodeId> reached_{0};
+  std::atomic<std::uint64_t> last_activity_{0};
+  std::atomic<std::uint64_t> current_round_{0};
+};
+
+/// A rooted spanning tree extracted from parent arcs, with child lists;
+/// the common input of the pipelined broadcast and convergecast algorithms.
+struct SpanningTree {
+  NodeId root = kInvalidNode;
+  std::vector<ArcId> parent_arc;              // node -> arc to parent
+  std::vector<std::vector<ArcId>> child_arcs;  // node -> arcs to children
+  std::vector<std::uint32_t> depth_of;        // node -> depth
+  std::uint32_t depth = 0;
+  NodeId covered = 0;  // nodes in the tree
+
+  /// Edge ids (in the tree's graph) of all tree edges.
+  std::vector<EdgeId> tree_edges(const Graph& g) const;
+  bool contains(NodeId v) const {
+    return v == root || parent_arc[v] != kInvalidArc;
+  }
+};
+
+/// Build the tree structure from a finished BFS run.
+SpanningTree extract_tree(const Graph& g, const DistributedBfs& bfs);
+
+/// Convenience: run a distributed BFS and return (tree, rounds used).
+struct BfsOutcome {
+  SpanningTree tree;
+  congest::RunResult cost;
+};
+BfsOutcome run_bfs(const Graph& g, NodeId root,
+                   const congest::RunOptions& opts = {});
+
+}  // namespace fc::algo

@@ -1,0 +1,93 @@
+#include "algo/convergecast.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace fc::algo {
+
+namespace {
+constexpr std::uint32_t kTagUp = 3;
+constexpr std::uint32_t kTagDown = 4;
+}  // namespace
+
+Convergecast::Convergecast(const Graph& g, const SpanningTree& tree,
+                           AggregateOp op, std::vector<std::uint64_t> values)
+    : tree_(&tree), op_(op), acc_(std::move(values)), n_(g.node_count()) {
+  if (acc_.size() != g.node_count())
+    throw std::invalid_argument("convergecast: values size != n");
+  if (tree.covered != g.node_count())
+    throw std::invalid_argument("convergecast: tree does not span the graph");
+  waiting_.resize(n_);
+  for (NodeId v = 0; v < n_; ++v)
+    waiting_[v] = static_cast<std::uint32_t>(tree.child_arcs[v].size());
+  sent_up_.assign(n_, 0);
+  result_.assign(n_, 0);
+  has_result_.assign(n_, 0);
+}
+
+std::uint64_t Convergecast::combine(std::uint64_t a, std::uint64_t b) const {
+  switch (op_) {
+    case AggregateOp::kMin:
+      return std::min(a, b);
+    case AggregateOp::kMax:
+      return std::max(a, b);
+    case AggregateOp::kSum:
+      return a + b;
+  }
+  return a;
+}
+
+void Convergecast::begin_down(congest::Context& ctx) {
+  const NodeId v = ctx.id();
+  result_[v] = acc_[v];
+  has_result_[v] = 1;
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  for (ArcId a : tree_->child_arcs[v]) ctx.send(a, {kTagDown, result_[v], 0});
+}
+
+void Convergecast::send_up_if_ready(congest::Context& ctx) {
+  const NodeId v = ctx.id();
+  if (sent_up_[v] || waiting_[v] != 0) return;
+  sent_up_[v] = 1;
+  if (v == tree_->root) {
+    begin_down(ctx);
+  } else {
+    ctx.send(tree_->parent_arc[v], {kTagUp, acc_[v], 0});
+  }
+}
+
+void Convergecast::start(congest::Context& ctx) { send_up_if_ready(ctx); }
+
+void Convergecast::step(congest::Context& ctx) {
+  const NodeId v = ctx.id();
+  for (const auto& in : ctx.inbox()) {
+    if (in.msg.tag == kTagUp) {
+      acc_[v] = combine(acc_[v], in.msg.a);
+      --waiting_[v];
+    } else if (in.msg.tag == kTagDown && !has_result_[v]) {
+      result_[v] = in.msg.a;
+      has_result_[v] = 1;
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      for (ArcId a : tree_->child_arcs[v]) ctx.send(a, {kTagDown, in.msg.a, 0});
+    }
+  }
+  send_up_if_ready(ctx);
+}
+
+bool Convergecast::done() const {
+  return completed_.load(std::memory_order_relaxed) == n_;
+}
+
+AggregateOutcome aggregate_over_tree(const Graph& g, const SpanningTree& tree,
+                                     AggregateOp op,
+                                     std::vector<std::uint64_t> values) {
+  congest::Network net(g);
+  Convergecast alg(g, tree, op, std::move(values));
+  const auto res = net.run(alg);
+  AggregateOutcome out;
+  out.rounds = res.rounds;
+  out.value = alg.result(tree.root);
+  return out;
+}
+
+}  // namespace fc::algo

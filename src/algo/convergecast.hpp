@@ -1,0 +1,63 @@
+#pragma once
+// Tree convergecast + downcast: the O(depth)-round aggregation primitive
+// behind Lemma 3 (item counting) and Lemma 4 (learning δ).
+//
+// Phase 1 (up): leaves send their value; an internal node combines its own
+// value with all children's and forwards once every child reported.
+// Phase 2 (down): the root's combined value is flooded back down the tree.
+// After termination every node knows the aggregate.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "algo/bfs.hpp"
+#include "congest/network.hpp"
+
+namespace fc::algo {
+
+enum class AggregateOp { kMin, kMax, kSum };
+
+class Convergecast : public congest::Algorithm {
+ public:
+  /// `values[v]` is node v's local input.
+  Convergecast(const Graph& g, const SpanningTree& tree, AggregateOp op,
+               std::vector<std::uint64_t> values);
+
+  std::string name() const override { return "convergecast"; }
+  void start(congest::Context& ctx) override;
+  void step(congest::Context& ctx) override;
+  bool done() const override;
+
+  /// The aggregate as known by node v (valid once done()).
+  std::uint64_t result(NodeId v) const { return result_[v]; }
+  bool has_result(NodeId v) const { return has_result_[v] != 0; }
+
+ private:
+  std::uint64_t combine(std::uint64_t a, std::uint64_t b) const;
+  void send_up_if_ready(congest::Context& ctx);
+  void begin_down(congest::Context& ctx);
+
+  const SpanningTree* tree_;
+  AggregateOp op_;
+  std::vector<std::uint64_t> acc_;
+  std::vector<std::uint32_t> waiting_;   // children not yet reported
+  std::vector<std::uint8_t> sent_up_;
+  std::vector<std::uint64_t> result_;
+  std::vector<std::uint8_t> has_result_;
+  std::atomic<NodeId> completed_{0};
+  NodeId n_;
+};
+
+/// Convenience wrapper: build a BFS tree from `root`, aggregate, and return
+/// the result plus total rounds (BFS + convergecast).
+struct AggregateOutcome {
+  std::uint64_t value = 0;
+  std::uint64_t rounds = 0;
+};
+AggregateOutcome aggregate_over_tree(const Graph& g, const SpanningTree& tree,
+                                     AggregateOp op,
+                                     std::vector<std::uint64_t> values);
+
+}  // namespace fc::algo

@@ -1,0 +1,88 @@
+#include "algo/id_assignment.hpp"
+
+#include <stdexcept>
+
+namespace fc::algo {
+
+namespace {
+constexpr std::uint32_t kTagCount = 5;
+constexpr std::uint32_t kTagRange = 6;
+}  // namespace
+
+IdAssignment::IdAssignment(const Graph& g, const SpanningTree& tree,
+                           std::vector<std::uint64_t> item_counts)
+    : tree_(&tree), count_(std::move(item_counts)), n_(g.node_count()) {
+  if (count_.size() != g.node_count())
+    throw std::invalid_argument("id-assignment: counts size != n");
+  if (tree.covered != g.node_count())
+    throw std::invalid_argument("id-assignment: tree does not span graph");
+  subtree_ = count_;
+  waiting_.resize(n_);
+  child_off_.resize(n_ + 1);
+  std::uint32_t total_children = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    waiting_[v] = static_cast<std::uint32_t>(tree.child_arcs[v].size());
+    child_off_[v] = total_children;
+    total_children += waiting_[v];
+  }
+  child_off_[n_] = total_children;
+  child_sub_.assign(total_children, 0);
+  sent_up_.assign(n_, 0);
+  first_.assign(n_, 0);
+  assigned_.assign(n_, 0);
+}
+
+void IdAssignment::assign_children(congest::Context& ctx) {
+  const NodeId v = ctx.id();
+  assigned_[v] = 1;
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  // Children ranges start after v's own items, in child-arc order.
+  std::uint64_t next = first_[v] + count_[v];
+  const auto& kids = tree_->child_arcs[v];
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    ctx.send(kids[i], {kTagRange, next, 0});
+    next += child_sub_[child_off_[v] + i];
+  }
+}
+
+void IdAssignment::send_up_if_ready(congest::Context& ctx) {
+  const NodeId v = ctx.id();
+  if (sent_up_[v] || waiting_[v] != 0) return;
+  sent_up_[v] = 1;
+  if (v == tree_->root) {
+    first_[v] = 0;
+    assign_children(ctx);
+  } else {
+    ctx.send(tree_->parent_arc[v], {kTagCount, subtree_[v], 0});
+  }
+}
+
+void IdAssignment::start(congest::Context& ctx) { send_up_if_ready(ctx); }
+
+void IdAssignment::step(congest::Context& ctx) {
+  const NodeId v = ctx.id();
+  for (const auto& in : ctx.inbox()) {
+    if (in.msg.tag == kTagCount) {
+      // Identify which child slot this arc corresponds to.
+      const auto& kids = tree_->child_arcs[v];
+      for (std::size_t i = 0; i < kids.size(); ++i) {
+        if (kids[i] == in.via) {
+          child_sub_[child_off_[v] + i] = in.msg.a;
+          break;
+        }
+      }
+      subtree_[v] += in.msg.a;
+      --waiting_[v];
+    } else if (in.msg.tag == kTagRange && !assigned_[v]) {
+      first_[v] = in.msg.a;
+      assign_children(ctx);
+    }
+  }
+  send_up_if_ready(ctx);
+}
+
+bool IdAssignment::done() const {
+  return completed_.load(std::memory_order_relaxed) == n_;
+}
+
+}  // namespace fc::algo

@@ -1,0 +1,45 @@
+#include "algo/leader_election.hpp"
+
+namespace fc::algo {
+
+namespace {
+constexpr std::uint32_t kTagMax = 2;
+}
+
+LeaderElection::LeaderElection(const Graph& g) : graph_(&g) {
+  best_.resize(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) best_[v] = v;
+}
+
+void LeaderElection::start(congest::Context& ctx) {
+  for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
+    ctx.send(a, {kTagMax, best_[ctx.id()], 0});
+}
+
+void LeaderElection::step(congest::Context& ctx) {
+  current_round_.store(ctx.round(), std::memory_order_relaxed);
+  const NodeId v = ctx.id();
+  std::uint64_t incoming = best_[v];
+  for (const auto& in : ctx.inbox()) incoming = std::max(incoming, in.msg.a);
+  if (incoming > best_[v]) {
+    best_[v] = incoming;
+    last_activity_.store(ctx.round(), std::memory_order_relaxed);
+    for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
+      ctx.send(a, {kTagMax, incoming, 0});
+  }
+}
+
+bool LeaderElection::done() const {
+  const std::uint64_t round = current_round_.load(std::memory_order_relaxed);
+  return round >= 2 && round > last_activity_.load(std::memory_order_relaxed) + 1;
+}
+
+NodeId LeaderElection::leader() const {
+  NodeId best = 0;
+  for (NodeId v = 0; v < graph_->node_count(); ++v)
+    if (best_[v] > best_[best]) best = v;
+  // best_[v] is an id; the leader is the node whose own id equals the max.
+  return static_cast<NodeId>(best_[best]);
+}
+
+}  // namespace fc::algo

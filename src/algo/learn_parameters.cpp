@@ -1,0 +1,25 @@
+#include "algo/learn_parameters.hpp"
+
+namespace fc::algo {
+
+LearnedParameters learn_parameters(const Graph& g, NodeId root) {
+  LearnedParameters out;
+  auto bfs = run_bfs(g, root);
+  out.rounds += bfs.cost.rounds;
+
+  std::vector<std::uint64_t> degrees(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) degrees[v] = g.degree(v);
+  const auto mind =
+      aggregate_over_tree(g, bfs.tree, AggregateOp::kMin, std::move(degrees));
+  out.min_degree = static_cast<std::uint32_t>(mind.value);
+  out.rounds += mind.rounds;
+
+  std::vector<std::uint64_t> ones(g.node_count(), 1);
+  const auto cnt =
+      aggregate_over_tree(g, bfs.tree, AggregateOp::kSum, std::move(ones));
+  out.node_count = cnt.value;
+  out.rounds += cnt.rounds;
+  return out;
+}
+
+}  // namespace fc::algo

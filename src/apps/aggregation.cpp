@@ -1,0 +1,47 @@
+#include "apps/aggregation.hpp"
+
+#include <stdexcept>
+
+#include "algo/bfs.hpp"
+
+namespace fc::apps {
+
+MultiAggregateReport multi_aggregate(const Graph& g, std::uint32_t lambda,
+                                     std::vector<AggregateQuery> queries,
+                                     const core::DecompositionOptions& opts) {
+  MultiAggregateReport report;
+  report.results.resize(queries.size());
+
+  const auto dec = core::decompose(g, lambda, opts);
+  if (!dec.all_spanning())
+    throw std::runtime_error("multi_aggregate: decomposition failed to span");
+  report.parts = dec.parts;
+
+  // Per-part round budgets accumulate; the global cost is the max because
+  // the parts are edge-disjoint (one concurrent execution).
+  std::vector<std::uint64_t> part_rounds(dec.parts, 0);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const std::uint32_t part = static_cast<std::uint32_t>(q % dec.parts);
+    const Graph& sub = dec.partition.parts[part].graph;
+    congest::Network net(sub);
+    algo::Convergecast alg(sub, dec.trees[part], queries[q].op,
+                           std::move(queries[q].values));
+    const auto res = net.run(alg);
+    if (!res.finished)
+      throw std::runtime_error("multi_aggregate: convergecast stalled");
+    part_rounds[part] += res.rounds;
+    report.results[q] = alg.result(dec.trees[part].root);
+  }
+  for (std::uint64_t r : part_rounds)
+    report.rounds = std::max(report.rounds, r);
+  report.rounds += dec.check_rounds;  // building/validating the decomposition
+
+  // Baseline: every query sequentially over one global BFS tree of depth
+  // ~D; each convergecast costs ~2 depth rounds.
+  const auto tree = bfs_tree(g, opts.root);
+  report.baseline_rounds =
+      queries.size() * (2ull * tree.depth() + 2) + tree.depth();
+  return report;
+}
+
+}  // namespace fc::apps

@@ -1,0 +1,39 @@
+#pragma once
+// Parallel aggregate computations over the Theorem 2 decomposition.
+//
+// The paper's related-work discussion (§1.3, CPT20) notes that aggregation
+// tasks — min / max / sum over per-node values — are solvable in Õ(n/λ)
+// rounds on highly connected graphs. The decomposition gives the throughput
+// version for free: λ' = λ/(C log n) independent aggregate QUERIES run
+// concurrently, one per edge-disjoint part tree, each in O((n log n)/δ)
+// rounds, so a batch of q queries costs O(⌈q/λ'⌉ · (n log n)/δ) rounds
+// instead of q · O(D) on a single tree when q is large.
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/convergecast.hpp"
+#include "core/decomposition.hpp"
+
+namespace fc::apps {
+
+struct AggregateQuery {
+  algo::AggregateOp op = algo::AggregateOp::kSum;
+  std::vector<std::uint64_t> values;  // one per node
+};
+
+struct MultiAggregateReport {
+  std::vector<std::uint64_t> results;  // one per query (known by all nodes)
+  std::uint32_t parts = 0;
+  std::uint64_t rounds = 0;            // max over parts of its queries' sum
+  std::uint64_t baseline_rounds = 0;   // all queries sequentially on one tree
+};
+
+/// Answer all queries using the Theorem 2 decomposition: query i is
+/// convergecast over the BFS tree of part (i mod λ'); parts work
+/// concurrently (edge-disjoint), queries within a part run back to back.
+MultiAggregateReport multi_aggregate(const Graph& g, std::uint32_t lambda,
+                                     std::vector<AggregateQuery> queries,
+                                     const core::DecompositionOptions& opts = {});
+
+}  // namespace fc::apps

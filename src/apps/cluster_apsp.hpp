@@ -1,0 +1,51 @@
+#pragma once
+// (3,2)-approximate unweighted APSP in Õ(n/λ) rounds (paper Theorem 4).
+//
+// Pipeline (§4.1):
+//  1. Build the constant-diameter clustering (2 rounds).
+//  2. Centers learn their Gc adjacency — O(k) rounds (Lemma 6 gather).
+//  3. PRT12 APSP on Gc, 3 CONGEST rounds per virtual round (Lemma 6).
+//  4. Each center broadcasts its distance row to its cluster — O(k) rounds.
+//  5. Every node broadcasts s(v) to the whole graph — an n-message
+//     k-broadcast instance, solved with the paper's Theorem 1 fast
+//     broadcast (this is the phase that needs high connectivity).
+//  6. Locally: d'(u, v) = 3 * d_Gc(s(u), s(v)) + 2.
+// Lemma 7 guarantees d <= d' <= 3d + 2 for u != v; tests verify on every
+// pair against exact BFS APSP.
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/clustering.hpp"
+#include "apps/prt12_apsp.hpp"
+#include "core/fast_broadcast.hpp"
+
+namespace fc::apps {
+
+struct ClusterApspOptions {
+  ClusteringOptions clustering;
+  core::FastBroadcastOptions broadcast;
+};
+
+struct ClusterApspReport {
+  Clustering clustering;
+  Prt12Result cluster_apsp;
+  // Round accounting by phase (see header comment).
+  std::uint64_t rounds_clustering = 0;
+  std::uint64_t rounds_gather = 0;
+  std::uint64_t rounds_prt12 = 0;
+  std::uint64_t rounds_row_downcast = 0;
+  std::uint64_t rounds_broadcast_s = 0;
+  std::uint64_t total_rounds = 0;
+  core::FastBroadcastReport broadcast_report;
+
+  /// The Theorem 4 estimate d'(u, v); 0 when u == v.
+  std::uint32_t estimate(NodeId u, NodeId v) const;
+};
+
+/// Run the full Theorem 4 pipeline. `lambda` feeds the fast broadcast of
+/// phase 5 (use edge_connectivity(g) or a construction guarantee).
+ClusterApspReport approximate_apsp_unweighted(
+    const Graph& g, std::uint32_t lambda, const ClusterApspOptions& opts = {});
+
+}  // namespace fc::apps

@@ -1,0 +1,24 @@
+#include "apps/congested_clique.hpp"
+
+#include <stdexcept>
+
+namespace fc::apps {
+
+BccReport simulate_bcc_round(const Graph& g, std::uint32_t lambda,
+                             std::vector<std::uint64_t> inputs,
+                             const core::FastBroadcastOptions& opts) {
+  if (inputs.size() != g.node_count())
+    throw std::invalid_argument("bcc: one input per node required");
+  BccReport out;
+  out.inputs = std::move(inputs);
+
+  std::vector<algo::PlacedMessage> msgs;
+  msgs.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    msgs.push_back({v, v, out.inputs[v]});
+  out.broadcast_report = core::run_fast_broadcast(g, lambda, msgs, opts);
+  out.rounds = out.broadcast_report.total_rounds;
+  return out;
+}
+
+}  // namespace fc::apps

@@ -1,0 +1,29 @@
+#pragma once
+// Simulating one round of the Broadcast Congested Clique (paper §1.2,
+// DKO14): every node broadcasts one O(log n)-bit value to everyone.
+//
+// That is exactly k-broadcast with k = n and one message per node, which
+// Theorem 1 solves in O((n log n)/λ) rounds — universally optimal up to
+// the log factor. The report carries the per-node inputs so callers can
+// verify delivery, and the round count so benches can plot it against
+// n log n / λ.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fast_broadcast.hpp"
+
+namespace fc::apps {
+
+struct BccReport {
+  std::vector<std::uint64_t> inputs;  // node -> broadcast value
+  core::FastBroadcastReport broadcast_report;
+  std::uint64_t rounds = 0;
+};
+
+/// Simulate one BCC round where node v broadcasts `inputs[v]`.
+BccReport simulate_bcc_round(const Graph& g, std::uint32_t lambda,
+                             std::vector<std::uint64_t> inputs,
+                             const core::FastBroadcastOptions& opts = {});
+
+}  // namespace fc::apps

@@ -1,0 +1,27 @@
+#include "apps/cuts.hpp"
+
+namespace fc::apps {
+
+CutApproxReport approximate_all_cuts(const Graph& g, std::uint32_t lambda,
+                                     double epsilon,
+                                     const CutApproxOptions& opts) {
+  CutApproxReport out;
+  out.sparsifier = build_cut_sparsifier(g, lambda, epsilon, opts.sparsifier);
+
+  std::vector<algo::PlacedMessage> msgs;
+  msgs.reserve(out.sparsifier.edges.size());
+  std::uint64_t next_id = 0;
+  for (EdgeId e : out.sparsifier.edges) {
+    const NodeId u = g.edge_u(e);
+    const std::uint64_t endpoints =
+        (static_cast<std::uint64_t>(u) << 32) |
+        static_cast<std::uint64_t>(g.edge_v(e));
+    msgs.push_back({u, next_id++, endpoints});
+  }
+  out.broadcast_report =
+      core::run_fast_broadcast(g, lambda, msgs, opts.broadcast);
+  out.total_rounds = out.broadcast_report.total_rounds;
+  return out;
+}
+
+}  // namespace fc::apps

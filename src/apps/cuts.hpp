@@ -1,0 +1,38 @@
+#pragma once
+// All-cuts (1+ε)-approximation in Õ(n/(λ ε²)) rounds (paper Theorem 7).
+//
+// Build the cut sparsifier, broadcast its edges to every node with the
+// Theorem 1 fast broadcast (one message per sampled edge — p is global
+// knowledge, so the weight 1/p needs no shipping), after which every node
+// can estimate the weight of ANY cut locally.
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/sparsifier.hpp"
+#include "core/fast_broadcast.hpp"
+
+namespace fc::apps {
+
+struct CutApproxOptions {
+  SparsifierOptions sparsifier;
+  core::FastBroadcastOptions broadcast;
+};
+
+struct CutApproxReport {
+  CutSparsifier sparsifier;
+  core::FastBroadcastReport broadcast_report;
+  std::uint64_t total_rounds = 0;
+
+  /// Local estimate any node can produce after the broadcast.
+  double estimate_cut(const Graph& g, const std::vector<bool>& in_s) const {
+    return sparsifier_cut(g, sparsifier, in_s);
+  }
+};
+
+/// Run the Theorem 7 pipeline on an unweighted λ-edge-connected graph.
+CutApproxReport approximate_all_cuts(const Graph& g, std::uint32_t lambda,
+                                     double epsilon,
+                                     const CutApproxOptions& opts = {});
+
+}  // namespace fc::apps

@@ -1,0 +1,94 @@
+#include "apps/prt12_apsp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fc::apps {
+
+std::vector<std::uint32_t> dfs_walk_timestamps(const Graph& g, NodeId root) {
+  std::vector<std::uint32_t> pi(g.node_count(), kUnreached);
+  std::vector<ArcId> cursor(g.node_count());
+  std::vector<NodeId> stack;
+  for (NodeId v = 0; v < g.node_count(); ++v) cursor[v] = g.arc_begin(v);
+  std::uint32_t clock = 0;
+  pi[root] = 0;
+  stack.push_back(root);
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    if (cursor[v] < g.arc_end(v)) {
+      const NodeId w = g.arc_head(cursor[v]++);
+      if (pi[w] == kUnreached) {
+        ++clock;  // walk down the tree edge
+        pi[w] = clock;
+        stack.push_back(w);
+      }
+    } else {
+      stack.pop_back();
+      ++clock;  // walk back up to the parent
+    }
+  }
+  return pi;
+}
+
+Prt12Result prt12_apsp(const Graph& g, NodeId dfs_root) {
+  const NodeId n = g.node_count();
+  if (n == 0) throw std::invalid_argument("prt12: empty graph");
+  if (!is_connected(g)) throw std::invalid_argument("prt12: disconnected");
+
+  Prt12Result out;
+  out.pi = dfs_walk_timestamps(g, dfs_root);
+
+  // Delayed-BFS schedule, executed round by round. frontier[u] holds the
+  // nodes newly reached by BFS_u in the previous round. reached_this_round
+  // tracks the no-collision invariant.
+  out.dist.assign(n, std::vector<std::uint32_t>(n, kUnreached));
+  std::vector<std::vector<NodeId>> frontier(n), next_frontier(n);
+  std::vector<std::uint32_t> reached_round(n, kUnreached);
+  // reached_round[v] = virtual round in which v was last *newly* reached by
+  // some BFS (to detect collisions).
+
+  std::uint64_t active_until = 0;
+  for (NodeId u = 0; u < n; ++u)
+    active_until = std::max<std::uint64_t>(active_until, 2ull * out.pi[u]);
+
+  std::uint64_t round = 0;
+  std::uint64_t remaining = static_cast<std::uint64_t>(n) * n;  // pairs to set
+  while (remaining > 0) {
+    // BFS_u wakes up at round 2π(u) and reaches its own source.
+    for (NodeId u = 0; u < n; ++u) {
+      if (2ull * out.pi[u] == round) {
+        out.dist[u][u] = 0;
+        --remaining;
+        if (reached_round[u] == round) out.collision_free = false;
+        reached_round[u] = static_cast<std::uint32_t>(round);
+        frontier[u].push_back(u);
+      }
+    }
+    // Advance every active BFS by one level.
+    bool any = false;
+    for (NodeId u = 0; u < n; ++u) {
+      if (frontier[u].empty()) continue;
+      any = true;
+      auto& next = next_frontier[u];
+      next.clear();
+      for (NodeId v : frontier[u]) {
+        for (NodeId w : g.neighbors(v)) {
+          if (out.dist[u][w] != kUnreached) continue;
+          out.dist[u][w] = out.dist[u][v] + 1;
+          --remaining;
+          if (reached_round[w] == round + 1) out.collision_free = false;
+          reached_round[w] = static_cast<std::uint32_t>(round + 1);
+          next.push_back(w);
+        }
+      }
+      frontier[u].swap(next);
+    }
+    if (!any && round > active_until && remaining > 0)
+      throw std::logic_error("prt12: schedule stalled before completion");
+    ++round;
+  }
+  out.virtual_rounds = round;
+  return out;
+}
+
+}  // namespace fc::apps

@@ -1,0 +1,43 @@
+#pragma once
+// Peleg–Roditty–Tal APSP (ICALP'12), the algorithm the paper simulates on
+// the cluster graph (§4.1, Lemma 6).
+//
+// PRT12 works in two stages on an unweighted graph:
+//  1. A DFS walk from an arbitrary node assigns each node u the timestamp
+//     π(u) = the walk step at which u was first visited (Euler-tour time,
+//     NOT discovery order — the proof needs |π(u) - π(w)| >= d(u, w)).
+//  2. Every node u starts a full BFS at time 2π(u). The delays guarantee
+//     the *no-collision property*: no node is newly reached by two
+//     different BFS waves in the same round, so each node forwards at most
+//     one message per round and all n BFS runs pipeline perfectly.
+//
+// We execute the delayed-BFS schedule round by round and VERIFY the
+// no-collision property at runtime (collision_free flag; tests assert it).
+// Total virtual rounds = max_u (2π(u) + ecc(u)) <= 4n + D. The paper's
+// Lemma 6 simulation on G charges 3 CONGEST rounds per virtual round.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+
+namespace fc::apps {
+
+struct Prt12Result {
+  std::vector<std::uint32_t> pi;                 // DFS walk timestamps
+  std::vector<std::vector<std::uint32_t>> dist;  // dist[u][v]
+  std::uint64_t virtual_rounds = 0;              // schedule length
+  bool collision_free = true;                    // the PRT12 invariant
+};
+
+/// Run PRT12 on a connected graph. Throws on disconnected input.
+Prt12Result prt12_apsp(const Graph& g, NodeId dfs_root = 0);
+
+/// The DFS Euler-walk first-visit timestamps alone (the π of PRT12):
+/// every edge traversal, down or back up, advances the clock by one, so
+/// |π(u) − π(w)| >= d(u, w) for all pairs. Exposed for algorithms that
+/// need only the schedule (apps/exact_apsp).
+std::vector<std::uint32_t> dfs_walk_timestamps(const Graph& g, NodeId root);
+
+}  // namespace fc::apps

@@ -1,0 +1,152 @@
+#include "apps/resilient.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/mincut.hpp"
+
+namespace fc::apps {
+
+namespace {
+
+/// Materialize the adversary's per-round corruption sets. The adversary is
+/// MOBILE: the set may change every round (FP23's model), limited to f
+/// edges per round.
+std::vector<std::vector<EdgeId>> corruption_schedule(
+    const Graph& g, const core::TreePacking& packing, std::uint64_t rounds,
+    const ResilientOptions& opts) {
+  std::vector<std::vector<EdgeId>> schedule(rounds);
+  if (opts.f == 0 || opts.adversary == AdversaryKind::kNone) return schedule;
+
+  Rng rng(mix64(opts.seed, 0x61647620ULL));
+  switch (opts.adversary) {
+    case AdversaryKind::kNone:
+      break;
+    case AdversaryKind::kRandom: {
+      for (auto& round_set : schedule) {
+        std::unordered_set<EdgeId> chosen;
+        while (chosen.size() < opts.f && chosen.size() < g.edge_count())
+          chosen.insert(static_cast<EdgeId>(rng.below(g.edge_count())));
+        round_set.assign(chosen.begin(), chosen.end());
+      }
+      break;
+    }
+    case AdversaryKind::kTreeFocused: {
+      // Concentrate on tree 0's edges, rotating through them.
+      const auto& edges = packing.tree_edges.front();
+      std::size_t cursor = 0;
+      for (auto& round_set : schedule) {
+        for (std::uint32_t i = 0; i < opts.f && i < edges.size(); ++i)
+          round_set.push_back(edges[(cursor + i) % edges.size()]);
+        cursor = (cursor + opts.f) % std::max<std::size_t>(edges.size(), 1);
+      }
+      break;
+    }
+    case AdversaryKind::kCutFocused: {
+      std::vector<bool> side = opts.attacked_cut;
+      if (side.empty()) {
+        side.assign(g.node_count(), false);
+        for (NodeId v = 0; v < g.node_count() / 2; ++v) side[v] = true;
+      }
+      std::vector<EdgeId> cut_edges;
+      for (EdgeId e = 0; e < g.edge_count(); ++e)
+        if (side[g.edge_u(e)] != side[g.edge_v(e)]) cut_edges.push_back(e);
+      std::size_t cursor = 0;
+      for (auto& round_set : schedule) {
+        for (std::uint32_t i = 0; i < opts.f && i < cut_edges.size(); ++i)
+          round_set.push_back(cut_edges[(cursor + i) % cut_edges.size()]);
+        cursor = (cursor + opts.f) % std::max<std::size_t>(cut_edges.size(), 1);
+      }
+      break;
+    }
+  }
+  return schedule;
+}
+
+}  // namespace
+
+ResilientReport resilient_broadcast(const Graph& g,
+                                    const core::TreePacking& packing,
+                                    std::uint64_t k,
+                                    const ResilientOptions& opts) {
+  if (packing.trees.empty())
+    throw std::invalid_argument("resilient_broadcast: empty packing");
+  const NodeId root = packing.trees.front().root;
+  std::uint32_t max_depth = 0;
+  for (const auto& t : packing.trees) {
+    if (t.covered != g.node_count())
+      throw std::invalid_argument("resilient_broadcast: non-spanning tree");
+    if (t.root != root)
+      throw std::invalid_argument("resilient_broadcast: trees disagree on root");
+    max_depth = std::max(max_depth, t.depth);
+  }
+
+  ResilientReport report;
+  report.trees = static_cast<std::uint32_t>(packing.trees.size());
+  report.k = k;
+
+  // Serialize the trees: tree t broadcasts during its own window, so trees
+  // sharing edges never contend (the conservative end of the Theorem 12
+  // schedule; an edge-disjoint packing could run all windows concurrently).
+  const std::uint64_t window = max_depth + k + 1;
+  report.rounds = window * report.trees;
+
+  const auto schedule = corruption_schedule(g, packing, report.rounds, opts);
+  // Fast membership: per round, a sorted vector (f is small).
+  std::vector<std::vector<EdgeId>> sorted = schedule;
+  for (auto& s : sorted) std::sort(s.begin(), s.end());
+  auto hit = [&](EdgeId e, std::uint64_t round) {
+    const auto& s = sorted[round];
+    return std::binary_search(s.begin(), s.end(), e);
+  };
+
+  // corrupted[v * k + m] counts trees whose copy of message m arrived at v
+  // corrupted. Message m crosses the j-th path edge (counting from the
+  // root) at local round m + j - 1 within the tree's window.
+  std::vector<std::uint16_t> corrupted(static_cast<std::size_t>(g.node_count()) * k, 0);
+  for (std::uint32_t t = 0; t < report.trees; ++t) {
+    const auto& tree = packing.trees[t];
+    const std::uint64_t offset = static_cast<std::uint64_t>(t) * window;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == root) continue;
+      // Path edges from v up to the root, with their depth index.
+      std::vector<std::pair<EdgeId, std::uint32_t>> path;
+      for (NodeId x = v; x != root;) {
+        const ArcId pa = tree.parent_arc[x];
+        path.emplace_back(g.arc_edge(pa), tree.depth_of[x]);
+        x = g.arc_head(pa);
+      }
+      for (std::uint64_t m = 0; m < k; ++m) {
+        bool bad = false;
+        for (const auto& [e, depth] : path) {
+          const std::uint64_t round = offset + m + depth - 1;
+          if (hit(e, round)) {
+            bad = true;
+            break;
+          }
+        }
+        if (bad) {
+          ++corrupted[static_cast<std::size_t>(v) * k + m];
+          ++report.corrupted_copies;
+        }
+      }
+    }
+  }
+
+  // Majority decode: the adversary wins a (v, m) slot when at least half of
+  // the copies are corrupted (corrupted copies may collude on one value).
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == root) continue;
+    for (std::uint64_t m = 0; m < k; ++m) {
+      const std::uint32_t c = corrupted[static_cast<std::size_t>(v) * k + m];
+      if (2 * c >= report.trees) ++report.decode_failures;
+    }
+  }
+  const double slots =
+      static_cast<double>(g.node_count() - 1) * static_cast<double>(k);
+  report.failure_rate = slots > 0 ? report.decode_failures / slots : 0;
+  return report;
+}
+
+}  // namespace fc::apps

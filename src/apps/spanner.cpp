@@ -1,0 +1,177 @@
+#include "apps/spanner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace fc::apps {
+
+namespace {
+constexpr std::uint32_t kNoCluster = static_cast<std::uint32_t>(-1);
+
+/// Order edges by (weight, id) so "least edge" is unique and deterministic.
+bool lighter(const WeightedGraph& g, EdgeId a, EdgeId b) {
+  if (g.weight(a) != g.weight(b)) return g.weight(a) < g.weight(b);
+  return a < b;
+}
+}  // namespace
+
+SpannerResult baswana_sen(const WeightedGraph& wg, std::uint32_t k,
+                          std::uint64_t seed) {
+  const Graph& g = wg.graph();
+  const NodeId n = g.node_count();
+  if (k == 0) throw std::invalid_argument("baswana_sen: k == 0");
+
+  SpannerResult out;
+  out.k = k;
+  out.stretch = 2 * k - 1;
+  out.rounds = static_cast<std::uint64_t>(k) * k;  // BS07 distributed cost
+
+  if (k == 1) {
+    out.edges.resize(g.edge_count());
+    for (EdgeId e = 0; e < g.edge_count(); ++e) out.edges[e] = e;
+    return out;
+  }
+
+  Rng rng(mix64(seed, 0x62617377656eULL));
+  const double sample_p =
+      std::pow(static_cast<double>(std::max<NodeId>(n, 2)), -1.0 / k);
+
+  std::vector<std::uint32_t> cluster(n);        // current cluster of v
+  for (NodeId v = 0; v < n; ++v) cluster[v] = v;
+  std::vector<std::uint8_t> edge_alive(g.edge_count(), 1);
+  std::vector<std::uint8_t> in_spanner(g.edge_count(), 0);
+
+  auto add_edge = [&](EdgeId e) {
+    if (!in_spanner[e]) {
+      in_spanner[e] = 1;
+      out.edges.push_back(e);
+    }
+  };
+
+  // Scratch: per vertex, the least alive edge towards each adjacent cluster.
+  std::unordered_map<std::uint32_t, EdgeId> best_to_cluster;
+
+  for (std::uint32_t phase = 1; phase < k; ++phase) {
+    // 1. Sample the current clusters.
+    std::unordered_map<std::uint32_t, std::uint8_t> sampled;
+    for (NodeId v = 0; v < n; ++v) {
+      if (cluster[v] == kNoCluster) continue;
+      const std::uint32_t c = cluster[v];
+      if (!sampled.count(c)) sampled[c] = rng.chance(sample_p) ? 1 : 0;
+    }
+
+    std::vector<std::uint32_t> next_cluster(n, kNoCluster);
+    for (NodeId v = 0; v < n; ++v)
+      if (cluster[v] != kNoCluster && sampled[cluster[v]])
+        next_cluster[v] = cluster[v];
+
+    // 2. Re-cluster every vertex that is not in a sampled cluster.
+    // All vertices decide simultaneously on the phase-start edge set
+    // (`snapshot`); removals apply to `edge_alive` only, so one vertex's
+    // removals cannot starve another vertex of an edge it must keep.
+    const std::vector<std::uint8_t> snapshot = edge_alive;
+    for (NodeId v = 0; v < n; ++v) {
+      if (cluster[v] == kNoCluster || sampled[cluster[v]]) continue;
+
+      best_to_cluster.clear();
+      for (ArcId a = g.arc_begin(v); a < g.arc_end(v); ++a) {
+        const EdgeId e = g.arc_edge(a);
+        if (!snapshot[e]) continue;
+        const NodeId w = g.arc_head(a);
+        const std::uint32_t cw = cluster[w];
+        if (cw == kNoCluster || cw == cluster[v]) continue;
+        auto [it, fresh] = best_to_cluster.try_emplace(cw, e);
+        if (!fresh && lighter(wg, e, it->second)) it->second = e;
+      }
+
+      // The cheapest sampled neighbouring cluster, if any.
+      std::uint32_t best_sampled = kNoCluster;
+      EdgeId best_sampled_edge = kInvalidEdge;
+      for (const auto& [c, e] : best_to_cluster) {
+        if (!sampled[c]) continue;
+        if (best_sampled == kNoCluster || lighter(wg, e, best_sampled_edge)) {
+          best_sampled = c;
+          best_sampled_edge = e;
+        }
+      }
+
+      if (best_sampled == kNoCluster) {
+        // 2a. No sampled neighbour: keep one edge per neighbouring cluster
+        // and retire v from the clustering.
+        for (const auto& [c, e] : best_to_cluster) {
+          add_edge(e);
+          // Remove all v-edges into cluster c.
+          for (ArcId a = g.arc_begin(v); a < g.arc_end(v); ++a) {
+            const EdgeId e2 = g.arc_edge(a);
+            if (snapshot[e2] && cluster[g.arc_head(a)] == c) edge_alive[e2] = 0;
+          }
+        }
+      } else {
+        // 2b. Join the cheapest sampled cluster; keep one edge per strictly
+        // cheaper neighbouring cluster.
+        add_edge(best_sampled_edge);
+        next_cluster[v] = best_sampled;
+        for (const auto& [c, e] : best_to_cluster) {
+          const bool strictly_cheaper = lighter(wg, e, best_sampled_edge);
+          if (c == best_sampled || strictly_cheaper) {
+            if (strictly_cheaper) add_edge(e);
+            for (ArcId a = g.arc_begin(v); a < g.arc_end(v); ++a) {
+              const EdgeId e2 = g.arc_edge(a);
+              if (snapshot[e2] && cluster[g.arc_head(a)] == c)
+                edge_alive[e2] = 0;
+            }
+          }
+        }
+      }
+    }
+
+    cluster = std::move(next_cluster);
+
+    // 3. Remove intra-cluster edges of the new clustering.
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (!edge_alive[e]) continue;
+      const std::uint32_t cu = cluster[g.edge_u(e)];
+      const std::uint32_t cv = cluster[g.edge_v(e)];
+      if (cu != kNoCluster && cu == cv) edge_alive[e] = 0;
+      // Edges with an unclustered endpoint were removed in 2a; defensively
+      // drop any stragglers (endpoint retired while the other end kept it).
+      if (cu == kNoCluster || cv == kNoCluster) edge_alive[e] = 0;
+    }
+  }
+
+  // Final phase: every surviving vertex keeps one edge per neighbouring
+  // cluster.
+  for (NodeId v = 0; v < n; ++v) {
+    if (cluster[v] == kNoCluster) continue;
+    best_to_cluster.clear();
+    for (ArcId a = g.arc_begin(v); a < g.arc_end(v); ++a) {
+      const EdgeId e = g.arc_edge(a);
+      if (!edge_alive[e]) continue;
+      const std::uint32_t cw = cluster[g.arc_head(a)];
+      if (cw == kNoCluster || cw == cluster[v]) continue;
+      auto [it, fresh] = best_to_cluster.try_emplace(cw, e);
+      if (!fresh && lighter(wg, e, it->second)) it->second = e;
+    }
+    for (const auto& [c, e] : best_to_cluster) add_edge(e);
+  }
+
+  std::sort(out.edges.begin(), out.edges.end());
+  return out;
+}
+
+WeightedGraph spanner_graph(const WeightedGraph& g, const SpannerResult& s) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<Weight> weights;
+  edges.reserve(s.edges.size());
+  weights.reserve(s.edges.size());
+  for (EdgeId e : s.edges) {
+    edges.emplace_back(g.graph().edge_u(e), g.graph().edge_v(e));
+    weights.push_back(g.weight(e));
+  }
+  return WeightedGraph(Graph::from_edges(g.graph().node_count(), edges),
+                       std::move(weights));
+}
+
+}  // namespace fc::apps

@@ -1,0 +1,50 @@
+#include "apps/sparsifier.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/mincut.hpp"
+
+namespace fc::apps {
+
+CutSparsifier build_cut_sparsifier(const Graph& g, std::uint32_t lambda,
+                                   double epsilon,
+                                   const SparsifierOptions& opts) {
+  if (epsilon <= 0 || epsilon > 1)
+    throw std::invalid_argument("sparsifier: need 0 < epsilon <= 1");
+  if (lambda == 0) throw std::invalid_argument("sparsifier: lambda == 0");
+
+  CutSparsifier out;
+  out.epsilon = epsilon;
+  const double n = static_cast<double>(std::max<NodeId>(g.node_count(), 2));
+  out.p = std::min(1.0, opts.c * std::log(n) /
+                            (epsilon * epsilon * static_cast<double>(lambda)));
+  out.inv_p = 1.0 / out.p;
+
+  Rng rng(mix64(opts.seed, 0x73706172ULL));
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    if (rng.chance(out.p)) out.edges.push_back(e);
+  return out;
+}
+
+double sparsifier_cut(const Graph& g, const CutSparsifier& h,
+                      const std::vector<bool>& in_s) {
+  std::uint64_t crossing = 0;
+  for (EdgeId e : h.edges)
+    if (in_s[g.edge_u(e)] != in_s[g.edge_v(e)]) ++crossing;
+  return static_cast<double>(crossing) * h.inv_p;
+}
+
+double max_cut_error(const Graph& g, const CutSparsifier& h,
+                     const std::vector<std::vector<bool>>& cuts) {
+  double worst = 0;
+  for (const auto& side : cuts) {
+    const auto truth = static_cast<double>(cut_size(g, side));
+    if (truth == 0) continue;
+    const double est = sparsifier_cut(g, h, side);
+    worst = std::max(worst, std::abs(est - truth) / truth);
+  }
+  return worst;
+}
+
+}  // namespace fc::apps

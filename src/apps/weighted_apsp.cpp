@@ -1,0 +1,49 @@
+#include "apps/weighted_apsp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/properties.hpp"
+
+namespace fc::apps {
+
+std::uint32_t corollary1_k(NodeId n) {
+  if (n < 4) return 1;
+  const double ln_n = std::log(static_cast<double>(n));
+  const double ln_ln_n = std::log(ln_n);
+  return static_cast<std::uint32_t>(std::ceil(ln_n / std::max(ln_ln_n, 1.0)));
+}
+
+WeightedApspReport approximate_apsp_weighted(const WeightedGraph& g,
+                                             std::uint32_t lambda,
+                                             std::uint32_t k,
+                                             const WeightedApspOptions& opts) {
+  if (!is_connected(g.graph()))
+    throw std::invalid_argument("weighted_apsp: disconnected graph");
+
+  WeightedApspReport out;
+  out.spanner = baswana_sen(g, k, opts.seed);
+  out.spanner_rounds = out.spanner.rounds;
+  out.spanner_subgraph = spanner_graph(g, out.spanner);
+
+  // Ship each spanner edge as two messages originating at its lower
+  // endpoint (that endpoint knows the edge and its weight locally).
+  std::vector<algo::PlacedMessage> msgs;
+  msgs.reserve(2 * out.spanner.edges.size());
+  std::uint64_t next_id = 0;
+  for (EdgeId e : out.spanner.edges) {
+    const NodeId u = g.graph().edge_u(e);
+    const NodeId v = g.graph().edge_v(e);
+    const std::uint64_t endpoints =
+        (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
+    msgs.push_back({u, next_id++, endpoints});
+    msgs.push_back({u, next_id++, static_cast<std::uint64_t>(g.weight(e))});
+  }
+  out.broadcast_report =
+      core::run_fast_broadcast(g.graph(), lambda, msgs, opts.broadcast);
+  out.broadcast_rounds = out.broadcast_report.total_rounds;
+  out.total_rounds = out.spanner_rounds + out.broadcast_rounds;
+  return out;
+}
+
+}  // namespace fc::apps

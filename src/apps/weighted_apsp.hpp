@@ -1,0 +1,49 @@
+#pragma once
+// (2k-1)-approximate weighted APSP in Õ(n^{1+1/k}/λ) rounds (paper
+// Theorem 5 / Corollary 1).
+//
+// Construct a Baswana–Sen (2k-1)-spanner, broadcast every spanner edge to
+// the whole network with the Theorem 1 fast broadcast, and let each node
+// run Dijkstra on the received spanner locally. Each spanner edge is
+// shipped as two CONGEST messages — (endpoints) and (weight) — a constant
+// factor the Õ hides.
+//
+// Corollary 1 is the k = ceil(log n / log log n) instantiation.
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/spanner.hpp"
+#include "core/fast_broadcast.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace fc::apps {
+
+struct WeightedApspOptions {
+  std::uint64_t seed = 1;
+  core::FastBroadcastOptions broadcast;
+};
+
+struct WeightedApspReport {
+  SpannerResult spanner;
+  WeightedGraph spanner_subgraph;
+  core::FastBroadcastReport broadcast_report;
+  std::uint64_t spanner_rounds = 0;    // BS07 O(k^2)
+  std::uint64_t broadcast_rounds = 0;  // Theorem 1, 2 * |spanner| messages
+  std::uint64_t total_rounds = 0;
+
+  /// Distances every node can now compute locally (Dijkstra on spanner).
+  std::vector<Weight> distances_from(NodeId source) const {
+    return dijkstra(spanner_subgraph, source);
+  }
+};
+
+/// Run the full Theorem 5 pipeline on a connected weighted graph.
+WeightedApspReport approximate_apsp_weighted(
+    const WeightedGraph& g, std::uint32_t lambda, std::uint32_t k,
+    const WeightedApspOptions& opts = {});
+
+/// Corollary 1's choice of k for a given n.
+std::uint32_t corollary1_k(NodeId n);
+
+}  // namespace fc::apps

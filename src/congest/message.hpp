@@ -1,0 +1,24 @@
+#pragma once
+// The CONGEST message: a trivially-copyable record standing in for the
+// model's O(log n)-bit message.
+//
+// The model allows B = O(log n) bits per edge per direction per round. We
+// give every message a 32-bit tag and two 64-bit words; for n <= 2^40 this
+// is a constant number of O(log n)-bit words, i.e. the standard "messages of
+// a constant number of IDs/values" convention used by the paper's
+// algorithms (e.g. a broadcast message = (message id, payload)). The
+// simulator's round counts therefore match the model's accounting exactly.
+
+#include <cstdint>
+
+namespace fc::congest {
+
+struct Message {
+  std::uint32_t tag = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+static_assert(sizeof(Message) <= 24, "Message must stay a small POD");
+
+}  // namespace fc::congest

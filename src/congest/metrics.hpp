@@ -1,0 +1,34 @@
+#pragma once
+// Cost accounting for a CONGEST execution: rounds, total messages, and
+// per-edge congestion (the max number of messages that crossed any single
+// edge over the whole run — the quantity Lemma 1 and Theorem 12 bound).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace fc::congest {
+
+struct RunResult {
+  std::uint64_t rounds = 0;         // rounds executed (including round 0)
+  std::uint64_t messages = 0;       // total messages sent
+  bool finished = false;            // algorithm reported done()
+  std::vector<std::uint64_t> arc_sends;  // per-arc message counts
+
+  /// Messages that crossed edge e in either direction.
+  std::uint64_t edge_congestion(const Graph& g, EdgeId e) const {
+    const auto [a, b] = g.edge_arcs(e);
+    return arc_sends[a] + arc_sends[b];
+  }
+
+  /// Max over edges of edge_congestion.
+  std::uint64_t max_edge_congestion(const Graph& g) const {
+    std::uint64_t best = 0;
+    for (EdgeId e = 0; e < g.edge_count(); ++e)
+      best = std::max(best, edge_congestion(g, e));
+    return best;
+  }
+};
+
+}  // namespace fc::congest

@@ -1,0 +1,117 @@
+#include "congest/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fc::congest {
+
+std::uint32_t Context::degree() const { return net_->graph().degree(node_); }
+ArcId Context::arc_begin() const { return net_->graph().arc_begin(node_); }
+ArcId Context::arc_end() const { return net_->graph().arc_end(node_); }
+NodeId Context::neighbor(ArcId a) const { return net_->graph().arc_head(a); }
+const Graph& Context::graph() const { return net_->graph(); }
+
+void Context::send(ArcId via, const Message& m) {
+  net_->do_send(*this, via, m);
+}
+
+Network::Network(const Graph& g) : graph_(&g) {
+  const ArcId arcs = g.arc_count();
+  slot_msg_.resize(arcs);
+  slot_full_.assign(arcs, 0);
+  inbox_.resize(g.node_count());
+  arc_sends_.assign(arcs, 0);
+}
+
+void Network::do_send(Context& ctx, ArcId via, const Message& m) {
+  const Graph& g = *graph_;
+  if (via < g.arc_begin(ctx.node_) || via >= g.arc_end(ctx.node_))
+    throw std::logic_error("Context::send: arc does not leave this node");
+  if (slot_full_[via])
+    throw std::logic_error(
+        "Context::send: second message on one arc in one round "
+        "(CONGEST bandwidth violation)");
+  slot_full_[via] = 1;
+  slot_msg_[via] = m;
+  ctx.dirty_->push_back(via);
+  if (counting_) ++arc_sends_[via];
+}
+
+void Network::run_round(Algorithm& alg, std::uint64_t round, bool parallel) {
+  const NodeId n = graph_->node_count();
+  auto body = [&](std::size_t worker, std::size_t begin, std::size_t end) {
+    Context ctx;
+    ctx.net_ = this;
+    ctx.round_ = round;
+    ctx.dirty_ = &thread_dirty_[worker];
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto v = static_cast<NodeId>(i);
+      ctx.node_ = v;
+      ctx.inbox_ = inbox_[v];
+      if (round == 0)
+        alg.start(ctx);
+      else
+        alg.step(ctx);
+    }
+  };
+  if (parallel && n >= 512) {
+    ThreadPool::global().parallel_chunks(n, body);
+  } else {
+    body(0, 0, n);
+  }
+}
+
+void Network::deliver() {
+  // Clear last round's inboxes (only the touched ones).
+  for (NodeId v : inbox_touched_) inbox_[v].clear();
+  inbox_touched_.clear();
+  const Graph& g = *graph_;
+  std::uint64_t sent = 0;
+  for (auto& list : thread_dirty_) {
+    for (ArcId a : list) {
+      const NodeId to = g.arc_head(a);
+      if (inbox_[to].empty()) inbox_touched_.push_back(to);
+      inbox_[to].push_back(Incoming{g.arc_reverse(a), slot_msg_[a]});
+      slot_full_[a] = 0;
+      ++sent;
+    }
+    list.clear();
+  }
+  // Sort each inbox by arc id so the delivery order — and therefore every
+  // algorithm decision such as "pick the first announcing neighbour" — is
+  // identical regardless of worker count and chunk boundaries.
+  for (NodeId v : inbox_touched_)
+    std::sort(inbox_[v].begin(), inbox_[v].end(),
+              [](const Incoming& x, const Incoming& y) { return x.via < y.via; });
+  messages_ += sent;
+}
+
+RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
+  counting_ = opts.count_sends;
+  messages_ = 0;
+  std::fill(arc_sends_.begin(), arc_sends_.end(), 0);
+  std::fill(slot_full_.begin(), slot_full_.end(), 0);
+  for (auto& box : inbox_) box.clear();
+  inbox_touched_.clear();
+
+  const std::size_t workers = ThreadPool::global().size();
+  thread_dirty_.assign(workers, {});
+
+  RunResult result;
+  std::uint64_t round = 0;
+  for (; round < opts.max_rounds; ++round) {
+    run_round(alg, round, opts.parallel);
+    deliver();
+    if (alg.done()) {
+      result.finished = true;
+      ++round;
+      break;
+    }
+  }
+  result.rounds = round;
+  result.messages = messages_;
+  result.arc_sends = arc_sends_;
+  return result;
+}
+
+}  // namespace fc::congest

@@ -1,0 +1,136 @@
+#pragma once
+// The synchronous CONGEST round engine.
+//
+// Execution model (faithful to Peleg's CONGEST):
+//  * Time proceeds in synchronous rounds.
+//  * In each round every node may send at most ONE message along each
+//    incident edge in each direction; the engine enforces this (send()
+//    throws on a double-send).
+//  * Messages sent in round r are delivered at the start of round r+1.
+//  * Nodes act only on local knowledge: their id, their incident arcs, and
+//    received messages. (The Context API exposes only local topology;
+//    algorithms also receive global scalars like n or λ only when the
+//    paper's algorithm assumes they are known.)
+//
+// Performance: per round the engine does O(active nodes + messages) work,
+// not O(m): message slots are per-directed-edge with double buffering and
+// dirty lists, and node handlers run in parallel on a thread pool (each
+// handler writes only its own node's state and its own outgoing slots, so
+// rounds are data-race-free by construction).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "congest/metrics.hpp"
+#include "graph/graph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fc::congest {
+
+/// A message as seen by the receiver: `via` is the RECEIVER's outgoing arc
+/// for the edge the message arrived on (so replying on the same edge is
+/// just send(via, ...)).
+struct Incoming {
+  ArcId via = kInvalidArc;
+  Message msg;
+};
+
+class Network;
+
+/// Per-node view handed to algorithm handlers. Valid only for the duration
+/// of one handler call.
+class Context {
+ public:
+  NodeId id() const { return node_; }
+  std::uint64_t round() const { return round_; }
+
+  /// Local topology.
+  std::uint32_t degree() const;
+  ArcId arc_begin() const;
+  ArcId arc_end() const;
+  /// Neighbor at the other end of outgoing arc `a`.
+  NodeId neighbor(ArcId a) const;
+  /// The graph (for local lookups such as arc_reverse; algorithms must not
+  /// use it for non-local shortcuts).
+  const Graph& graph() const;
+
+  /// Messages delivered this round (empty at round 0).
+  std::span<const Incoming> inbox() const { return inbox_; }
+
+  /// Send one message over outgoing arc `via` this round.
+  /// Throws std::logic_error if `via` is not an outgoing arc of this node or
+  /// if a message was already sent on it this round (CONGEST violation).
+  void send(ArcId via, const Message& m);
+
+ private:
+  friend class Network;
+  Network* net_ = nullptr;
+  NodeId node_ = kInvalidNode;
+  std::uint64_t round_ = 0;
+  std::span<const Incoming> inbox_;
+  std::vector<ArcId>* dirty_ = nullptr;  // this worker's sent-arc list
+};
+
+/// Base class for distributed algorithms. One instance carries the state of
+/// ALL nodes (struct-of-vectors indexed by NodeId); handlers for different
+/// nodes run concurrently, so a handler must touch only state of ctx.id().
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+  virtual std::string name() const { return "algorithm"; }
+
+  /// Round 0: called once per node before any delivery; may send.
+  virtual void start(Context& ctx) = 0;
+  /// Rounds >= 1: called once per node with that node's inbox; may send.
+  virtual void step(Context& ctx) = 0;
+  /// Global termination oracle, checked (single-threaded) after each round.
+  /// This models the standard simulator convention: the paper's algorithms
+  /// all have known round bounds, so termination detection is free.
+  virtual bool done() const = 0;
+};
+
+struct RunOptions {
+  std::uint64_t max_rounds = 1'000'000;
+  /// Run node handlers in parallel when the graph is large enough.
+  bool parallel = true;
+  /// Collect per-arc send counts (cheap; on by default).
+  bool count_sends = true;
+};
+
+class Network {
+ public:
+  /// The graph must outlive the Network.
+  explicit Network(const Graph& g);
+
+  const Graph& graph() const { return *graph_; }
+
+  /// Execute `alg` from round 0 until done() or max_rounds.
+  RunResult run(Algorithm& alg, const RunOptions& opts = {});
+
+ private:
+  friend class Context;
+
+  void do_send(Context& ctx, ArcId via, const Message& m);
+  void run_round(Algorithm& alg, std::uint64_t round, bool parallel);
+  void deliver();
+
+  const Graph* graph_;
+  // Double-buffered slots: `write_` receives this round's sends, `read_`
+  // holds last round's (already turned into inboxes).
+  std::vector<Message> slot_msg_;
+  std::vector<std::uint8_t> slot_full_;  // 1 if write-slot occupied
+  // Per-thread dirty-arc lists, merged after each round.
+  std::vector<std::vector<ArcId>> thread_dirty_;
+  std::vector<ArcId> dirty_;
+  // Inboxes for the current round.
+  std::vector<std::vector<Incoming>> inbox_;
+  std::vector<NodeId> inbox_touched_;
+  std::vector<std::uint64_t> arc_sends_;
+  std::uint64_t messages_ = 0;
+  bool counting_ = true;
+};
+
+}  // namespace fc::congest

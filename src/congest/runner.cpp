@@ -1,0 +1,50 @@
+#include "congest/runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fc::congest {
+
+std::uint64_t CompositeResult::max_parent_edge_congestion() const {
+  std::uint64_t best = 0;
+  for (std::uint64_t c : parent_edge_congestion) best = std::max(best, c);
+  return best;
+}
+
+CompositeResult run_edge_disjoint(const Graph& parent,
+                                  std::span<const EdgeDisjointInstance> work,
+                                  const RunOptions& opts) {
+  // Verify edge-disjointness: each parent edge may belong to at most one
+  // instance, otherwise concurrent execution would violate bandwidth.
+  std::vector<std::uint8_t> claimed(parent.edge_count(), 0);
+  for (const auto& inst : work) {
+    if (!inst.part || !inst.algorithm)
+      throw std::logic_error("run_edge_disjoint: null instance");
+    for (EdgeId e : inst.part->parent_edge) {
+      if (claimed[e])
+        throw std::logic_error(
+            "run_edge_disjoint: parent edge claimed by two instances");
+      claimed[e] = 1;
+    }
+  }
+
+  CompositeResult out;
+  out.finished = true;
+  out.parent_edge_congestion.assign(parent.edge_count(), 0);
+  out.per_instance.reserve(work.size());
+  for (const auto& inst : work) {
+    Network net(inst.part->graph);
+    RunResult res = net.run(*inst.algorithm, opts);
+    out.rounds = std::max(out.rounds, res.rounds);
+    out.messages += res.messages;
+    out.finished = out.finished && res.finished;
+    const Graph& sub = inst.part->graph;
+    for (EdgeId e = 0; e < sub.edge_count(); ++e)
+      out.parent_edge_congestion[inst.part->parent_edge[e]] +=
+          res.edge_congestion(sub, e);
+    out.per_instance.push_back(std::move(res));
+  }
+  return out;
+}
+
+}  // namespace fc::congest

@@ -1,0 +1,48 @@
+#pragma once
+// Composite execution of edge-disjoint sub-algorithms.
+//
+// Theorem 1 runs λ' independent pipelined broadcasts, one per edge-disjoint
+// spanning subgraph. Because the subgraphs share no edges, executing all
+// instances simultaneously is a single valid CONGEST execution on the
+// parent graph: in any global round every edge carries at most the one
+// message of the unique instance that owns it. The runner exploits this:
+// it executes each instance on its own Network and combines the costs —
+// rounds = max over instances (they run concurrently), messages = sum,
+// and per-parent-edge congestion is folded back through the subgraphs'
+// parent_edge maps. Edge-disjointness is verified, not assumed.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace fc::congest {
+
+struct CompositeResult {
+  std::uint64_t rounds = 0;    // max over instances
+  std::uint64_t messages = 0;  // sum over instances
+  bool finished = false;       // all instances finished
+  std::vector<RunResult> per_instance;
+  /// Congestion per PARENT edge (messages in both directions).
+  std::vector<std::uint64_t> parent_edge_congestion;
+
+  std::uint64_t max_parent_edge_congestion() const;
+};
+
+/// One unit of concurrent work: an algorithm bound to a subgraph of the
+/// parent. The Subgraph must outlive the call.
+struct EdgeDisjointInstance {
+  const Subgraph* part = nullptr;
+  Algorithm* algorithm = nullptr;
+};
+
+/// Run all instances as one concurrent execution. Throws std::logic_error
+/// if two instances claim the same parent edge.
+CompositeResult run_edge_disjoint(const Graph& parent,
+                                  std::span<const EdgeDisjointInstance> work,
+                                  const RunOptions& opts = {});
+
+}  // namespace fc::congest

@@ -1,0 +1,46 @@
+#pragma once
+// Store-and-forward co-scheduling of tree broadcasts (paper Theorem 12,
+// Ghaffari PODC'15 "Near-optimal scheduling of distributed algorithms").
+//
+// When the trees of several broadcast jobs SHARE edges (unlike Theorem 1's
+// edge-disjoint case) the jobs contend for bandwidth. Ghaffari's result
+// says any collection of algorithms with total per-edge congestion C and
+// max dilation d can be co-scheduled in O(C + d log^2 n) rounds via random
+// start delays. This module implements the packet-level experiment: each
+// job floods k_j packets down its own rooted tree; every physical edge
+// forwards at most one packet per direction per round (FIFO among jobs);
+// jobs start after a chosen delay. The measured makespan is compared to
+// the congestion + dilation lower bound in bench_scheduler (experiment E10).
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/bfs.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace fc::congest {
+
+struct TreeJob {
+  const algo::SpanningTree* tree = nullptr;  // spans the shared graph
+  std::uint32_t packets = 0;                 // broadcast k_j packets from root
+  std::uint64_t start_delay = 0;             // first injection round
+};
+
+struct ScheduleResult {
+  std::uint64_t makespan = 0;         // last delivery round + 1
+  std::uint64_t congestion = 0;       // max over edges of packets crossing
+  std::uint64_t dilation = 0;         // max tree depth among jobs
+  std::uint64_t total_packet_hops = 0;
+};
+
+/// Simulate the store-and-forward execution. All trees must span `g`.
+ScheduleResult schedule_tree_broadcasts(const Graph& g,
+                                        std::vector<TreeJob> jobs,
+                                        std::uint64_t max_rounds = 50'000'000);
+
+/// Assign each job an independent uniform delay in [0, max_delay].
+void randomize_delays(std::vector<TreeJob>& jobs, std::uint64_t max_delay,
+                      Rng& rng);
+
+}  // namespace fc::congest

@@ -1,0 +1,39 @@
+#include "congest/trace.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace fc::congest {
+
+void TraceRecorder::record(Context& ctx) {
+  if (ctx.inbox().empty() && ctx.round() >= trace_.size()) {
+    // Still make sure the round has an entry (cheap double-checked path).
+    std::lock_guard lock(mutex_);
+    if (ctx.round() >= trace_.size())
+      trace_.resize(ctx.round() + 1);
+    trace_[ctx.round()].round = ctx.round();
+    return;
+  }
+  if (ctx.inbox().empty()) return;
+  std::lock_guard lock(mutex_);
+  if (ctx.round() >= trace_.size()) trace_.resize(ctx.round() + 1);
+  auto& entry = trace_[ctx.round()];
+  entry.round = ctx.round();
+  entry.messages_delivered += ctx.inbox().size();
+  entry.nodes_with_input += 1;
+}
+
+std::uint64_t TraceRecorder::total_delivered() const {
+  std::uint64_t total = 0;
+  for (const auto& t : trace_) total += t.messages_delivered;
+  return total;
+}
+
+RoundTrace TraceRecorder::peak() const {
+  RoundTrace best;
+  for (const auto& t : trace_)
+    if (t.messages_delivered > best.messages_delivered) best = t;
+  return best;
+}
+
+}  // namespace fc::congest

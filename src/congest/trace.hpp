@@ -1,0 +1,54 @@
+#pragma once
+// Execution tracing: wrap any Algorithm to record per-round activity
+// (messages delivered, nodes active) without touching the algorithm.
+// Useful for debugging schedules and for the examples' visualizations;
+// the recorded totals are checked against the Network's own metering in
+// tests (they must agree exactly).
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "congest/network.hpp"
+
+namespace fc::congest {
+
+struct RoundTrace {
+  std::uint64_t round = 0;
+  std::uint64_t messages_delivered = 0;  // inbox items this round
+  std::uint64_t nodes_with_input = 0;    // nodes with nonempty inbox
+};
+
+class TraceRecorder : public Algorithm {
+ public:
+  explicit TraceRecorder(Algorithm& inner) : inner_(&inner) {}
+
+  std::string name() const override { return inner_->name() + "+trace"; }
+
+  void start(Context& ctx) override {
+    record(ctx);
+    inner_->start(ctx);
+  }
+  void step(Context& ctx) override {
+    record(ctx);
+    inner_->step(ctx);
+  }
+  bool done() const override { return inner_->done(); }
+
+  /// One entry per executed round (index == round number).
+  const std::vector<RoundTrace>& trace() const { return trace_; }
+  /// Total messages observed on the receive side.
+  std::uint64_t total_delivered() const;
+  /// The round with the most delivered messages (peak load).
+  RoundTrace peak() const;
+
+ private:
+  void record(Context& ctx);
+
+  Algorithm* inner_;
+  std::vector<RoundTrace> trace_;
+  std::mutex mutex_;
+};
+
+}  // namespace fc::congest

@@ -1,0 +1,95 @@
+#include "core/tree_packing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fc::core {
+
+std::uint32_t TreePacking::max_edge_load() const {
+  std::uint32_t best = 0;
+  for (std::uint32_t l : edge_load) best = std::max(best, l);
+  return best;
+}
+
+std::uint32_t TreePacking::max_tree_depth() const {
+  std::uint32_t best = 0;
+  for (const auto& t : trees) best = std::max(best, t.depth);
+  return best;
+}
+
+namespace {
+
+/// Re-index a tree built on a subgraph into the parent graph's arc space.
+/// Node ids are shared; only arcs/edges must be translated.
+algo::SpanningTree lift_tree(const Graph& parent, const Subgraph& part,
+                             const algo::SpanningTree& sub_tree) {
+  algo::SpanningTree out;
+  out.root = sub_tree.root;
+  out.depth = sub_tree.depth;
+  out.covered = sub_tree.covered;
+  out.depth_of = sub_tree.depth_of;
+  out.parent_arc.assign(parent.node_count(), kInvalidArc);
+  out.child_arcs.assign(parent.node_count(), {});
+  const Graph& sub = part.graph;
+  for (NodeId v = 0; v < sub.node_count(); ++v) {
+    const ArcId sa = sub_tree.parent_arc[v];
+    if (sa == kInvalidArc) continue;
+    const EdgeId pe = part.parent_edge[sub.arc_edge(sa)];
+    // Orient the parent arc the same way: from v towards its tree parent.
+    const auto [x, y] = parent.edge_arcs(pe);
+    const ArcId pa = parent.arc_tail(x) == v ? x : y;
+    out.parent_arc[v] = pa;
+    out.child_arcs[parent.arc_head(pa)].push_back(parent.arc_reverse(pa));
+  }
+  return out;
+}
+
+void append_decomposition_trees(const Graph& g, const Decomposition& dec,
+                                TreePacking& packing) {
+  for (std::uint32_t i = 0; i < dec.parts; ++i) {
+    if (!dec.spanning[i]) continue;
+    algo::SpanningTree lifted =
+        lift_tree(g, dec.partition.parts[i], dec.trees[i]);
+    std::vector<EdgeId> edges = lifted.tree_edges(g);
+    for (EdgeId e : edges) ++packing.edge_load[e];
+    packing.trees.push_back(std::move(lifted));
+    packing.tree_edges.push_back(std::move(edges));
+  }
+}
+
+}  // namespace
+
+TreePacking build_edge_disjoint_packing(const Graph& g, std::uint32_t lambda,
+                                        const DecompositionOptions& opts) {
+  TreePacking packing;
+  packing.edge_load.assign(g.edge_count(), 0);
+  const Decomposition dec = decompose(g, lambda, opts);
+  append_decomposition_trees(g, dec, packing);
+  packing.build_rounds = dec.check_rounds;
+  packing.repetitions = 1;
+  return packing;
+}
+
+TreePacking build_low_congestion_packing(const Graph& g, std::uint32_t lambda,
+                                         std::uint32_t target_trees,
+                                         DecompositionOptions opts,
+                                         std::uint32_t max_repetitions) {
+  TreePacking packing;
+  packing.edge_load.assign(g.edge_count(), 0);
+  std::uint32_t reps = 0;
+  while (packing.trees.size() < target_trees && reps < max_repetitions) {
+    const Decomposition dec = decompose(g, lambda, opts);
+    append_decomposition_trees(g, dec, packing);
+    packing.build_rounds += dec.check_rounds;
+    opts.seed = mix64(opts.seed, 0x7465656e70616b31ULL);
+    ++reps;
+  }
+  packing.repetitions = reps;
+  if (packing.trees.size() < target_trees)
+    throw std::runtime_error(
+        "build_low_congestion_packing: could not collect enough spanning "
+        "trees (graph too sparse or lambda overestimated?)");
+  return packing;
+}
+
+}  // namespace fc::core

@@ -1,0 +1,50 @@
+#pragma once
+// Low-diameter tree packings (paper §3.1).
+//
+// Two constructions, both built on the Theorem 2 decomposition:
+//  * `build_edge_disjoint_packing` — Ω(λ/log n) EDGE-DISJOINT spanning
+//    trees of depth O((n log n)/δ): one parallel BFS per part.
+//  * `build_low_congestion_packing` — at least `target_trees` spanning
+//    trees where each edge appears in O(log n) trees: repeat the
+//    decomposition with independent seeds until enough spanning trees are
+//    collected. With r repetitions every edge joins at most r trees
+//    (each repetition contributes at most one tree containing the edge),
+//    matching the paper's "≥ λ trees with congestion O(log n)" packing.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/decomposition.hpp"
+
+namespace fc::core {
+
+struct TreePacking {
+  /// Trees on the parent graph's node ids.
+  std::vector<algo::SpanningTree> trees;
+  /// Parent edge ids used by each tree.
+  std::vector<std::vector<EdgeId>> tree_edges;
+  /// Number of trees containing each parent edge.
+  std::vector<std::uint32_t> edge_load;
+  std::uint64_t build_rounds = 0;
+  std::uint32_t repetitions = 0;
+
+  std::uint32_t max_edge_load() const;
+  std::uint32_t max_tree_depth() const;
+  std::size_t tree_count() const { return trees.size(); }
+};
+
+/// Ω(λ/log n) edge-disjoint spanning trees. Parts that fail to span
+/// (probability n^{-Ω(C)}) are dropped; the caller can inspect
+/// `tree_count()` against the expected λ/(C ln n).
+TreePacking build_edge_disjoint_packing(const Graph& g, std::uint32_t lambda,
+                                        const DecompositionOptions& opts = {});
+
+/// >= target_trees spanning trees with per-edge load bounded by the number
+/// of repetitions (O(log n) when target = λ and each repetition yields
+/// λ/(C ln n) trees).
+TreePacking build_low_congestion_packing(const Graph& g, std::uint32_t lambda,
+                                         std::uint32_t target_trees,
+                                         DecompositionOptions opts = {},
+                                         std::uint32_t max_repetitions = 256);
+
+}  // namespace fc::core

@@ -1,0 +1,314 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace fc::gen {
+
+namespace {
+using EdgeVec = std::vector<std::pair<NodeId, NodeId>>;
+
+std::uint64_t edge_key(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+}  // namespace
+
+Graph path(NodeId n) {
+  if (n == 0) throw std::invalid_argument("path: n == 0");
+  EdgeVec edges;
+  for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph::from_edges(n, edges);
+}
+
+Graph cycle(NodeId n) {
+  if (n < 3) throw std::invalid_argument("cycle: n < 3");
+  EdgeVec edges;
+  for (NodeId i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return Graph::from_edges(n, edges);
+}
+
+Graph complete(NodeId n) {
+  EdgeVec edges;
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  return Graph::from_edges(n, edges);
+}
+
+Graph grid(NodeId rows, NodeId cols) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("grid: empty");
+  EdgeVec edges;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r)
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  return Graph::from_edges(rows * cols, edges);
+}
+
+Graph torus(NodeId rows, NodeId cols) {
+  if (rows < 3 || cols < 3) throw std::invalid_argument("torus: dims < 3");
+  EdgeVec edges;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r)
+    for (NodeId c = 0; c < cols; ++c) {
+      edges.emplace_back(id(r, c), id(r, (c + 1) % cols));
+      edges.emplace_back(id(r, c), id((r + 1) % rows, c));
+    }
+  return Graph::from_edges(rows * cols, edges);
+}
+
+Graph hypercube(std::uint32_t dim) {
+  if (dim == 0 || dim > 24) throw std::invalid_argument("hypercube: bad dim");
+  const NodeId n = NodeId{1} << dim;
+  EdgeVec edges;
+  for (NodeId v = 0; v < n; ++v)
+    for (std::uint32_t b = 0; b < dim; ++b) {
+      const NodeId w = v ^ (NodeId{1} << b);
+      if (v < w) edges.emplace_back(v, w);
+    }
+  return Graph::from_edges(n, edges);
+}
+
+Graph circulant(NodeId n, std::uint32_t k) {
+  if (n < 2 * k + 1)
+    throw std::invalid_argument("circulant: need n >= 2k+1");
+  EdgeVec edges;
+  for (NodeId v = 0; v < n; ++v)
+    for (std::uint32_t off = 1; off <= k; ++off)
+      edges.emplace_back(v, (v + off) % n);
+  // Each undirected edge is produced exactly once as (v, v+off) because
+  // n >= 2k+1 guarantees v+off != v-off' for off, off' <= k.
+  return Graph::from_edges(n, edges);
+}
+
+Graph harary(NodeId n, std::uint32_t k) {
+  if (k < 2 || k >= n) throw std::invalid_argument("harary: need 2 <= k < n");
+  if (k % 2 == 0) return circulant(n, k / 2);
+  // Odd k: circulant C_n(1..(k-1)/2) plus diametric edges i <-> i + n/2.
+  if (n % 2 != 0)
+    throw std::invalid_argument("harary: odd k requires even n");
+  Graph base = circulant(n, (k - 1) / 2);
+  EdgeVec edges = base.edge_list();
+  for (NodeId i = 0; i < n / 2; ++i) edges.emplace_back(i, i + n / 2);
+  return Graph::from_edges(n, edges);
+}
+
+Graph erdos_renyi(NodeId n, double p, Rng& rng) {
+  if (p < 0 || p > 1) throw std::invalid_argument("erdos_renyi: bad p");
+  EdgeVec edges;
+  // Iterate over the implicit lexicographic edge enumeration, skipping
+  // non-edges geometrically.
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  std::uint64_t idx = skip_geometric(rng, p, total);
+  while (idx < total) {
+    // Invert idx -> (u, v): u is the largest with u*(2n-u-1)/2 <= idx.
+    // Solve by binary search for robustness.
+    NodeId lo = 0, hi = n - 1;
+    auto row_start = [n](std::uint64_t u) {
+      return u * (2ULL * n - u - 1) / 2;
+    };
+    while (lo < hi) {
+      const NodeId mid = lo + (hi - lo + 1) / 2;
+      if (row_start(mid) <= idx)
+        lo = mid;
+      else
+        hi = mid - 1;
+    }
+    const NodeId u = lo;
+    const NodeId v = static_cast<NodeId>(u + 1 + (idx - row_start(u)));
+    edges.emplace_back(u, v);
+    idx += 1 + skip_geometric(rng, p, total - idx - 1);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_regular(NodeId n, std::uint32_t d, Rng& rng) {
+  if (d >= n || (static_cast<std::uint64_t>(n) * d) % 2 != 0)
+    throw std::invalid_argument("random_regular: need d < n and n*d even");
+  if (d == 0) return Graph::from_edges(n, EdgeVec{});
+  // Pairing (configuration) model followed by edge-switch repair: a raw
+  // pairing contains Θ(d²) self-loops/parallel edges, and rejecting whole
+  // pairings has success probability exp(-Θ(d²)) — hopeless beyond d ≈ 5.
+  // Instead we repair each bad pair by switching it with a uniformly random
+  // good edge, which preserves the degree sequence and converges quickly;
+  // the result is a standard near-uniform random regular graph.
+  const std::uint64_t stubs = static_cast<std::uint64_t>(n) * d;
+  std::vector<NodeId> pairing(stubs);
+  for (std::uint64_t i = 0; i < stubs; ++i)
+    pairing[i] = static_cast<NodeId>(i / d);
+
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    for (std::uint64_t i = stubs - 1; i > 0; --i) {
+      const std::uint64_t j = rng.below(i + 1);
+      std::swap(pairing[i], pairing[j]);
+    }
+    EdgeVec edges(stubs / 2);
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(stubs);
+    std::vector<std::size_t> bad;
+    std::vector<std::uint8_t> is_bad(stubs / 2, 0);
+    for (std::uint64_t i = 0; i < stubs; i += 2) {
+      const NodeId u = pairing[i], v = pairing[i + 1];
+      edges[i / 2] = {u, v};
+      if (u == v || !seen.insert(edge_key(u, v)).second) {
+        bad.push_back(i / 2);
+        is_bad[i / 2] = 1;
+      }
+    }
+    // Repair loop: switch each bad pair {u,v} with a uniformly random GOOD
+    // edge {x,y} into {u,x}, {v,y}; accept when both new edges are simple
+    // and fresh. A bad edge owns no key in `seen` (self-loops never
+    // inserted; a duplicate's key belongs to its first copy), so only the
+    // good partner's key is erased on commit.
+    std::uint64_t budget = 400 * (bad.size() + 1) + 20 * stubs;
+    while (!bad.empty() && budget > 0) {
+      --budget;
+      const std::size_t bi = bad.back();
+      auto [u, v] = edges[bi];
+      const std::size_t oi = rng.below(edges.size());
+      if (oi == bi || is_bad[oi]) continue;
+      auto [x, y] = edges[oi];
+      if (rng.chance(0.5)) std::swap(x, y);
+      const bool ok_ux = u != x && !seen.count(edge_key(u, x));
+      const bool ok_vy = v != y && !seen.count(edge_key(v, y)) &&
+                         edge_key(u, x) != edge_key(v, y);
+      if (!ok_ux || !ok_vy) continue;
+      seen.erase(edge_key(edges[oi].first, edges[oi].second));
+      edges[bi] = {u, x};
+      edges[oi] = {v, y};
+      seen.insert(edge_key(u, x));
+      seen.insert(edge_key(v, y));
+      is_bad[bi] = 0;
+      bad.pop_back();
+    }
+    if (bad.empty()) return Graph::from_edges(n, edges);
+  }
+  throw std::runtime_error(
+      "random_regular: edge-switch repair failed (d too large relative to n?)");
+}
+
+Graph thick_path(NodeId groups, NodeId width) {
+  if (groups == 0 || width == 0) throw std::invalid_argument("thick_path: empty");
+  const NodeId n = groups * width;
+  EdgeVec edges;
+  auto id = [width](NodeId g, NodeId i) { return g * width + i; };
+  for (NodeId g = 0; g < groups; ++g) {
+    for (NodeId i = 0; i < width; ++i)
+      for (NodeId j = i + 1; j < width; ++j)
+        edges.emplace_back(id(g, i), id(g, j));
+    if (g + 1 < groups)
+      for (NodeId i = 0; i < width; ++i)
+        edges.emplace_back(id(g, i), id(g + 1, i));
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph thick_cycle(NodeId groups, NodeId width) {
+  if (groups < 3) throw std::invalid_argument("thick_cycle: groups < 3");
+  Graph base = thick_path(groups, width);
+  EdgeVec edges = base.edge_list();
+  auto id = [width](NodeId g, NodeId i) { return g * width + i; };
+  for (NodeId i = 0; i < width; ++i)
+    edges.emplace_back(id(groups - 1, i), id(0, i));
+  return Graph::from_edges(groups * width, edges);
+}
+
+Graph dumbbell(NodeId s, NodeId bridges) {
+  if (s < 2 || bridges == 0 || bridges > s)
+    throw std::invalid_argument("dumbbell: need 1 <= bridges <= s, s >= 2");
+  EdgeVec edges;
+  const NodeId n = 2 * s;
+  for (NodeId u = 0; u < s; ++u)
+    for (NodeId v = u + 1; v < s; ++v) edges.emplace_back(u, v);
+  for (NodeId u = s; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  for (NodeId b = 0; b < bridges; ++b) edges.emplace_back(b, s + b);
+  return Graph::from_edges(n, edges);
+}
+
+Graph clique_path(NodeId groups, NodeId width, NodeId overlap) {
+  if (overlap >= width || groups == 0)
+    throw std::invalid_argument("clique_path: need overlap < width");
+  // Node layout: consecutive cliques share their last/first `overlap` nodes.
+  const NodeId stride = width - overlap;
+  const NodeId n = stride * groups + overlap;
+  std::unordered_set<std::uint64_t> seen;
+  EdgeVec edges;
+  for (NodeId g = 0; g < groups; ++g) {
+    const NodeId base = g * stride;
+    for (NodeId i = 0; i < width; ++i)
+      for (NodeId j = i + 1; j < width; ++j) {
+        const NodeId u = base + i, v = base + j;
+        if (seen.insert(edge_key(u, v)).second) edges.emplace_back(u, v);
+      }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph complete_bipartite(NodeId a, NodeId b) {
+  if (a == 0 || b == 0) throw std::invalid_argument("complete_bipartite: empty side");
+  EdgeVec edges;
+  edges.reserve(static_cast<std::size_t>(a) * b);
+  for (NodeId u = 0; u < a; ++u)
+    for (NodeId v = 0; v < b; ++v) edges.emplace_back(u, a + v);
+  return Graph::from_edges(a + b, edges);
+}
+
+Graph ring_of_cliques(NodeId groups, NodeId width) {
+  if (groups < 3 || width < 2)
+    throw std::invalid_argument("ring_of_cliques: need groups >= 3, width >= 2");
+  EdgeVec edges;
+  auto id = [width](NodeId g, NodeId i) { return g * width + i; };
+  for (NodeId g = 0; g < groups; ++g) {
+    for (NodeId i = 0; i < width; ++i)
+      for (NodeId j = i + 1; j < width; ++j)
+        edges.emplace_back(id(g, i), id(g, j));
+    edges.emplace_back(id(g, width - 1), id((g + 1) % groups, 0));
+  }
+  return Graph::from_edges(groups * width, edges);
+}
+
+Graph margulis_expander(NodeId side) {
+  if (side < 3) throw std::invalid_argument("margulis_expander: side < 3");
+  const NodeId n = side * side;
+  auto id = [side](NodeId x, NodeId y) { return x * side + y; };
+  std::unordered_set<std::uint64_t> seen;
+  EdgeVec edges;
+  for (NodeId x = 0; x < side; ++x)
+    for (NodeId y = 0; y < side; ++y) {
+      const NodeId v = id(x, y);
+      const NodeId targets[4] = {
+          id((x + y) % side, y),            // S1
+          id((x + y + 1) % side, y),        // S1 shifted
+          id(x, (y + x) % side),            // S2
+          id(x, (y + x + 1) % side),        // S2 shifted
+      };
+      for (NodeId w : targets) {
+        if (v == w) continue;
+        NodeId a = v, b = w;
+        if (a > b) std::swap(a, b);
+        const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+        if (seen.insert(key).second) edges.emplace_back(a, b);
+      }
+    }
+  return Graph::from_edges(n, edges);
+}
+
+WeightedGraph with_random_weights(Graph g, Weight lo, Weight hi, Rng& rng) {
+  if (lo < 0 || hi < lo) throw std::invalid_argument("weights: bad range");
+  std::vector<Weight> w(g.edge_count());
+  for (auto& x : w) x = rng.range(lo, hi);
+  return WeightedGraph(std::move(g), std::move(w));
+}
+
+WeightedGraph with_unit_weights(Graph g) {
+  std::vector<Weight> w(g.edge_count(), 1);
+  return WeightedGraph(std::move(g), std::move(w));
+}
+
+}  // namespace fc::gen

@@ -1,0 +1,96 @@
+#pragma once
+// Graph generators for the experiment suite.
+//
+// Families are chosen to cover the parameter regimes of the paper:
+//  * high-connectivity near-regular graphs (random regular, circulant/Harary,
+//    hypercube, Erdős–Rényi above the connectivity threshold) where
+//    λ ≈ δ ≈ average degree — the regime where the fast broadcast wins;
+//  * bottleneck families (thick path/cycle, dumbbell) where λ ≪ δ, used by
+//    the lower-bound experiments (E7, E9, E12) and the λ-oblivious search;
+//  * tiny structured graphs (path, cycle, complete, grid) for exact tests.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
+#include "util/rng.hpp"
+
+namespace fc::gen {
+
+/// Path P_n: 0-1-2-...-(n-1). λ = 1, D = n-1.
+Graph path(NodeId n);
+
+/// Cycle C_n. λ = 2, D = floor(n/2).
+Graph cycle(NodeId n);
+
+/// Complete graph K_n. λ = δ = n-1, D = 1.
+Graph complete(NodeId n);
+
+/// 2D grid (rows x cols), 4-neighbour. λ = 2.
+Graph grid(NodeId rows, NodeId cols);
+
+/// 2D torus (rows x cols), wrap-around 4-neighbour. λ = 4 for rows,cols >= 3.
+Graph torus(NodeId rows, NodeId cols);
+
+/// d-dimensional hypercube on 2^d nodes. λ = δ = d, D = d.
+Graph hypercube(std::uint32_t dim);
+
+/// Circulant graph C_n(1..k): node i adjacent to i±1, ..., i±k (mod n).
+/// 2k-regular, edge connectivity 2k (for n > 2k). The classic Harary-style
+/// maximally connected sparse graph.
+Graph circulant(NodeId n, std::uint32_t k);
+
+/// Harary graph H_{k,n}: k-edge-connected with ceil(nk/2) edges.
+/// Implemented via circulant for even k; odd k adds diametric chords.
+Graph harary(NodeId n, std::uint32_t k);
+
+/// Erdős–Rényi G(n, p) via geometric skipping (O(n + m) expected time).
+Graph erdos_renyi(NodeId n, double p, Rng& rng);
+
+/// Random d-regular simple graph via the pairing model with restarts.
+/// Requires n*d even and d < n. W.h.p. λ = δ = d.
+Graph random_regular(NodeId n, std::uint32_t d, Rng& rng);
+
+/// Thick path: `groups` cliques of `width` nodes in a row; consecutive
+/// cliques joined by a perfect matching. λ = width (the matchings are the
+/// minimum cuts), δ = width (interior) / width-1+1, D ≈ 2*groups.
+/// This is the bottleneck family for experiments E9/E12: δ ≈ λ but the
+/// diameter forces low-diameter trees to be impossible below n/λ.
+Graph thick_path(NodeId groups, NodeId width);
+
+/// Thick cycle: same as thick_path but closed into a ring. Every node has
+/// degree width+1, so λ = min(width+1, 2*width) = width+1 for width >= 2
+/// (isolating one node is cheaper than cutting two matchings).
+Graph thick_cycle(NodeId groups, NodeId width);
+
+/// Dumbbell: two cliques of size `s` joined by `bridges` vertex-disjoint
+/// edges (bridges <= s). λ = bridges while δ = s-1: the canonical λ ≪ δ
+/// family for the λ-oblivious exponential search experiment (E9 in
+/// DESIGN.md's index).
+Graph dumbbell(NodeId s, NodeId bridges);
+
+/// Clique-path: `groups` cliques of `width` nodes where consecutive cliques
+/// share `overlap` nodes. High degree, low connectivity λ = overlap-ish;
+/// used as an additional bottleneck family.
+Graph clique_path(NodeId groups, NodeId width, NodeId overlap);
+
+/// Complete bipartite graph K_{a,b}. λ = min(a, b), D = 2.
+Graph complete_bipartite(NodeId a, NodeId b);
+
+/// Ring of cliques: `groups` cliques of `width` nodes, consecutive cliques
+/// joined by a single edge. λ = 2, δ = width-1: an extreme λ ≪ δ family.
+Graph ring_of_cliques(NodeId groups, NodeId width);
+
+/// Margulis-style 8-regular expander on an s x s torus of n = s^2 nodes
+/// (the four maps (x±y, y), (x, y±x) and their torus shifts). λ = Θ(1)
+/// spectral gap family, δ <= 8; used to stress the decomposition on
+/// constant-degree expanders.
+Graph margulis_expander(NodeId side);
+
+/// Attach uniform random integer weights in [lo, hi] to a graph.
+WeightedGraph with_random_weights(Graph g, Weight lo, Weight hi, Rng& rng);
+
+/// Attach unit weights.
+WeightedGraph with_unit_weights(Graph g);
+
+}  // namespace fc::gen

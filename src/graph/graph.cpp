@@ -1,0 +1,111 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace fc {
+
+Graph Graph::from_edges(NodeId n,
+                        const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  return from_edges(n, std::span<const std::pair<NodeId, NodeId>>(edges));
+}
+
+Graph Graph::from_edges(NodeId n,
+                        std::span<const std::pair<NodeId, NodeId>> edges) {
+  Graph g;
+  g.n_ = n;
+  const auto m = static_cast<EdgeId>(edges.size());
+  g.edge_u_.resize(m);
+  g.edge_v_.resize(m);
+  g.edge_arc_.assign(m, kInvalidArc);
+
+  std::vector<std::uint32_t> deg(n, 0);
+  {
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(edges.size() * 2);
+    for (EdgeId e = 0; e < m; ++e) {
+      auto [u, v] = edges[e];
+      if (u == v) throw std::invalid_argument("Graph: self-loop");
+      if (u >= n || v >= n) throw std::invalid_argument("Graph: endpoint >= n");
+      if (u > v) std::swap(u, v);
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
+      if (!seen.insert(key).second)
+        throw std::invalid_argument("Graph: duplicate edge (simple graphs only)");
+      g.edge_u_[e] = u;
+      g.edge_v_[e] = v;
+      ++deg[u];
+      ++deg[v];
+    }
+  }
+
+  g.offsets_.resize(n + 1);
+  g.offsets_[0] = 0;
+  for (NodeId v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+
+  const ArcId arcs = 2 * m;
+  g.arc_head_.resize(arcs);
+  g.arc_tail_.resize(arcs);
+  g.arc_rev_.resize(arcs);
+  g.arc_edge_.resize(arcs);
+
+  std::vector<ArcId> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    const NodeId u = g.edge_u_[e];
+    const NodeId v = g.edge_v_[e];
+    const ArcId a_uv = cursor[u]++;
+    const ArcId a_vu = cursor[v]++;
+    g.arc_head_[a_uv] = v;
+    g.arc_tail_[a_uv] = u;
+    g.arc_head_[a_vu] = u;
+    g.arc_tail_[a_vu] = v;
+    g.arc_rev_[a_uv] = a_vu;
+    g.arc_rev_[a_vu] = a_uv;
+    g.arc_edge_[a_uv] = e;
+    g.arc_edge_[a_vu] = e;
+    g.edge_arc_[e] = a_uv;
+  }
+  return g;
+}
+
+ArcId Graph::find_arc(NodeId v, NodeId w) const {
+  for (ArcId a = arc_begin(v); a < arc_end(v); ++a)
+    if (arc_head_[a] == w) return a;
+  return kInvalidArc;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edge_list() const {
+  std::vector<std::pair<NodeId, NodeId>> out(edge_count());
+  for (EdgeId e = 0; e < edge_count(); ++e) out[e] = {edge_u_[e], edge_v_[e]};
+  return out;
+}
+
+std::string Graph::describe() const {
+  std::uint32_t dmin = n_ ? degree(0) : 0, dmax = dmin;
+  for (NodeId v = 0; v < n_; ++v) {
+    dmin = std::min(dmin, degree(v));
+    dmax = std::max(dmax, degree(v));
+  }
+  std::ostringstream os;
+  os << "Graph(n=" << n_ << ", m=" << edge_count() << ", deg=[" << dmin << ","
+     << dmax << "])";
+  return os.str();
+}
+
+Subgraph make_subgraph(const Graph& parent, std::span<const EdgeId> keep) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(keep.size());
+  Subgraph out;
+  out.parent_edge.reserve(keep.size());
+  for (EdgeId e : keep) {
+    edges.emplace_back(parent.edge_u(e), parent.edge_v(e));
+    out.parent_edge.push_back(e);
+  }
+  out.graph = Graph::from_edges(parent.node_count(), edges);
+  return out;
+}
+
+}  // namespace fc

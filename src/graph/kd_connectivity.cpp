@@ -1,0 +1,102 @@
+#include "graph/kd_connectivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "graph/properties.hpp"
+
+namespace fc {
+
+namespace {
+
+/// BFS over alive edges only; returns the parent-arc chain to v, empty when
+/// unreachable.
+std::vector<ArcId> shortest_alive_path(const Graph& g,
+                                       const std::vector<std::uint8_t>& alive,
+                                       NodeId u, NodeId v) {
+  std::vector<ArcId> parent_arc(g.node_count(), kInvalidArc);
+  std::vector<std::uint8_t> visited(g.node_count(), 0);
+  std::vector<NodeId> frontier{u}, next;
+  visited[u] = 1;
+  bool found = (u == v);
+  while (!frontier.empty() && !found) {
+    next.clear();
+    for (NodeId x : frontier) {
+      for (ArcId a = g.arc_begin(x); a < g.arc_end(x); ++a) {
+        if (!alive[g.arc_edge(a)]) continue;
+        const NodeId y = g.arc_head(a);
+        if (visited[y]) continue;
+        visited[y] = 1;
+        parent_arc[y] = a;
+        if (y == v) {
+          found = true;
+          break;
+        }
+        next.push_back(y);
+      }
+      if (found) break;
+    }
+    frontier.swap(next);
+  }
+  std::vector<ArcId> chain;
+  if (!found || u == v) return chain;
+  for (NodeId x = v; x != u;) {
+    const ArcId a = parent_arc[x];
+    chain.push_back(a);
+    x = g.arc_tail(a);
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+}  // namespace
+
+BoundedPathPacking greedy_disjoint_paths(const Graph& g, NodeId u, NodeId v,
+                                         std::uint32_t max_length,
+                                         std::uint32_t max_paths) {
+  if (u == v) throw std::invalid_argument("greedy_disjoint_paths: u == v");
+  BoundedPathPacking out;
+  std::vector<std::uint8_t> alive(g.edge_count(), 1);
+  while (out.paths < max_paths) {
+    const auto chain = shortest_alive_path(g, alive, u, v);
+    if (chain.empty() || chain.size() > max_length) break;
+    ++out.paths;
+    out.longest = std::max<std::uint32_t>(out.longest,
+                                          static_cast<std::uint32_t>(chain.size()));
+    std::vector<NodeId> nodes{u};
+    for (ArcId a : chain) {
+      alive[g.arc_edge(a)] = 0;
+      nodes.push_back(g.arc_head(a));
+    }
+    out.witnesses.push_back(std::move(nodes));
+  }
+  return out;
+}
+
+Lemma9Check check_lemma9(const Graph& g, std::uint32_t lambda,
+                         std::uint32_t delta, std::uint32_t pairs, Rng& rng) {
+  Lemma9Check out;
+  if (g.node_count() < 2) return out;
+  out.required_paths = static_cast<double>(lambda) / 5.0;
+  out.allowed_length =
+      16.0 * static_cast<double>(g.node_count()) / std::max(delta, 1u);
+  const auto need =
+      static_cast<std::uint32_t>(std::ceil(out.required_paths));
+  const auto len_cap = static_cast<std::uint32_t>(out.allowed_length);
+  out.min_paths = kUnreached;
+  for (std::uint32_t i = 0; i < pairs; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(g.node_count()));
+    auto v = static_cast<NodeId>(rng.below(g.node_count()));
+    if (u == v) v = (v + 1) % g.node_count();
+    const auto packing = greedy_disjoint_paths(g, u, v, len_cap, need);
+    ++out.pairs_checked;
+    if (packing.paths >= need) ++out.pairs_ok;
+    out.min_paths = std::min(out.min_paths, packing.paths);
+    out.max_length_used = std::max(out.max_length_used, packing.longest);
+  }
+  return out;
+}
+
+}  // namespace fc

@@ -1,0 +1,54 @@
+#pragma once
+// (k, d)-connectivity — the paper's Appendix A machinery.
+//
+// A graph is (k, d)-connected (following CPT20) when every pair of distinct
+// nodes is joined by at least k edge-disjoint paths of length at most d.
+// The paper's Lemma 9 proves every simple graph with edge connectivity λ
+// and minimum degree δ is (λ/5, 16n/δ)-connected, which is the hook into
+// CPT20's centralized low-diameter tree packing (Theorem 10).
+//
+// Exact bounded-length disjoint-path packing is NP-hard for general d, so
+// we provide the standard greedy certificate: repeatedly extract a SHORTEST
+// u-v path and delete its edges. Every extracted path has length <= d or we
+// stop, so the count is a LOWER bound on the (k, d) packing number — enough
+// to verify Lemma 9's guarantee experimentally (if greedy already finds
+// λ/5 short paths, the true packing number can only be larger).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace fc {
+
+struct BoundedPathPacking {
+  std::uint32_t paths = 0;        // edge-disjoint u-v paths of length <= d
+  std::uint32_t longest = 0;      // longest path actually used
+  std::vector<std::vector<NodeId>> witnesses;  // the paths themselves
+};
+
+/// Greedy bounded-length edge-disjoint path packing between u and v.
+/// Stops when no u-v path of length <= max_length remains or max_paths
+/// were extracted.
+BoundedPathPacking greedy_disjoint_paths(const Graph& g, NodeId u, NodeId v,
+                                         std::uint32_t max_length,
+                                         std::uint32_t max_paths);
+
+struct Lemma9Check {
+  std::uint32_t pairs_checked = 0;
+  std::uint32_t pairs_ok = 0;        // pairs meeting the (λ/5, 16n/δ) bound
+  std::uint32_t min_paths = 0;       // worst pair's path count
+  std::uint32_t max_length_used = 0; // longest path any pair needed
+  double required_paths = 0;         // λ/5
+  double allowed_length = 0;         // 16n/δ
+
+  bool holds() const { return pairs_checked > 0 && pairs_ok == pairs_checked; }
+};
+
+/// Empirical Lemma 9 verification: sample `pairs` random node pairs and
+/// check each is joined by >= λ/5 edge-disjoint paths of length <= 16n/δ.
+Lemma9Check check_lemma9(const Graph& g, std::uint32_t lambda,
+                         std::uint32_t delta, std::uint32_t pairs, Rng& rng);
+
+}  // namespace fc

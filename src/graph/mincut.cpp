@@ -1,0 +1,163 @@
+#include "graph/mincut.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/properties.hpp"
+
+namespace fc {
+
+Weight cut_weight(const WeightedGraph& g, const std::vector<bool>& in_s) {
+  Weight total = 0;
+  const Graph& graph = g.graph();
+  for (EdgeId e = 0; e < graph.edge_count(); ++e)
+    if (in_s[graph.edge_u(e)] != in_s[graph.edge_v(e)]) total += g.weight(e);
+  return total;
+}
+
+std::uint64_t cut_size(const Graph& g, const std::vector<bool>& in_s) {
+  std::uint64_t total = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    if (in_s[g.edge_u(e)] != in_s[g.edge_v(e)]) ++total;
+  return total;
+}
+
+Weight stoer_wagner_mincut(const WeightedGraph& g,
+                           std::vector<bool>* out_side) {
+  const NodeId n = g.graph().node_count();
+  if (n < 2) throw std::invalid_argument("stoer_wagner: n < 2");
+  // Dense adjacency; merged supernodes tracked via `group`.
+  std::vector<std::vector<Weight>> w(n, std::vector<Weight>(n, 0));
+  const Graph& graph = g.graph();
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const NodeId u = graph.edge_u(e), v = graph.edge_v(e);
+    w[u][v] += g.weight(e);
+    w[v][u] += g.weight(e);
+  }
+  std::vector<std::vector<NodeId>> group(n);
+  for (NodeId v = 0; v < n; ++v) group[v] = {v};
+  std::vector<NodeId> active(n);
+  std::iota(active.begin(), active.end(), 0);
+
+  Weight best = std::numeric_limits<Weight>::max();
+  std::vector<NodeId> best_side;
+
+  while (active.size() > 1) {
+    // Maximum-adjacency ordering ("minimum cut phase").
+    std::vector<Weight> key(n, 0);
+    std::vector<bool> added(n, false);
+    NodeId prev = kInvalidNode, last = kInvalidNode;
+    for (std::size_t step = 0; step < active.size(); ++step) {
+      NodeId pick = kInvalidNode;
+      for (NodeId v : active)
+        if (!added[v] && (pick == kInvalidNode || key[v] > key[pick]))
+          pick = v;
+      added[pick] = true;
+      prev = last;
+      last = pick;
+      for (NodeId v : active)
+        if (!added[v]) key[v] += w[pick][v];
+    }
+    // Cut-of-the-phase: the last added supernode alone vs the rest.
+    if (key[last] < best) {
+      best = key[last];
+      best_side = group[last];
+    }
+    // Merge last into prev.
+    for (NodeId v : active) {
+      if (v == last || v == prev) continue;
+      w[prev][v] += w[last][v];
+      w[v][prev] += w[v][last];
+    }
+    group[prev].insert(group[prev].end(), group[last].begin(),
+                       group[last].end());
+    active.erase(std::find(active.begin(), active.end(), last));
+  }
+
+  if (out_side) {
+    out_side->assign(n, false);
+    for (NodeId v : best_side) (*out_side)[v] = true;
+  }
+  return best;
+}
+
+std::uint32_t edge_connectivity(const Graph& g) {
+  if (g.node_count() < 2) return 0;
+  if (!is_connected(g)) return 0;
+  WeightedGraph wg(g, std::vector<Weight>(g.edge_count(), 1));
+  return static_cast<std::uint32_t>(stoer_wagner_mincut(wg));
+}
+
+Weight mincut_bruteforce(const WeightedGraph& g) {
+  const NodeId n = g.graph().node_count();
+  if (n < 2 || n > 24) throw std::invalid_argument("mincut_bruteforce: bad n");
+  Weight best = std::numeric_limits<Weight>::max();
+  std::vector<bool> side(n);
+  // Fix node 0 on one side to halve the enumeration.
+  for (std::uint64_t mask = 1; mask < (1ULL << (n - 1)); ++mask) {
+    for (NodeId v = 0; v < n; ++v)
+      side[v] = v > 0 && ((mask >> (v - 1)) & 1);
+    best = std::min(best, cut_weight(g, side));
+  }
+  return best;
+}
+
+std::vector<std::vector<bool>> random_cuts(NodeId n, std::size_t count,
+                                           Rng& rng) {
+  std::vector<std::vector<bool>> cuts;
+  cuts.reserve(count);
+  while (cuts.size() < count) {
+    std::vector<bool> side(n);
+    std::size_t ones = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      side[v] = rng.chance(0.5);
+      ones += side[v];
+    }
+    if (ones == 0 || ones == n) continue;
+    cuts.push_back(std::move(side));
+  }
+  return cuts;
+}
+
+std::uint32_t karger_mincut_estimate(const Graph& g, std::size_t trials,
+                                     Rng& rng) {
+  const NodeId n = g.node_count();
+  if (n < 2) return 0;
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  std::vector<NodeId> parent(n);
+  auto find = [&](NodeId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  const auto edges = g.edge_list();
+  std::vector<EdgeId> order(edges.size());
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::iota(parent.begin(), parent.end(), 0);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = order.size(); i > 1; --i) {
+      const std::size_t j = rng.below(i);
+      std::swap(order[i - 1], order[j]);
+    }
+    NodeId remaining = n;
+    for (EdgeId e : order) {
+      if (remaining <= 2) break;
+      const NodeId a = find(edges[e].first), b = find(edges[e].second);
+      if (a != b) {
+        parent[a] = b;
+        --remaining;
+      }
+    }
+    std::uint32_t crossing = 0;
+    for (const auto& [u, v] : edges)
+      if (find(u) != find(v)) ++crossing;
+    best = std::min(best, crossing);
+  }
+  return best;
+}
+
+}  // namespace fc

@@ -1,0 +1,49 @@
+#pragma once
+// Exact and sampled cut computations.
+//
+// The paper's central parameter is the edge connectivity λ. The generators
+// usually guarantee λ by construction; these routines verify it (tests) and
+// provide ground truth for the cut-approximation experiment (E6).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
+#include "util/rng.hpp"
+
+namespace fc {
+
+/// Weight of the cut (S, V\S) in a weighted graph; S given as a bitmask
+/// membership vector of size n.
+Weight cut_weight(const WeightedGraph& g, const std::vector<bool>& in_s);
+
+/// Number of edges crossing (S, V\S) in an unweighted graph.
+std::uint64_t cut_size(const Graph& g, const std::vector<bool>& in_s);
+
+/// Exact global minimum cut via Stoer–Wagner. O(n^3); use n <= ~600.
+/// Returns the cut weight; if out_side != nullptr, also one side of an
+/// optimal cut. Graph must be connected and have >= 2 nodes.
+Weight stoer_wagner_mincut(const WeightedGraph& g,
+                           std::vector<bool>* out_side = nullptr);
+
+/// Exact edge connectivity of an unweighted graph (Stoer–Wagner with unit
+/// weights). Returns 0 for disconnected graphs.
+std::uint32_t edge_connectivity(const Graph& g);
+
+/// Brute force over all 2^(n-1) cuts; n <= 24. Ground truth for tests.
+Weight mincut_bruteforce(const WeightedGraph& g);
+
+/// Sample `count` random cuts: each is induced by a uniformly random subset
+/// (rejecting empty/full). Returns the membership vectors; used to
+/// spot-check sparsifier quality on graphs too big to enumerate.
+std::vector<std::vector<bool>> random_cuts(NodeId n, std::size_t count,
+                                           Rng& rng);
+
+/// Karger-style contraction min cut estimate: runs `trials` contractions and
+/// returns the best (smallest) cut found. Monte Carlo upper bound on λ;
+/// cheap cross-check on medium graphs where Stoer–Wagner is too slow.
+std::uint32_t karger_mincut_estimate(const Graph& g, std::size_t trials,
+                                     Rng& rng);
+
+}  // namespace fc

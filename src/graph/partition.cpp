@@ -1,0 +1,51 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fc {
+
+std::vector<EdgeId> sample_edges(const Graph& g, double p, Rng& rng) {
+  if (p < 0 || p > 1) throw std::invalid_argument("sample_edges: bad p");
+  std::vector<EdgeId> kept;
+  kept.reserve(static_cast<std::size_t>(p * g.edge_count() * 1.2) + 16);
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    if (rng.chance(p)) kept.push_back(e);
+  return kept;
+}
+
+std::vector<std::uint32_t> edge_colors(const Graph& g, std::uint32_t parts,
+                                       std::uint64_t seed) {
+  if (parts == 0) throw std::invalid_argument("edge_colors: parts == 0");
+  std::vector<std::uint32_t> color(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    // Both endpoints can evaluate this locally: it depends only on the
+    // shared seed and the two node IDs.
+    const std::uint64_t h = mix64(seed, g.edge_u(e), g.edge_v(e));
+    color[e] = static_cast<std::uint32_t>(h % parts);
+  }
+  return color;
+}
+
+EdgePartition random_edge_partition(const Graph& g, std::uint32_t parts,
+                                    std::uint64_t seed) {
+  EdgePartition out;
+  out.color = edge_colors(g, parts, seed);
+  std::vector<std::vector<EdgeId>> buckets(parts);
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    buckets[out.color[e]].push_back(e);
+  out.parts.reserve(parts);
+  for (std::uint32_t i = 0; i < parts; ++i)
+    out.parts.push_back(make_subgraph(g, buckets[i]));
+  return out;
+}
+
+std::uint32_t theorem2_part_count(std::uint32_t lambda, NodeId n, double C) {
+  if (n < 2) return 1;
+  const double denom = C * std::log(static_cast<double>(n));
+  const double parts = static_cast<double>(lambda) / std::max(denom, 1e-9);
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(parts));
+}
+
+}  // namespace fc

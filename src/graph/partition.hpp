@@ -1,0 +1,39 @@
+#pragma once
+// Random edge sampling and the communication-free edge partition that powers
+// the paper's Theorem 2 / Lemma 5.
+//
+// The key point reproduced here: the partition needs NO communication. Each
+// edge {u, v} decides its part locally from (seed, min(u,v), max(u,v)) — in a
+// real network the higher-ID endpoint would evaluate the same hash — so both
+// endpoints agree on the part without exchanging a single message.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace fc {
+
+/// Include each edge independently with probability p (Lemma 5 sampling).
+/// Returns the kept parent EdgeIds in increasing order.
+std::vector<EdgeId> sample_edges(const Graph& g, double p, Rng& rng);
+
+/// Communication-free uniform edge colouring: edge e gets colour
+/// hash(seed, u, v) mod parts. Deterministic in (seed, topology).
+std::vector<std::uint32_t> edge_colors(const Graph& g, std::uint32_t parts,
+                                       std::uint64_t seed);
+
+/// Theorem 2 partition: split G into `parts` edge-disjoint spanning
+/// subgraphs by the colouring above. Subgraph i keeps edges with colour i.
+struct EdgePartition {
+  std::vector<Subgraph> parts;
+  std::vector<std::uint32_t> color;  // parent EdgeId -> part index
+};
+EdgePartition random_edge_partition(const Graph& g, std::uint32_t parts,
+                                    std::uint64_t seed);
+
+/// The number of parts λ' = max(1, floor(λ / (C ln n))) used by Theorem 2.
+std::uint32_t theorem2_part_count(std::uint32_t lambda, NodeId n, double C);
+
+}  // namespace fc

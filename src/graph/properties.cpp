@@ -1,0 +1,182 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace fc {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  std::vector<std::uint32_t> dist(g.node_count(), kUnreached);
+  std::vector<NodeId> frontier{source}, next;
+  dist[source] = 0;
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (NodeId v : frontier)
+      for (NodeId w : g.neighbors(v))
+        if (dist[w] == kUnreached) {
+          dist[w] = level;
+          next.push_back(w);
+        }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+BfsTree bfs_tree(const Graph& g, NodeId source) {
+  BfsTree t;
+  t.source = source;
+  t.parent.assign(g.node_count(), kInvalidNode);
+  t.dist.assign(g.node_count(), kUnreached);
+  std::vector<NodeId> frontier{source}, next;
+  t.dist[source] = 0;
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (NodeId v : frontier)
+      for (NodeId w : g.neighbors(v))
+        if (t.dist[w] == kUnreached) {
+          t.dist[w] = level;
+          t.parent[w] = v;
+          next.push_back(w);
+        }
+    frontier.swap(next);
+  }
+  return t;
+}
+
+std::uint32_t BfsTree::depth() const {
+  std::uint32_t d = 0;
+  for (std::uint32_t x : dist)
+    if (x != kUnreached) d = std::max(d, x);
+  return d;
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId v) {
+  const auto dist = bfs_distances(g, v);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    if (d == kUnreached) return kUnreached;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter_exact(const Graph& g) {
+  std::uint32_t diam = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::uint32_t e = eccentricity(g, v);
+    if (e == kUnreached) return kUnreached;
+    diam = std::max(diam, e);
+  }
+  return diam;
+}
+
+std::uint32_t diameter_double_sweep(const Graph& g) {
+  if (g.node_count() == 0) return 0;
+  auto d0 = bfs_distances(g, 0);
+  NodeId far = 0;
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (d0[v] == kUnreached) return kUnreached;
+    if (d0[v] > best) {
+      best = d0[v];
+      far = v;
+    }
+  }
+  return eccentricity(g, far);
+}
+
+std::vector<std::uint32_t> components(const Graph& g) {
+  std::vector<std::uint32_t> label(g.node_count(), kUnreached);
+  std::uint32_t next_label = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    if (label[s] != kUnreached) continue;
+    label[s] = next_label;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (NodeId w : g.neighbors(v))
+        if (label[w] == kUnreached) {
+          label[w] = next_label;
+          stack.push_back(w);
+        }
+    }
+    ++next_label;
+  }
+  return label;
+}
+
+bool is_connected(const Graph& g) { return component_count(g) <= 1; }
+
+std::uint32_t component_count(const Graph& g) {
+  const auto label = components(g);
+  std::uint32_t max_label = 0;
+  for (std::uint32_t l : label) max_label = std::max(max_label, l + 1);
+  return g.node_count() == 0 ? 0 : max_label;
+}
+
+std::uint32_t min_degree(const Graph& g) {
+  std::uint32_t d = kUnreached;
+  for (NodeId v = 0; v < g.node_count(); ++v) d = std::min(d, g.degree(v));
+  return g.node_count() == 0 ? 0 : d;
+}
+
+std::uint32_t max_degree(const Graph& g) {
+  std::uint32_t d = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) d = std::max(d, g.degree(v));
+  return d;
+}
+
+double average_degree(const Graph& g) {
+  if (g.node_count() == 0) return 0;
+  return 2.0 * static_cast<double>(g.edge_count()) /
+         static_cast<double>(g.node_count());
+}
+
+namespace {
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<NodeId>(i);
+  }
+  NodeId find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(NodeId a, NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+}  // namespace
+
+bool is_spanning_tree(const Graph& g, const std::vector<EdgeId>& edges) {
+  if (g.node_count() == 0) return edges.empty();
+  if (edges.size() != g.node_count() - 1u) return false;
+  UnionFind uf(g.node_count());
+  for (EdgeId e : edges)
+    if (!uf.unite(g.edge_u(e), g.edge_v(e))) return false;
+  return true;
+}
+
+std::vector<std::vector<std::uint32_t>> apsp_exact(const Graph& g) {
+  std::vector<std::vector<std::uint32_t>> out(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) out[v] = bfs_distances(g, v);
+  return out;
+}
+
+}  // namespace fc

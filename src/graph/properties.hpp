@@ -1,0 +1,57 @@
+#pragma once
+// Sequential (non-distributed) graph property computations.
+//
+// These are the *verifiers*: every distributed result in the library is
+// checked against these exact sequential algorithms in tests, and the
+// benchmark harnesses use them as ground truth.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace fc {
+
+inline constexpr std::uint32_t kUnreached = static_cast<std::uint32_t>(-1);
+
+/// BFS distances from `source`; kUnreached for disconnected nodes.
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// BFS tree: parent[v] (kInvalidNode for source/unreached) + distances.
+struct BfsTree {
+  NodeId source = kInvalidNode;
+  std::vector<NodeId> parent;
+  std::vector<std::uint32_t> dist;
+  /// Depth of the tree = max finite distance.
+  std::uint32_t depth() const;
+};
+BfsTree bfs_tree(const Graph& g, NodeId source);
+
+/// Eccentricity of `v` (max distance); kUnreached if graph disconnected.
+std::uint32_t eccentricity(const Graph& g, NodeId v);
+
+/// Exact diameter by all-pairs BFS. O(n m). Returns kUnreached when the
+/// graph is disconnected. Use on small/medium instances only.
+std::uint32_t diameter_exact(const Graph& g);
+
+/// Double-sweep lower bound on the diameter (exact on trees, and within a
+/// factor 2 always). Cheap: two BFS runs. Returns kUnreached if disconnected.
+std::uint32_t diameter_double_sweep(const Graph& g);
+
+/// Connected-component labels in [0, #components).
+std::vector<std::uint32_t> components(const Graph& g);
+bool is_connected(const Graph& g);
+std::uint32_t component_count(const Graph& g);
+
+std::uint32_t min_degree(const Graph& g);
+std::uint32_t max_degree(const Graph& g);
+double average_degree(const Graph& g);
+
+/// True iff `edges` (as parent EdgeIds) form a spanning tree of g's node set.
+bool is_spanning_tree(const Graph& g, const std::vector<EdgeId>& edges);
+
+/// Unweighted all-pairs distances via n BFS runs. O(n m) time, O(n^2) space.
+std::vector<std::vector<std::uint32_t>> apsp_exact(const Graph& g);
+
+}  // namespace fc

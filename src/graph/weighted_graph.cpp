@@ -1,0 +1,51 @@
+#include "graph/weighted_graph.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace fc {
+
+WeightedGraph::WeightedGraph(Graph g, std::vector<Weight> weights)
+    : graph_(std::move(g)), weights_(std::move(weights)) {
+  if (weights_.size() != graph_.edge_count())
+    throw std::invalid_argument("WeightedGraph: weight count != edge count");
+  for (Weight w : weights_)
+    if (w < 0) throw std::invalid_argument("WeightedGraph: negative weight");
+}
+
+Weight WeightedGraph::total_weight() const {
+  Weight sum = 0;
+  for (Weight w : weights_) sum += w;
+  return sum;
+}
+
+std::vector<Weight> dijkstra(const WeightedGraph& g, NodeId source) {
+  const Graph& graph = g.graph();
+  std::vector<Weight> dist(graph.node_count(), kInfWeight);
+  using Item = std::pair<Weight, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d != dist[v]) continue;
+    for (ArcId a = graph.arc_begin(v); a < graph.arc_end(v); ++a) {
+      const NodeId w = graph.arc_head(a);
+      const Weight nd = d + g.arc_weight(a);
+      if (nd < dist[w]) {
+        dist[w] = nd;
+        pq.emplace(nd, w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<Weight>> weighted_apsp_exact(const WeightedGraph& g) {
+  std::vector<std::vector<Weight>> out(g.graph().node_count());
+  for (NodeId v = 0; v < g.graph().node_count(); ++v) out[v] = dijkstra(g, v);
+  return out;
+}
+
+}  // namespace fc

@@ -1,0 +1,43 @@
+#pragma once
+// Weighted overlay on Graph: edge weights live in a parallel array indexed
+// by EdgeId, so all topology code (BFS trees, decompositions, the simulator)
+// is shared between the weighted and unweighted worlds.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace fc {
+
+using Weight = std::int64_t;
+inline constexpr Weight kInfWeight = static_cast<Weight>(1) << 62;
+
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+  WeightedGraph(Graph g, std::vector<Weight> weights);
+
+  const Graph& graph() const { return graph_; }
+  Weight weight(EdgeId e) const { return weights_[e]; }
+  Weight arc_weight(ArcId a) const { return weights_[graph_.arc_edge(a)]; }
+  std::span<const Weight> weights() const { return weights_; }
+
+  /// Sum of all edge weights.
+  Weight total_weight() const;
+
+ private:
+  Graph graph_;
+  std::vector<Weight> weights_;
+};
+
+/// Single-source shortest paths with nonnegative weights (binary heap
+/// Dijkstra). Unreachable nodes get kInfWeight.
+std::vector<Weight> dijkstra(const WeightedGraph& g, NodeId source);
+
+/// Exact weighted APSP by running Dijkstra from every node. O(n m log n);
+/// intended as ground truth for tests and small benchmark instances.
+std::vector<std::vector<Weight>> weighted_apsp_exact(const WeightedGraph& g);
+
+}  // namespace fc

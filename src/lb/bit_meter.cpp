@@ -1,0 +1,55 @@
+#include "lb/bit_meter.hpp"
+
+#include <stdexcept>
+
+namespace fc::lb {
+
+CutTraffic measure_cut_traffic(const Graph& g,
+                               const std::vector<std::uint64_t>& arc_sends,
+                               const std::vector<bool>& in_s,
+                               double bits_per_message) {
+  if (arc_sends.size() != g.arc_count())
+    throw std::invalid_argument("bit_meter: arc_sends size != arc count");
+  if (in_s.size() != g.node_count())
+    throw std::invalid_argument("bit_meter: cut size != node count");
+  CutTraffic out;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (in_s[g.edge_u(e)] == in_s[g.edge_v(e)]) continue;
+    ++out.cut_edges;
+    const auto [a, b] = g.edge_arcs(e);
+    out.messages_crossed += arc_sends[a] + arc_sends[b];
+  }
+  out.bits_crossed =
+      static_cast<double>(out.messages_crossed) * bits_per_message;
+  return out;
+}
+
+InfoBound broadcast_round_floor(std::uint64_t k, double message_bits,
+                                std::uint64_t cut_edges,
+                                double bandwidth_bits) {
+  InfoBound out;
+  if (cut_edges == 0 || bandwidth_bits <= 0) return out;
+  // At least half of the k messages start on one side; their s-bit contents
+  // are independent random bits, so sk/2 bits must cross.
+  out.bits_required = message_bits * static_cast<double>(k) / 2.0;
+  // Each cut edge moves bandwidth_bits per direction per round; only the
+  // direction into the starved side counts.
+  out.capacity_per_round =
+      static_cast<double>(cut_edges) * bandwidth_bits;
+  out.round_floor = out.bits_required / out.capacity_per_round;
+  return out;
+}
+
+InfoBound id_learning_round_floor(NodeId n, std::uint64_t cut_edges,
+                                  double bandwidth_bits, double id_bits) {
+  InfoBound out;
+  if (cut_edges == 0 || bandwidth_bits <= 0) return out;
+  // Half the ids live on the far side of the cut; each carries ~id_bits of
+  // entropy (ids are a random subset of [n^c]).
+  out.bits_required = id_bits * static_cast<double>(n) / 2.0;
+  out.capacity_per_round = static_cast<double>(cut_edges) * bandwidth_bits;
+  out.round_floor = out.bits_required / out.capacity_per_round;
+  return out;
+}
+
+}  // namespace fc::lb

@@ -1,0 +1,50 @@
+#pragma once
+// Information accounting across cuts — the measurement side of the paper's
+// universal lower bounds (Theorems 3 and 8).
+//
+// Theorem 3: broadcasting k random s-bit messages requires Ω(k/λ) rounds on
+// ANY graph, because at least sk/2 bits must cross some minimum cut whose
+// per-round capacity is λ·w bits. The bit meter takes a finished run's
+// per-arc send counts and a cut, reports the messages/bits that actually
+// crossed, and computes the implied information-theoretic round floor —
+// benches then show measured_rounds >= floor on every instance.
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/metrics.hpp"
+#include "graph/graph.hpp"
+
+namespace fc::lb {
+
+struct CutTraffic {
+  std::uint64_t cut_edges = 0;        // |E(S, V\S)|
+  std::uint64_t messages_crossed = 0; // messages over the cut, both ways
+  double bits_crossed = 0;            // messages * bits_per_message
+};
+
+/// Measure the traffic a finished run pushed across the cut (S, V\S).
+CutTraffic measure_cut_traffic(const Graph& g,
+                               const std::vector<std::uint64_t>& arc_sends,
+                               const std::vector<bool>& in_s,
+                               double bits_per_message);
+
+struct InfoBound {
+  double bits_required = 0;       // information that must cross the cut
+  double capacity_per_round = 0;  // cut_edges * bandwidth bits / round
+  double round_floor = 0;         // ceil-free lower bound on rounds
+};
+
+/// Theorem 3 floor: k messages of `message_bits` bits, at least half of
+/// which start on one side of a λ-edge cut with per-edge bandwidth
+/// `bandwidth_bits` per round per direction.
+InfoBound broadcast_round_floor(std::uint64_t k, double message_bits,
+                                std::uint64_t cut_edges,
+                                double bandwidth_bits);
+
+/// Theorem 8 floor: learning the ID list (n random ids from [n^c]) across a
+/// λ-edge cut: Ω(n log n / (λ log n)) = Ω(n/λ) rounds.
+InfoBound id_learning_round_floor(NodeId n, std::uint64_t cut_edges,
+                                  double bandwidth_bits, double id_bits);
+
+}  // namespace fc::lb

@@ -1,0 +1,77 @@
+#include "lb/hard_families.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fc::lb {
+
+Weight Theorem9Instance::true_distance_to(std::size_t clique_index) const {
+  // The only cheap path from v1 to v_{3+i} is v1 -> v2 (weight 1) -> v_i
+  // (weight (2α)^{k_i}); every alternative uses a weight_cap edge.
+  Weight pow = 1;
+  for (std::uint32_t t = 0; t < k_values[clique_index]; ++t)
+    pow *= static_cast<Weight>(2 * alpha);
+  return 1 + pow;
+}
+
+Theorem9Instance build_theorem9_instance(NodeId n, std::uint32_t lambda,
+                                         double alpha, Weight weight_cap,
+                                         std::uint64_t seed) {
+  if (n < lambda + 2)
+    throw std::invalid_argument("theorem9: need n >= lambda + 2");
+  if (alpha < 2) throw std::invalid_argument("theorem9: need alpha >= 2");
+  if (weight_cap < 4) throw std::invalid_argument("theorem9: weight_cap < 4");
+
+  Theorem9Instance out;
+  out.alpha = alpha;
+  // kmax = largest integer with (2α)^kmax < weight_cap.
+  {
+    Weight pow = 1;
+    std::uint32_t kmax = 0;
+    const auto base = static_cast<Weight>(2 * alpha);
+    while (pow * base < weight_cap) {
+      pow *= base;
+      ++kmax;
+    }
+    out.kmax = std::max<std::uint32_t>(kmax, 1);
+  }
+
+  Rng rng(mix64(seed, 0x74686d39ULL));
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<Weight> weights;
+  auto add = [&](NodeId u, NodeId v, Weight w) {
+    edges.emplace_back(u, v);
+    weights.push_back(w);
+  };
+
+  // Nodes: v1 = 0, v2 = 1, clique nodes = 2 .. n-1.
+  add(0, 1, 1);
+  for (NodeId i = 2; i < 2 + lambda - 1 && i < n; ++i) add(0, i, weight_cap);
+  for (NodeId i = 2; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j) add(i, j, weight_cap);
+  out.k_values.resize(n - 2);
+  for (NodeId i = 2; i < n; ++i) {
+    const auto ki =
+        static_cast<std::uint32_t>(1 + rng.below(out.kmax));
+    out.k_values[i - 2] = ki;
+    Weight pow = 1;
+    for (std::uint32_t t = 0; t < ki; ++t) pow *= static_cast<Weight>(2 * alpha);
+    add(1, i, pow);
+  }
+  out.graph = WeightedGraph(Graph::from_edges(n, edges), std::move(weights));
+
+  // v1 must learn (n-2)·log2(kmax) bits through deg(v1) = λ edges.
+  const double bits =
+      static_cast<double>(n - 2) * std::log2(static_cast<double>(out.kmax));
+  out.floor.bits_required = bits;
+  out.floor.capacity_per_round = static_cast<double>(lambda) * 64.0;
+  out.floor.round_floor = bits / out.floor.capacity_per_round;
+  return out;
+}
+
+double tree_packing_diameter_floor(NodeId n, std::uint32_t lambda) {
+  if (lambda == 0) return 0;
+  return static_cast<double>(n) / static_cast<double>(lambda);
+}
+
+}  // namespace fc::lb

@@ -1,0 +1,51 @@
+#pragma once
+// Hard instance constructions for the paper's lower bounds.
+//
+// * Theorem 9's weighted-APSP family, built verbatim from the paper: v1—v2
+//   with weight 1, v1 joined to λ clique nodes with weight n^c, a clique on
+//   {v3..vn} with weight n^c, and v2 joined to every clique node with
+//   weight (2α)^{k_i} for uniformly random k_i ∈ [kmax]. Any α-approximate
+//   APSP forces v1 to learn every k_i exactly, i.e. (n-2)·log2(kmax) bits
+//   through its λ incident edges — an Ω(n/(λ log α)) round floor.
+//
+// * The GK13-flavoured bottleneck family used by the tree-packing diameter
+//   experiment (E12): the thick path/cycle generators in graph/generators
+//   already provide the λ-cut-with-large-distance structure; this header
+//   adds the analytic floor Ω(n/λ) for the diameter of trees in any
+//   low-congestion packing on them.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+#include "lb/bit_meter.hpp"
+#include "util/rng.hpp"
+
+namespace fc::lb {
+
+struct Theorem9Instance {
+  WeightedGraph graph;
+  std::vector<std::uint32_t> k_values;  // k_i for i in [3, n], 0-indexed from v3
+  std::uint32_t kmax = 0;
+  double alpha = 0;
+  /// Bits v1 must learn and the implied round floor through its λ edges.
+  InfoBound floor;
+
+  /// Exact distance d(v1, v_i) for clique node index i (0-based over v3..).
+  Weight true_distance_to(std::size_t clique_index) const;
+};
+
+/// Build the Theorem 9 family: n >= λ + 2, α >= 2. `weight_cap` plays the
+/// role of n^c (the max weight); kmax is the largest integer with
+/// (2α)^kmax < weight_cap.
+Theorem9Instance build_theorem9_instance(NodeId n, std::uint32_t lambda,
+                                         double alpha, Weight weight_cap,
+                                         std::uint64_t seed);
+
+/// The analytic Ω̃(n/λ) floor for the max tree diameter of any packing of
+/// lambda trees with per-edge congestion `congestion` on a graph whose
+/// sparsest cut has `lambda` edges and whose far sides are `distance`
+/// apart (Theorem 13's counting argument, instantiated for thick paths).
+double tree_packing_diameter_floor(NodeId n, std::uint32_t lambda);
+
+}  // namespace fc::lb

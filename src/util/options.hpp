@@ -1,0 +1,30 @@
+#pragma once
+// Minimal CLI option parsing for example binaries: --key=value / --flag.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fc {
+
+class Options {
+ public:
+  Options(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+  /// Positional (non --key) arguments in order.
+  const std::string& positional(std::size_t i) const;
+  std::size_t positional_count() const { return positional_.size(); }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fc

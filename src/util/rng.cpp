@@ -1,0 +1,18 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace fc {
+
+std::uint64_t skip_geometric(Rng& rng, double p, std::uint64_t cap) {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return cap;
+  // Inverse-transform sampling of the geometric distribution: the number of
+  // failures before the first success is floor(log(U)/log(1-p)).
+  const double u = 1.0 - rng.uniform();  // in (0, 1]
+  const double skip = std::floor(std::log(u) / std::log1p(-p));
+  if (!(skip >= 0) || skip >= static_cast<double>(cap)) return cap;
+  return static_cast<std::uint64_t>(skip);
+}
+
+}  // namespace fc

@@ -1,0 +1,112 @@
+#pragma once
+// Deterministic pseudo-random number generation for the whole library.
+//
+// Every source of randomness in fastcast derives from a single 64-bit seed
+// through SplitMix64 stream derivation, so simulations are bit-reproducible
+// across runs and thread counts. The generator itself is xoshiro256**,
+// which is fast, has a 256-bit state and passes BigCrush.
+
+#include <cstdint>
+#include <limits>
+
+namespace fc {
+
+/// SplitMix64 step: used both as a standalone mixer and to seed xoshiro.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of several words into one; used to derive per-(node, round)
+/// streams from a global seed without shared state.
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b = 0,
+                              std::uint64_t c = 0) noexcept {
+  std::uint64_t s = a * 0x9e3779b97f4a7c15ULL + b * 0xc2b2ae3d27d4eb4fULL +
+                    c * 0x165667b19e3779f9ULL + 0x27d4eb2f165667c5ULL;
+  return splitmix64(s);
+}
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Lemire's nearly-divisionless method.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Derive an independent child generator; `stream` selects the substream.
+  Rng fork(std::uint64_t stream) const noexcept {
+    Rng child;
+    child.s_[0] = mix64(s_[0], stream, 0x1d8e4e27c47d124fULL);
+    child.s_[1] = mix64(s_[1], stream, 0xeb44accab455d165ULL);
+    child.s_[2] = mix64(s_[2], stream, 0x9c6e6877736c46e3ULL);
+    child.s_[3] = mix64(s_[3], stream, 0xcf1822ffbc6887abULL);
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+};
+
+/// Geometric-like helper: number of independent p-trials until first success,
+/// capped. Used by sampling-based generators to skip non-edges.
+std::uint64_t skip_geometric(Rng& rng, double p, std::uint64_t cap);
+
+}  // namespace fc

@@ -1,0 +1,113 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace fc {
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0;
+  for (double x : sorted) sum += x;
+  s.mean = sum / static_cast<double>(s.count);
+  double var = 0;
+  for (double x : sorted) var += (x - s.mean) * (x - s.mean);
+  s.stddev = s.count > 1 ? std::sqrt(var / static_cast<double>(s.count - 1)) : 0;
+  s.median = percentile_sorted(sorted, 0.5);
+  s.p90 = percentile_sorted(sorted, 0.9);
+  s.p99 = percentile_sorted(sorted, 0.99);
+  return s;
+}
+
+std::string Summary::str() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << mean << " sd=" << stddev << " min=" << min
+     << " med=" << median << " p90=" << p90 << " max=" << max;
+  return os.str();
+}
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  LinearFit f;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return f;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0) return f;
+  f.slope = (dn * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / dn;
+  const double ss_tot = syy - sy * sy / dn;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = ys[i] - (f.intercept + f.slope * xs[i]);
+    ss_res += e * e;
+  }
+  f.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+LinearFit fit_power_law(std::span<const double> xs, std::span<const double> ys) {
+  std::vector<double> lx, ly;
+  lx.reserve(xs.size());
+  ly.reserve(ys.size());
+  const std::size_t n = std::min(xs.size(), ys.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (xs[i] > 0 && ys[i] > 0) {
+      lx.push_back(std::log(xs[i]));
+      ly.push_back(std::log(ys[i]));
+    }
+  }
+  return fit_line(lx, ly);
+}
+
+double harmonic(std::size_t n) {
+  double h = 0;
+  for (std::size_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+}  // namespace fc

@@ -1,0 +1,55 @@
+#pragma once
+// Small descriptive-statistics helpers used by benchmarks and experiment
+// harnesses (means, percentiles, min/max, linear regression on log-log data).
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fc {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0, max = 0, mean = 0, stddev = 0, median = 0, p90 = 0, p99 = 0;
+  std::string str() const;
+};
+
+/// Descriptive summary of a sample. Does not modify the input.
+Summary summarize(std::span<const double> xs);
+
+/// Percentile with linear interpolation; q in [0, 1]. Sample must be sorted.
+double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Online accumulator (Welford) for streaming settings.
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0, m2_ = 0;
+  double min_ = 0, max_ = 0;
+};
+
+/// Least-squares fit y = a + b x. Returns {a, b}. Requires xs.size() >= 2.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+  double r2 = 0;
+};
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Fit y = c * x^e on positive data via log-log regression; returns {log c, e}.
+LinearFit fit_power_law(std::span<const double> xs, std::span<const double> ys);
+
+/// Harmonic number H_n, used by coupon-collector style bounds in tests.
+double harmonic(std::size_t n);
+
+}  // namespace fc

@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fc {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::num(std::size_t v) { return std::to_string(v); }
+std::string Table::num(long long v) { return std::to_string(v); }
+
+namespace {
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& headers,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> w(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) w[c] = headers[c].size();
+  for (const auto& row : rows)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      w[c] = std::max(w[c], row[c].size());
+  return w;
+}
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  const auto w = column_widths(headers_, rows_);
+  auto hline = [&] {
+    os << '+';
+    for (auto cw : w) os << std::string(cw + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << ' ' << std::setw(static_cast<int>(w[c])) << cells[c] << " |";
+    os << '\n';
+  };
+  hline();
+  line(headers_);
+  hline();
+  for (const auto& row : rows_) line(row);
+  hline();
+}
+
+void Table::print_markdown(std::ostream& os) const {
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (const auto& c : cells) os << ' ' << c << " |";
+    os << '\n';
+  };
+  line(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+}  // namespace fc

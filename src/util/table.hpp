@@ -1,0 +1,38 @@
+#pragma once
+// ASCII table printer used by every benchmark harness to emit the
+// paper-style experiment rows (aligned columns, optional markdown mode).
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; values are already formatted strings.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::size_t v);
+  static std::string num(long long v);
+
+  /// Render with box-drawing alignment.
+  void print(std::ostream& os) const;
+  /// Render as a GitHub-flavoured markdown table.
+  void print_markdown(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fc

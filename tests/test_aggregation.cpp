@@ -1,0 +1,80 @@
+#include "apps/aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fc::apps {
+namespace {
+
+std::vector<AggregateQuery> make_queries(NodeId n, std::size_t count,
+                                         Rng& rng) {
+  std::vector<AggregateQuery> qs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    qs[i].op = static_cast<algo::AggregateOp>(i % 3);
+    qs[i].values.resize(n);
+    for (auto& v : qs[i].values) v = rng.below(1000) + 1;
+  }
+  return qs;
+}
+
+std::uint64_t reference_answer(const AggregateQuery& q) {
+  switch (q.op) {
+    case algo::AggregateOp::kMin:
+      return *std::min_element(q.values.begin(), q.values.end());
+    case algo::AggregateOp::kMax:
+      return *std::max_element(q.values.begin(), q.values.end());
+    case algo::AggregateOp::kSum:
+      return std::accumulate(q.values.begin(), q.values.end(), 0ull);
+  }
+  return 0;
+}
+
+TEST(MultiAggregate, AnswersAreExact) {
+  Rng rng(1);
+  const Graph g = gen::random_regular(128, 32, rng);
+  auto queries = make_queries(128, 12, rng);
+  std::vector<std::uint64_t> expected;
+  for (const auto& q : queries) expected.push_back(reference_answer(q));
+  const auto report = multi_aggregate(g, 32, std::move(queries));
+  EXPECT_EQ(report.results, expected);
+  EXPECT_GE(report.parts, 2u);
+}
+
+TEST(MultiAggregate, ThroughputBeatsSingleTreeForManyQueries) {
+  Rng rng(2);
+  const Graph g = gen::random_regular(256, 64, rng);
+  auto queries = make_queries(256, 32, rng);
+  const auto report = multi_aggregate(g, 64, std::move(queries));
+  // λ' parts answer in parallel: with enough queries the batched cost beats
+  // the one-at-a-time single-tree baseline.
+  EXPECT_LT(report.rounds, report.baseline_rounds)
+      << "parts=" << report.parts;
+}
+
+TEST(MultiAggregate, SingleQueryStillWorks) {
+  Rng rng(3);
+  const Graph g = gen::circulant(60, 5);
+  auto queries = make_queries(60, 1, rng);
+  const auto expected = reference_answer(queries[0]);
+  const auto report = multi_aggregate(g, 10, std::move(queries));
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_EQ(report.results[0], expected);
+}
+
+TEST(MultiAggregate, QueriesSpreadAcrossParts) {
+  Rng rng(4);
+  const Graph g = gen::random_regular(128, 48, rng);
+  auto queries = make_queries(128, 9, rng);
+  const auto report = multi_aggregate(g, 48, std::move(queries));
+  // With q queries over p parts each part gets ceil-ish q/p; the max-part
+  // cost must be well under all-queries-on-one-part.
+  EXPECT_GT(report.parts, 1u);
+  EXPECT_GT(report.rounds, 0u);
+}
+
+}  // namespace
+}  // namespace fc::apps

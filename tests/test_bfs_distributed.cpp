@@ -1,0 +1,120 @@
+#include "algo/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+
+namespace fc::algo {
+namespace {
+
+struct FamilyCase {
+  std::string name;
+  Graph graph;
+};
+
+std::vector<FamilyCase> families() {
+  Rng rng(2024);
+  std::vector<FamilyCase> out;
+  out.push_back({"path16", gen::path(16)});
+  out.push_back({"cycle17", gen::cycle(17)});
+  out.push_back({"grid5x7", gen::grid(5, 7)});
+  out.push_back({"hypercube5", gen::hypercube(5)});
+  out.push_back({"circulant40", gen::circulant(40, 3)});
+  out.push_back({"regular64", gen::random_regular(64, 4, rng)});
+  out.push_back({"er80", gen::erdos_renyi(80, 0.1, rng)});
+  out.push_back({"thick4x5", gen::thick_path(4, 5)});
+  out.push_back({"dumbbell", gen::dumbbell(7, 2)});
+  return out;
+}
+
+class BfsFamilyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BfsFamilyTest, DistancesMatchSequentialBfs) {
+  const auto cases = families();
+  const auto& fc_case = cases[GetParam()];
+  const Graph& g = fc_case.graph;
+  const auto outcome = run_bfs(g, 0);
+  const auto expected = bfs_distances(g, 0);
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    EXPECT_EQ(outcome.tree.depth_of[v], expected[v]) << fc_case.name << " v=" << v;
+}
+
+TEST_P(BfsFamilyTest, RoundsProportionalToDepth) {
+  const auto cases = families();
+  const Graph& g = cases[GetParam()].graph;
+  const auto outcome = run_bfs(g, 0);
+  // Flooding BFS finishes within depth + O(1) rounds (quiescence detection
+  // costs a couple extra).
+  EXPECT_LE(outcome.cost.rounds, static_cast<std::uint64_t>(outcome.tree.depth) + 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, BfsFamilyTest,
+                         ::testing::Range<std::size_t>(0, 9));
+
+TEST(DistributedBfs, TreeStructureIsValid) {
+  Rng rng(5);
+  const Graph g = gen::random_regular(100, 6, rng);
+  const auto outcome = run_bfs(g, 17);
+  const SpanningTree& t = outcome.tree;
+  EXPECT_EQ(t.root, 17u);
+  EXPECT_EQ(t.covered, g.node_count());
+  EXPECT_TRUE(is_spanning_tree(g, t.tree_edges(g)));
+  // Parent arcs leave the child and land one level up.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == t.root) continue;
+    const ArcId pa = t.parent_arc[v];
+    ASSERT_NE(pa, kInvalidArc);
+    EXPECT_EQ(g.arc_tail(pa), v);
+    EXPECT_EQ(t.depth_of[g.arc_head(pa)] + 1, t.depth_of[v]);
+  }
+  // Child arcs mirror parent arcs.
+  std::size_t child_count = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (ArcId c : t.child_arcs[v]) {
+      EXPECT_EQ(g.arc_tail(c), v);
+      EXPECT_EQ(t.parent_arc[g.arc_head(c)], g.arc_reverse(c));
+    }
+    child_count += t.child_arcs[v].size();
+  }
+  EXPECT_EQ(child_count, g.node_count() - 1u);
+}
+
+TEST(DistributedBfs, DisconnectedCoversOnlyComponent) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}});
+  const auto outcome = run_bfs(g, 0);
+  EXPECT_EQ(outcome.tree.covered, 3u);
+  EXPECT_EQ(outcome.tree.depth_of[3], kUnreached);
+  EXPECT_EQ(outcome.tree.depth_of[5], kUnreached);
+  EXPECT_TRUE(outcome.cost.finished);  // quiescence detected
+}
+
+TEST(DistributedBfs, SingleNode) {
+  const Graph g = Graph::from_edges(1, std::vector<std::pair<NodeId, NodeId>>{});
+  const auto outcome = run_bfs(g, 0);
+  EXPECT_EQ(outcome.tree.covered, 1u);
+  EXPECT_EQ(outcome.tree.depth, 0u);
+}
+
+TEST(DistributedBfs, DepthEqualsEccentricity) {
+  const Graph g = gen::grid(6, 6);
+  const auto outcome = run_bfs(g, 0);
+  EXPECT_EQ(outcome.tree.depth, eccentricity(g, 0));
+}
+
+TEST(DistributedBfs, MessageCountLinearInEdges) {
+  const Graph g = gen::hypercube(6);
+  const auto outcome = run_bfs(g, 0);
+  // Each node announces once on (almost) all incident arcs: <= 2m messages.
+  EXPECT_LE(outcome.cost.messages, 2ull * g.arc_count());
+  EXPECT_GE(outcome.cost.messages, g.edge_count());
+}
+
+TEST(DistributedBfs, BadRootThrows) {
+  const Graph g = gen::path(3);
+  EXPECT_THROW(DistributedBfs(g, 7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fc::algo

@@ -1,0 +1,87 @@
+#include "lb/bit_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/pipeline_broadcast.hpp"
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fc::lb {
+namespace {
+
+TEST(BitMeter, CountsCutEdgesAndTraffic) {
+  const Graph g = gen::path(4);  // edges 0-1, 1-2, 2-3
+  std::vector<std::uint64_t> arc_sends(g.arc_count(), 0);
+  // Put 5 sends on the arc 1->2 and 2 on 2->1.
+  const ArcId a = g.find_arc(1, 2);
+  arc_sends[a] = 5;
+  arc_sends[g.arc_reverse(a)] = 2;
+  std::vector<bool> side{true, true, false, false};  // cut at edge 1-2
+  const auto t = measure_cut_traffic(g, arc_sends, side, 64.0);
+  EXPECT_EQ(t.cut_edges, 1u);
+  EXPECT_EQ(t.messages_crossed, 7u);
+  EXPECT_DOUBLE_EQ(t.bits_crossed, 7 * 64.0);
+}
+
+TEST(BitMeter, IgnoresInternalTraffic) {
+  const Graph g = gen::path(4);
+  std::vector<std::uint64_t> arc_sends(g.arc_count(), 3);
+  std::vector<bool> side{true, true, false, false};
+  const auto t = measure_cut_traffic(g, arc_sends, side, 1.0);
+  EXPECT_EQ(t.messages_crossed, 6u);  // only arcs of edge 1-2
+}
+
+TEST(BitMeter, RejectsSizeMismatch) {
+  const Graph g = gen::path(3);
+  EXPECT_THROW(measure_cut_traffic(g, {0}, {true, false, false}, 1),
+               std::invalid_argument);
+  std::vector<std::uint64_t> sends(g.arc_count(), 0);
+  EXPECT_THROW(measure_cut_traffic(g, sends, {true}, 1), std::invalid_argument);
+}
+
+TEST(RoundFloor, Theorem3Formula) {
+  // k=100 messages of 64 bits across a 5-edge cut with 64-bit bandwidth:
+  // bits_required = 3200, capacity = 320/round -> floor = 10 = k/(2λ).
+  const auto b = broadcast_round_floor(100, 64, 5, 64);
+  EXPECT_DOUBLE_EQ(b.bits_required, 3200.0);
+  EXPECT_DOUBLE_EQ(b.round_floor, 10.0);
+}
+
+TEST(RoundFloor, DegenerateCut) {
+  const auto b = broadcast_round_floor(10, 64, 0, 64);
+  EXPECT_EQ(b.round_floor, 0.0);
+}
+
+TEST(RoundFloor, Theorem8Formula) {
+  // n ids of ~log2(n^c) bits over λ edges: floor = n*id_bits/(2 λ w).
+  const auto b = id_learning_round_floor(1000, 10, 64, 64);
+  EXPECT_DOUBLE_EQ(b.round_floor, 1000.0 * 64 / 2 / (10 * 64));
+}
+
+TEST(BitMeter, RealBroadcastRespectsFloor) {
+  // Broadcast k messages that all start on one side of a dumbbell; the
+  // measured run must (a) push >= k messages across the bridge cut and
+  // (b) take at least k/λ rounds.
+  Rng rng(1);
+  const Graph g = gen::dumbbell(12, 2);
+  const std::uint64_t k = 40;
+  std::vector<algo::PlacedMessage> msgs;
+  for (std::uint64_t i = 0; i < k; ++i)
+    msgs.push_back({static_cast<NodeId>(rng.below(12)), i, rng()});
+  const auto bfs = algo::run_bfs(g, 0);
+  congest::Network net(g);
+  algo::PipelineBroadcast alg(g, bfs.tree, msgs);
+  const auto res = net.run(alg);
+  ASSERT_TRUE(res.finished);
+
+  std::vector<bool> side(24, false);
+  for (NodeId v = 0; v < 12; ++v) side[v] = true;
+  const auto t = measure_cut_traffic(g, res.arc_sends, side, 64);
+  EXPECT_GE(t.messages_crossed, k);  // every message must reach the far side
+  const auto floor = broadcast_round_floor(k, 64, t.cut_edges, 64);
+  EXPECT_GE(static_cast<double>(res.rounds), floor.round_floor);
+}
+
+}  // namespace
+}  // namespace fc::lb

@@ -1,0 +1,81 @@
+#include "apps/cluster_apsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/mincut.hpp"
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+
+namespace fc::apps {
+namespace {
+
+void expect_32_approximation(const Graph& g, const ClusterApspReport& report) {
+  const auto exact = apsp_exact(g);
+  for (NodeId u = 0; u < g.node_count(); ++u)
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const std::uint32_t est = report.estimate(u, v);
+      if (u == v) {
+        EXPECT_EQ(est, 0u);
+        continue;
+      }
+      // Lemma 7: d <= d' <= 3d + 2.
+      EXPECT_GE(est, exact[u][v]) << "u=" << u << " v=" << v;
+      EXPECT_LE(est, 3 * exact[u][v] + 2) << "u=" << u << " v=" << v;
+    }
+}
+
+TEST(ClusterApsp, Theorem4GuaranteeOnRandomRegular) {
+  Rng rng(1);
+  const Graph g = gen::random_regular(96, 16, rng);
+  const auto report = approximate_apsp_unweighted(g, 16);
+  expect_32_approximation(g, report);
+}
+
+TEST(ClusterApsp, Theorem4GuaranteeOnCirculant) {
+  const Graph g = gen::circulant(80, 6);
+  const auto report = approximate_apsp_unweighted(g, 12);
+  expect_32_approximation(g, report);
+}
+
+TEST(ClusterApsp, Theorem4GuaranteeOnHypercube) {
+  const Graph g = gen::hypercube(6);
+  const auto report = approximate_apsp_unweighted(g, 6);
+  expect_32_approximation(g, report);
+}
+
+TEST(ClusterApsp, RoundAccountingIsConsistent) {
+  Rng rng(2);
+  const Graph g = gen::random_regular(64, 16, rng);
+  const auto report = approximate_apsp_unweighted(g, 16);
+  EXPECT_EQ(report.total_rounds,
+            report.rounds_clustering + report.rounds_gather +
+                report.rounds_prt12 + report.rounds_row_downcast +
+                report.rounds_broadcast_s);
+  EXPECT_GT(report.rounds_prt12, 0u);
+  EXPECT_TRUE(report.broadcast_report.complete);
+}
+
+TEST(ClusterApsp, FewClustersOnDenseGraph) {
+  // δ = n-1 on a clique: p ~ (c ln n)/n, so O(log n) clusters and the
+  // cluster graph is tiny.
+  const Graph g = gen::complete(64);
+  const auto report = approximate_apsp_unweighted(g, 63);
+  EXPECT_LE(report.clustering.cluster_count(), 32u);
+  expect_32_approximation(g, report);
+}
+
+TEST(ClusterApsp, CollisionFreeSimulation) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(80, 10, rng);
+  const auto report = approximate_apsp_unweighted(g, 10);
+  EXPECT_TRUE(report.cluster_apsp.collision_free);
+}
+
+TEST(ClusterApsp, DisconnectedThrows) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(approximate_apsp_unweighted(g, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fc::apps

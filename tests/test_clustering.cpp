@@ -1,0 +1,131 @@
+#include "apps/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+
+namespace fc::apps {
+namespace {
+
+TEST(Clustering, EveryNodeHasACenterNeighbourOrSelf) {
+  Rng rng(1);
+  const Graph g = gen::random_regular(200, 20, rng);
+  const auto c = build_clustering(g, 20);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const NodeId s = c.s[v];
+    EXPECT_TRUE(s == v || g.has_edge(v, s)) << "v=" << v;
+    EXPECT_EQ(c.centers[c.cluster_of[v]], s);
+  }
+}
+
+TEST(Clustering, ClusterRadiusOne) {
+  Rng rng(2);
+  const Graph g = gen::random_regular(150, 12, rng);
+  const auto c = build_clustering(g, 12);
+  // Every node is at distance <= 1 from its center, so cluster diameter <= 2.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (c.s[v] != v) {
+      EXPECT_TRUE(g.has_edge(v, c.s[v]));
+    }
+  }
+}
+
+TEST(Clustering, ClusterCountNearNLogNOverDelta) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(300, 30, rng);
+  ClusteringOptions opts;
+  opts.c = 3.0;
+  const auto c = build_clustering(g, 30, opts);
+  const double expected =
+      opts.c * std::log(300.0) / 30.0 * 300.0;  // p * n
+  EXPECT_GT(c.cluster_count(), expected * 0.5);
+  EXPECT_LT(c.cluster_count(), expected * 2.0);
+  EXPECT_EQ(c.self_promoted, 0u);  // w.h.p. regime
+}
+
+TEST(Clustering, CentersAreTheirOwnCenters) {
+  Rng rng(4);
+  const Graph g = gen::circulant(100, 8);
+  const auto c = build_clustering(g, 16);
+  for (std::uint32_t i = 0; i < c.cluster_count(); ++i) {
+    const NodeId ctr = c.centers[i];
+    EXPECT_EQ(c.s[ctr], ctr);
+    EXPECT_EQ(c.cluster_of[ctr], i);
+  }
+}
+
+TEST(Clustering, ClusterGraphEdgesReflectGraphEdges) {
+  Rng rng(5);
+  const Graph g = gen::random_regular(120, 10, rng);
+  const auto c = build_clustering(g, 10);
+  // Every Gc edge must come from some G edge between the two clusters.
+  const Graph& gc = c.cluster_graph;
+  for (EdgeId e = 0; e < gc.edge_count(); ++e) {
+    bool found = false;
+    for (EdgeId ge = 0; ge < g.edge_count() && !found; ++ge) {
+      const std::uint32_t a = c.cluster_of[g.edge_u(ge)];
+      const std::uint32_t b = c.cluster_of[g.edge_v(ge)];
+      found = (std::min(a, b) == gc.edge_u(e) && std::max(a, b) == gc.edge_v(e));
+    }
+    EXPECT_TRUE(found) << "Gc edge " << e << " has no witness";
+  }
+  // And conversely every inter-cluster G edge appears in Gc.
+  for (EdgeId ge = 0; ge < g.edge_count(); ++ge) {
+    const std::uint32_t a = c.cluster_of[g.edge_u(ge)];
+    const std::uint32_t b = c.cluster_of[g.edge_v(ge)];
+    if (a != b) {
+      EXPECT_TRUE(gc.has_edge(a, b));
+    }
+  }
+}
+
+TEST(Clustering, ConnectedGraphGivesConnectedClusterGraph) {
+  Rng rng(6);
+  const Graph g = gen::random_regular(100, 8, rng);
+  const auto c = build_clustering(g, 8);
+  if (c.cluster_count() > 1) {
+    EXPECT_TRUE(is_connected(c.cluster_graph));
+  }
+}
+
+TEST(Clustering, SelfPromotionOnSparseSampling) {
+  // With a tiny constant c the sampling leaves nodes uncovered; the
+  // fallback must still produce a valid clustering.
+  const Graph g = gen::cycle(50);
+  ClusteringOptions opts;
+  opts.c = 0.05;
+  const auto c = build_clustering(g, 2, opts);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const NodeId s = c.s[v];
+    EXPECT_TRUE(s == v || g.has_edge(v, s));
+  }
+}
+
+TEST(Clustering, TwoRoundProtocol) {
+  Rng rng(7);
+  const Graph g = gen::circulant(60, 4);
+  const auto c = build_clustering(g, 8);
+  EXPECT_LE(c.rounds, 4u);
+}
+
+TEST(Clustering, DeterministicInSeed) {
+  const Graph g = gen::circulant(80, 6);
+  ClusteringOptions opts;
+  opts.seed = 123;
+  const auto c1 = build_clustering(g, 12, opts);
+  const auto c2 = build_clustering(g, 12, opts);
+  EXPECT_EQ(c1.s, c2.s);
+  EXPECT_EQ(c1.centers, c2.centers);
+}
+
+TEST(Clustering, RejectsBadArguments) {
+  const Graph g = gen::cycle(5);
+  EXPECT_THROW(build_clustering(g, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fc::apps

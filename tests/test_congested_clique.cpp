@@ -1,0 +1,48 @@
+#include "apps/congested_clique.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fc::apps {
+namespace {
+
+TEST(CongestedClique, OneRoundSimulationCompletes) {
+  Rng rng(1);
+  const Graph g = gen::random_regular(128, 32, rng);
+  std::vector<std::uint64_t> inputs(128);
+  for (auto& x : inputs) x = rng();
+  const auto report = simulate_bcc_round(g, 32, inputs);
+  EXPECT_TRUE(report.broadcast_report.complete);
+  EXPECT_EQ(report.broadcast_report.k, 128u);
+}
+
+TEST(CongestedClique, RoundsScaleWithInverseLambda) {
+  // Õ(n/λ): doubling λ should not increase rounds (same n).
+  Rng rng(2);
+  const Graph lo = gen::random_regular(128, 16, rng);
+  const Graph hi = gen::random_regular(128, 64, rng);
+  std::vector<std::uint64_t> inputs(128, 7);
+  core::FastBroadcastOptions opts;
+  const auto rlo = simulate_bcc_round(lo, 16, inputs, opts);
+  const auto rhi = simulate_bcc_round(hi, 64, inputs, opts);
+  EXPECT_LT(rhi.rounds, rlo.rounds);
+}
+
+TEST(CongestedClique, RequiresOneInputPerNode) {
+  const Graph g = gen::cycle(6);
+  EXPECT_THROW(simulate_bcc_round(g, 2, std::vector<std::uint64_t>(5)),
+               std::invalid_argument);
+}
+
+TEST(CongestedClique, InputsPreserved) {
+  const Graph g = gen::circulant(40, 4);
+  std::vector<std::uint64_t> inputs(40);
+  for (NodeId v = 0; v < 40; ++v) inputs[v] = v * v;
+  const auto report = simulate_bcc_round(g, 8, inputs);
+  EXPECT_EQ(report.inputs, inputs);
+}
+
+}  // namespace
+}  // namespace fc::apps

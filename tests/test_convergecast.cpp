@@ -1,0 +1,119 @@
+#include "algo/convergecast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algo/learn_parameters.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fc::algo {
+namespace {
+
+SpanningTree tree_of(const Graph& g, NodeId root) {
+  return run_bfs(g, root).tree;
+}
+
+TEST(Convergecast, SumOverPath) {
+  const Graph g = gen::path(10);
+  const auto t = tree_of(g, 0);
+  std::vector<std::uint64_t> vals(10);
+  std::iota(vals.begin(), vals.end(), 1);  // 1..10
+  congest::Network net(g);
+  Convergecast alg(g, t, AggregateOp::kSum, vals);
+  const auto res = net.run(alg);
+  EXPECT_TRUE(res.finished);
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_TRUE(alg.has_result(v));
+    EXPECT_EQ(alg.result(v), 55u);
+  }
+}
+
+TEST(Convergecast, MinAndMax) {
+  Rng rng(4);
+  const Graph g = gen::random_regular(50, 4, rng);
+  const auto t = tree_of(g, 3);
+  std::vector<std::uint64_t> vals(50);
+  for (auto& v : vals) v = rng.below(1000) + 1;
+  const std::uint64_t lo = *std::min_element(vals.begin(), vals.end());
+  const std::uint64_t hi = *std::max_element(vals.begin(), vals.end());
+
+  {
+    congest::Network net(g);
+    Convergecast alg(g, t, AggregateOp::kMin, vals);
+    net.run(alg);
+    EXPECT_EQ(alg.result(0), lo);
+  }
+  {
+    congest::Network net(g);
+    Convergecast alg(g, t, AggregateOp::kMax, vals);
+    net.run(alg);
+    EXPECT_EQ(alg.result(49), hi);
+  }
+}
+
+TEST(Convergecast, RoundsAtMostTwiceDepthPlusSlack) {
+  const Graph g = gen::grid(8, 8);
+  const auto t = tree_of(g, 0);
+  congest::Network net(g);
+  Convergecast alg(g, t, AggregateOp::kSum,
+                   std::vector<std::uint64_t>(64, 1));
+  const auto res = net.run(alg);
+  EXPECT_LE(res.rounds, 2ull * t.depth + 4);
+}
+
+TEST(Convergecast, SingleNodeTree) {
+  const Graph g = Graph::from_edges(1, std::vector<std::pair<NodeId, NodeId>>{});
+  const auto t = tree_of(g, 0);
+  congest::Network net(g);
+  Convergecast alg(g, t, AggregateOp::kSum, {42});
+  const auto res = net.run(alg);
+  EXPECT_TRUE(res.finished);
+  EXPECT_EQ(alg.result(0), 42u);
+}
+
+TEST(Convergecast, RejectsNonSpanningTree) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  SpanningTree t = tree_of(g, 0);
+  t.covered = 3;  // simulate a tree that missed a node
+  EXPECT_THROW(Convergecast(g, t, AggregateOp::kSum,
+                            std::vector<std::uint64_t>(4, 0)),
+               std::invalid_argument);
+}
+
+TEST(Convergecast, RejectsWrongValueCount) {
+  const Graph g = gen::path(4);
+  const auto t = tree_of(g, 0);
+  EXPECT_THROW(
+      Convergecast(g, t, AggregateOp::kSum, std::vector<std::uint64_t>(3, 0)),
+      std::invalid_argument);
+}
+
+TEST(AggregateOverTree, WrapperReturnsRootValue) {
+  const Graph g = gen::cycle(12);
+  const auto t = tree_of(g, 5);
+  std::vector<std::uint64_t> vals(12, 2);
+  const auto out = aggregate_over_tree(g, t, AggregateOp::kSum, vals);
+  EXPECT_EQ(out.value, 24u);
+  EXPECT_GT(out.rounds, 0u);
+}
+
+TEST(LearnParameters, MatchesDirectComputation) {
+  Rng rng(6);
+  const Graph g = gen::random_regular(60, 6, rng);
+  const auto learned = learn_parameters(g, 0);
+  EXPECT_EQ(learned.min_degree, 6u);
+  EXPECT_EQ(learned.node_count, 60u);
+  EXPECT_GT(learned.rounds, 0u);
+}
+
+TEST(LearnParameters, IrregularGraph) {
+  const Graph g = gen::dumbbell(6, 2);
+  const auto learned = learn_parameters(g, 3);
+  EXPECT_EQ(learned.min_degree, 5u);  // clique node of degree 5
+  EXPECT_EQ(learned.node_count, 12u);
+}
+
+}  // namespace
+}  // namespace fc::algo

@@ -1,0 +1,58 @@
+#include "apps/cuts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/mincut.hpp"
+#include "util/rng.hpp"
+
+namespace fc::apps {
+namespace {
+
+TEST(CutsApp, Theorem7EndToEnd) {
+  Rng rng(1);
+  const Graph g = gen::random_regular(128, 32, rng);
+  const double eps = 0.4;
+  CutApproxOptions opts;
+  opts.sparsifier.c = 6.0;
+  const auto report = approximate_all_cuts(g, 32, eps, opts);
+  EXPECT_TRUE(report.broadcast_report.complete);
+  EXPECT_GT(report.total_rounds, 0u);
+  const auto cuts = random_cuts(128, 100, rng);
+  for (const auto& side : cuts) {
+    const double truth = static_cast<double>(cut_size(g, side));
+    const double est = report.estimate_cut(g, side);
+    EXPECT_GE(est, (1 - eps) * truth);
+    EXPECT_LE(est, (1 + eps) * truth);
+  }
+}
+
+TEST(CutsApp, MinimumCutIsPreserved) {
+  // The sparsifier must keep the dumbbell's bridge cut accurate: with p = 1
+  // (λ small) the estimate is exact.
+  const Graph g = gen::dumbbell(10, 3);
+  const auto report = approximate_all_cuts(g, 3, 0.5);
+  std::vector<bool> side(20, false);
+  for (NodeId v = 0; v < 10; ++v) side[v] = true;
+  EXPECT_DOUBLE_EQ(report.estimate_cut(g, side), 3.0);
+}
+
+TEST(CutsApp, BroadcastCarriesOneMessagePerSampledEdge) {
+  Rng rng(2);
+  const Graph g = gen::random_regular(96, 24, rng);
+  const auto report = approximate_all_cuts(g, 24, 0.5);
+  EXPECT_EQ(report.broadcast_report.k, report.sparsifier.size());
+}
+
+TEST(CutsApp, RoundsShrinkWithLooserEpsilon) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(128, 48, rng);
+  CutApproxOptions opts;
+  opts.sparsifier.c = 2.0;
+  const auto tight = approximate_all_cuts(g, 48, 0.2, opts);
+  const auto loose = approximate_all_cuts(g, 48, 0.9, opts);
+  EXPECT_LE(loose.sparsifier.size(), tight.sparsifier.size());
+}
+
+}  // namespace
+}  // namespace fc::apps

@@ -1,0 +1,195 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/mincut.hpp"
+#include "graph/properties.hpp"
+
+namespace fc {
+namespace {
+
+TEST(Path, Shape) {
+  const Graph g = gen::path(5);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(diameter_exact(g), 4u);
+  EXPECT_EQ(min_degree(g), 1u);
+  EXPECT_EQ(edge_connectivity(g), 1u);
+}
+
+TEST(Cycle, Shape) {
+  const Graph g = gen::cycle(8);
+  EXPECT_EQ(g.edge_count(), 8u);
+  EXPECT_EQ(diameter_exact(g), 4u);
+  EXPECT_EQ(edge_connectivity(g), 2u);
+}
+
+TEST(Complete, Shape) {
+  const Graph g = gen::complete(7);
+  EXPECT_EQ(g.edge_count(), 21u);
+  EXPECT_EQ(diameter_exact(g), 1u);
+  EXPECT_EQ(edge_connectivity(g), 6u);
+}
+
+TEST(Grid, Shape) {
+  const Graph g = gen::grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 3u * 3 + 2u * 4);
+  EXPECT_EQ(diameter_exact(g), 5u);
+  EXPECT_EQ(edge_connectivity(g), 2u);
+}
+
+TEST(Torus, Shape) {
+  const Graph g = gen::torus(4, 5);
+  EXPECT_EQ(g.node_count(), 20u);
+  EXPECT_EQ(g.edge_count(), 40u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(min_degree(g), 4u);
+  EXPECT_EQ(edge_connectivity(g), 4u);
+}
+
+TEST(Hypercube, Shape) {
+  for (std::uint32_t d = 1; d <= 6; ++d) {
+    const Graph g = gen::hypercube(d);
+    EXPECT_EQ(g.node_count(), NodeId{1} << d);
+    EXPECT_EQ(min_degree(g), d);
+    EXPECT_EQ(max_degree(g), d);
+    EXPECT_EQ(diameter_exact(g), d);
+  }
+  EXPECT_EQ(edge_connectivity(gen::hypercube(4)), 4u);
+}
+
+TEST(Circulant, RegularAndMaximallyConnected) {
+  const Graph g = gen::circulant(20, 3);
+  EXPECT_EQ(min_degree(g), 6u);
+  EXPECT_EQ(max_degree(g), 6u);
+  EXPECT_EQ(edge_connectivity(g), 6u);
+}
+
+TEST(Circulant, RejectsTooSmallN) {
+  EXPECT_THROW(gen::circulant(6, 3), std::invalid_argument);
+}
+
+TEST(Harary, EvenK) {
+  const Graph g = gen::harary(15, 4);
+  EXPECT_EQ(min_degree(g), 4u);
+  EXPECT_EQ(edge_connectivity(g), 4u);
+}
+
+TEST(Harary, OddK) {
+  const Graph g = gen::harary(16, 5);
+  EXPECT_EQ(min_degree(g), 5u);
+  EXPECT_EQ(edge_connectivity(g), 5u);
+}
+
+TEST(Harary, OddKOddNRejected) {
+  EXPECT_THROW(gen::harary(15, 5), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, EdgeCountConcentrates) {
+  Rng rng(7);
+  const NodeId n = 200;
+  const double p = 0.1;
+  const Graph g = gen::erdos_renyi(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_GT(g.edge_count(), expected * 0.8);
+  EXPECT_LT(g.edge_count(), expected * 1.2);
+}
+
+TEST(ErdosRenyi, ExtremeProbabilities) {
+  Rng rng(8);
+  EXPECT_EQ(gen::erdos_renyi(30, 0.0, rng).edge_count(), 0u);
+  EXPECT_EQ(gen::erdos_renyi(30, 1.0, rng).edge_count(), 30u * 29 / 2);
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  Rng a(5), b(5);
+  const Graph g1 = gen::erdos_renyi(50, 0.2, a);
+  const Graph g2 = gen::erdos_renyi(50, 0.2, b);
+  EXPECT_EQ(g1.edge_list(), g2.edge_list());
+}
+
+class RandomRegularTest : public ::testing::TestWithParam<std::pair<NodeId, std::uint32_t>> {};
+
+TEST_P(RandomRegularTest, IsSimpleAndRegular) {
+  auto [n, d] = GetParam();
+  Rng rng(mix64(n, d));
+  const Graph g = gen::random_regular(n, d, rng);
+  EXPECT_EQ(g.node_count(), n);
+  EXPECT_EQ(min_degree(g), d);
+  EXPECT_EQ(max_degree(g), d);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RandomRegularTest,
+    ::testing::Values(std::pair<NodeId, std::uint32_t>{16, 3},
+                      std::pair<NodeId, std::uint32_t>{64, 4},
+                      std::pair<NodeId, std::uint32_t>{100, 8},
+                      std::pair<NodeId, std::uint32_t>{128, 16},
+                      std::pair<NodeId, std::uint32_t>{256, 12}));
+
+TEST(RandomRegular, ConnectivityEqualsDegreeWhp) {
+  Rng rng(77);
+  const Graph g = gen::random_regular(80, 6, rng);
+  EXPECT_EQ(edge_connectivity(g), 6u);
+}
+
+TEST(RandomRegular, RejectsOddTotalDegree) {
+  Rng rng(1);
+  EXPECT_THROW(gen::random_regular(5, 3, rng), std::invalid_argument);
+  EXPECT_THROW(gen::random_regular(4, 4, rng), std::invalid_argument);
+}
+
+TEST(ThickPath, BottleneckConnectivity) {
+  const Graph g = gen::thick_path(5, 4);
+  EXPECT_EQ(g.node_count(), 20u);
+  EXPECT_TRUE(is_connected(g));
+  // The matching between adjacent cliques is the minimum cut.
+  EXPECT_EQ(edge_connectivity(g), 4u);
+  EXPECT_EQ(min_degree(g), 4u);  // interior: 3 clique + 2 matching, ends: 3+1
+}
+
+TEST(ThickCycle, ConnectivityIsWidthPlusOne) {
+  const Graph g = gen::thick_cycle(6, 3);
+  EXPECT_TRUE(is_connected(g));
+  // Every node has degree width+1 = 4, which beats the 2*width = 6 edge
+  // two-matching cut; so λ = width + 1.
+  EXPECT_EQ(min_degree(g), 4u);
+  EXPECT_EQ(edge_connectivity(g), 4u);
+}
+
+TEST(Dumbbell, LambdaEqualsBridges) {
+  const Graph g = gen::dumbbell(8, 3);
+  EXPECT_EQ(g.node_count(), 16u);
+  EXPECT_EQ(edge_connectivity(g), 3u);
+  EXPECT_EQ(min_degree(g), 7u);  // clique degree dominates
+}
+
+TEST(Dumbbell, SingleBridge) {
+  const Graph g = gen::dumbbell(5, 1);
+  EXPECT_EQ(edge_connectivity(g), 1u);
+}
+
+TEST(CliquePath, OverlapConnectivity) {
+  const Graph g = gen::clique_path(4, 6, 2);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GE(min_degree(g), 5u);
+  // Separating two consecutive cliques cuts the overlap nodes' edges.
+  EXPECT_LE(edge_connectivity(g), 2u * 5u);
+}
+
+TEST(Weights, RandomWeightsInRange) {
+  Rng rng(9);
+  const auto wg = gen::with_random_weights(gen::cycle(10), 2, 7, rng);
+  for (EdgeId e = 0; e < wg.graph().edge_count(); ++e) {
+    EXPECT_GE(wg.weight(e), 2);
+    EXPECT_LE(wg.weight(e), 7);
+  }
+}
+
+TEST(Weights, UnitWeights) {
+  const auto wg = gen::with_unit_weights(gen::cycle(5));
+  EXPECT_EQ(wg.total_weight(), 5);
+}
+
+}  // namespace
+}  // namespace fc

@@ -1,0 +1,76 @@
+#include "lb/hard_families.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/mincut.hpp"
+#include "graph/properties.hpp"
+
+namespace fc::lb {
+namespace {
+
+TEST(Theorem9, GraphShapeMatchesPaper) {
+  const auto inst = build_theorem9_instance(20, 5, 2.0, 1'000'000, 1);
+  const Graph& g = inst.graph.graph();
+  EXPECT_EQ(g.node_count(), 20u);
+  // v1 (node 0) has degree λ: one light edge to v2 + λ-1 heavy edges.
+  EXPECT_EQ(g.degree(0), 5u);
+  // v2 (node 1) connects to v1 and every clique node.
+  EXPECT_EQ(g.degree(1), 1u + 18u);
+  // Clique nodes pairwise adjacent.
+  for (NodeId i = 2; i < 20; ++i)
+    for (NodeId j = i + 1; j < 20; ++j) EXPECT_TRUE(g.has_edge(i, j));
+}
+
+TEST(Theorem9, EdgeConnectivityIsLambda) {
+  for (std::uint32_t lambda : {2u, 4u, 7u}) {
+    const auto inst = build_theorem9_instance(16, lambda, 2.0, 100'000, 2);
+    EXPECT_EQ(edge_connectivity(inst.graph.graph()), lambda);
+  }
+}
+
+TEST(Theorem9, TrueDistancesGoThroughV2) {
+  const auto inst = build_theorem9_instance(12, 3, 2.0, 1'000'000, 3);
+  const auto dist = dijkstra(inst.graph, 0);
+  for (std::size_t i = 0; i < inst.k_values.size(); ++i) {
+    EXPECT_EQ(dist[i + 2], inst.true_distance_to(i));
+    // 1 + (2α)^{k_i} with α = 2: 1 + 4^{k_i}.
+    Weight pow = 1;
+    for (std::uint32_t t = 0; t < inst.k_values[i]; ++t) pow *= 4;
+    EXPECT_EQ(dist[i + 2], 1 + pow);
+  }
+}
+
+TEST(Theorem9, KValuesWithinRange) {
+  const auto inst = build_theorem9_instance(40, 6, 4.0, 1'000'000'000, 4);
+  EXPECT_GE(inst.kmax, 1u);
+  for (auto k : inst.k_values) {
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, inst.kmax);
+  }
+  // (2α)^kmax < weight_cap.
+  Weight pow = 1;
+  for (std::uint32_t t = 0; t < inst.kmax; ++t) pow *= 8;
+  EXPECT_LT(pow, 1'000'000'000);
+}
+
+TEST(Theorem9, FloorScalesWithNOverLambda) {
+  const auto a = build_theorem9_instance(64, 4, 2.0, 1'000'000, 5);
+  const auto b = build_theorem9_instance(64, 16, 2.0, 1'000'000, 5);
+  EXPECT_GT(a.floor.round_floor, b.floor.round_floor);
+  EXPECT_NEAR(a.floor.round_floor / b.floor.round_floor, 4.0, 0.2);
+}
+
+TEST(Theorem9, RejectsBadParameters) {
+  EXPECT_THROW(build_theorem9_instance(4, 5, 2.0, 100, 1),
+               std::invalid_argument);
+  EXPECT_THROW(build_theorem9_instance(10, 2, 1.0, 100, 1),
+               std::invalid_argument);
+}
+
+TEST(TreePackingFloor, Formula) {
+  EXPECT_DOUBLE_EQ(tree_packing_diameter_floor(100, 4), 25.0);
+  EXPECT_EQ(tree_packing_diameter_floor(100, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace fc::lb

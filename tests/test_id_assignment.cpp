@@ -1,0 +1,103 @@
+#include "algo/id_assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fc::algo {
+namespace {
+
+void check_ids_valid(const Graph& g, const IdAssignment& alg,
+                     const std::vector<std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  EXPECT_EQ(alg.total(), total);
+  // Intervals [first, first + count) must tile [0, total) without overlap.
+  std::set<std::uint64_t> used;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (std::uint64_t i = 0; i < counts[v]; ++i) {
+      const std::uint64_t id = alg.first_id(v) + i;
+      EXPECT_LT(id, total);
+      EXPECT_TRUE(used.insert(id).second) << "duplicate id " << id;
+    }
+  }
+  EXPECT_EQ(used.size(), total);
+}
+
+TEST(IdAssignment, UniformCounts) {
+  const Graph g = gen::grid(4, 4);
+  const auto tree = run_bfs(g, 0).tree;
+  std::vector<std::uint64_t> counts(16, 3);
+  congest::Network net(g);
+  IdAssignment alg(g, tree, counts);
+  const auto res = net.run(alg);
+  EXPECT_TRUE(res.finished);
+  check_ids_valid(g, alg, counts);
+}
+
+TEST(IdAssignment, RandomCounts) {
+  Rng rng(8);
+  const Graph g = gen::random_regular(40, 4, rng);
+  const auto tree = run_bfs(g, 7).tree;
+  std::vector<std::uint64_t> counts(40);
+  for (auto& c : counts) c = rng.below(5);  // zeros allowed
+  congest::Network net(g);
+  IdAssignment alg(g, tree, counts);
+  net.run(alg);
+  check_ids_valid(g, alg, counts);
+}
+
+TEST(IdAssignment, AllItemsAtOneNode) {
+  const Graph g = gen::path(6);
+  const auto tree = run_bfs(g, 0).tree;
+  std::vector<std::uint64_t> counts(6, 0);
+  counts[5] = 9;
+  congest::Network net(g);
+  IdAssignment alg(g, tree, counts);
+  net.run(alg);
+  EXPECT_EQ(alg.first_id(5), 0u);
+  EXPECT_EQ(alg.total(), 9u);
+}
+
+TEST(IdAssignment, ZeroItemsEverywhere) {
+  const Graph g = gen::cycle(5);
+  const auto tree = run_bfs(g, 0).tree;
+  congest::Network net(g);
+  IdAssignment alg(g, tree, std::vector<std::uint64_t>(5, 0));
+  const auto res = net.run(alg);
+  EXPECT_TRUE(res.finished);
+  EXPECT_EQ(alg.total(), 0u);
+}
+
+TEST(IdAssignment, RoundsLinearInDepth) {
+  const Graph g = gen::path(30);
+  const auto tree = run_bfs(g, 0).tree;
+  congest::Network net(g);
+  IdAssignment alg(g, tree, std::vector<std::uint64_t>(30, 1));
+  const auto res = net.run(alg);
+  EXPECT_LE(res.rounds, 2ull * tree.depth + 4);
+}
+
+TEST(IdAssignment, RootOwnsPrefix) {
+  // The root takes ids [0, x_root) per Lemma 3's construction.
+  const Graph g = gen::cycle(7);
+  const auto tree = run_bfs(g, 2).tree;
+  std::vector<std::uint64_t> counts(7, 2);
+  congest::Network net(g);
+  IdAssignment alg(g, tree, counts);
+  net.run(alg);
+  EXPECT_EQ(alg.first_id(2), 0u);
+}
+
+TEST(IdAssignment, RejectsBadInputs) {
+  const Graph g = gen::path(4);
+  const auto tree = run_bfs(g, 0).tree;
+  EXPECT_THROW(IdAssignment(g, tree, std::vector<std::uint64_t>(3, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fc::algo

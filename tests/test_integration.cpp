@@ -1,0 +1,123 @@
+// Cross-module integration tests: full paper pipelines exercised end to end
+// on a single graph, with every theorem's guarantee checked on the same run.
+
+#include <gtest/gtest.h>
+
+#include "apps/cluster_apsp.hpp"
+#include "apps/congested_clique.hpp"
+#include "apps/cuts.hpp"
+#include "apps/weighted_apsp.hpp"
+#include "core/fast_broadcast.hpp"
+#include "core/tree_packing.hpp"
+#include "graph/generators.hpp"
+#include "graph/mincut.hpp"
+#include "graph/properties.hpp"
+#include "lb/bit_meter.hpp"
+#include "util/rng.hpp"
+
+namespace fc {
+namespace {
+
+TEST(Integration, FullPaperPipelineOnOneGraph) {
+  Rng rng(2024);
+  const Graph g = gen::random_regular(128, 32, rng);
+  const std::uint32_t lambda = edge_connectivity(g);
+  EXPECT_EQ(lambda, 32u);  // random regular: λ = δ w.h.p.
+  const std::uint32_t delta = min_degree(g);
+
+  // Theorem 2: decomposition spans.
+  const auto dec = core::decompose(g, lambda);
+  EXPECT_TRUE(dec.all_spanning());
+
+  // §3.1: tree packings.
+  const auto packing = core::build_edge_disjoint_packing(g, lambda);
+  EXPECT_GE(packing.tree_count(), 2u);
+  EXPECT_LE(packing.max_edge_load(), 1u);
+
+  // Theorem 1: broadcast beats the k/λ floor but respects it.
+  std::vector<algo::PlacedMessage> msgs;
+  for (std::uint64_t i = 0; i < 512; ++i)
+    msgs.push_back({static_cast<NodeId>(rng.below(128)), i, rng()});
+  const auto bc = core::run_fast_broadcast(g, lambda, msgs);
+  EXPECT_TRUE(bc.complete);
+  EXPECT_GE(static_cast<double>(bc.total_rounds),
+            core::theorem3_lower_bound(512, lambda));
+  EXPECT_LE(static_cast<double>(bc.total_rounds),
+            40 * core::theorem1_prediction(128, delta, lambda, 512));
+
+  // Theorem 4: (3,2) APSP.
+  const auto apsp = apps::approximate_apsp_unweighted(g, lambda);
+  const auto exact = apsp_exact(g);
+  for (NodeId u = 0; u < 128; u += 17)
+    for (NodeId v = 0; v < 128; ++v) {
+      if (u == v) continue;
+      EXPECT_GE(apsp.estimate(u, v), exact[u][v]);
+      EXPECT_LE(apsp.estimate(u, v), 3 * exact[u][v] + 2);
+    }
+
+  // Theorem 7: all cuts within (1±ε).
+  apps::CutApproxOptions cut_opts;
+  cut_opts.sparsifier.c = 6.0;
+  const auto cuts_report = apps::approximate_all_cuts(g, lambda, 0.4, cut_opts);
+  const auto cuts = random_cuts(128, 50, rng);
+  for (const auto& side : cuts) {
+    const double truth = static_cast<double>(cut_size(g, side));
+    EXPECT_NEAR(cuts_report.estimate_cut(g, side), truth, 0.4 * truth);
+  }
+}
+
+TEST(Integration, WeightedPipelineSharesTheBroadcast) {
+  Rng rng(7);
+  const auto wg =
+      gen::with_random_weights(gen::random_regular(96, 24, rng), 1, 100, rng);
+  const auto report = apps::approximate_apsp_weighted(wg, 24, 3);
+  EXPECT_TRUE(report.broadcast_report.complete);
+  const auto exact = dijkstra(wg, 11);
+  const auto est = report.distances_from(11);
+  for (NodeId v = 0; v < 96; ++v) {
+    EXPECT_GE(est[v], exact[v]);
+    EXPECT_LE(est[v], 5 * exact[v]);
+  }
+}
+
+TEST(Integration, ObliviousSearchOnBottleneckFamily) {
+  // δ ≫ λ: the search must not stop at δ, and the final broadcast must work.
+  Rng rng(9);
+  const Graph g = gen::dumbbell(24, 3);
+  EXPECT_EQ(edge_connectivity(g), 3u);
+  std::vector<algo::PlacedMessage> msgs;
+  for (std::uint64_t i = 0; i < 96; ++i)
+    msgs.push_back({static_cast<NodeId>(rng.below(48)), i, rng()});
+  const auto report = core::run_fast_broadcast_oblivious(g, msgs);
+  EXPECT_TRUE(report.complete);
+  // Validated guess cannot exceed δ = 23 and the number of probes is
+  // bounded by log2(δ/λ) + O(1).
+  EXPECT_LE(report.lambda_used, 23u);
+  EXPECT_LE(report.search_iterations, 8u);
+}
+
+TEST(Integration, BccSimulationDeliversAllInputs) {
+  Rng rng(11);
+  const Graph g = gen::circulant(96, 12);  // λ = 24
+  std::vector<std::uint64_t> inputs(96);
+  for (auto& x : inputs) x = rng();
+  const auto report = apps::simulate_bcc_round(g, 24, inputs);
+  EXPECT_TRUE(report.broadcast_report.complete);
+  // Universal optimality floor: n/λ rounds.
+  EXPECT_GE(static_cast<double>(report.rounds), 96.0 / 24.0);
+}
+
+TEST(Integration, CongestionNeverExceedsBandwidthTimesRounds) {
+  // Model sanity: no edge can carry more messages than 2 * rounds.
+  Rng rng(13);
+  const Graph g = gen::random_regular(64, 16, rng);
+  std::vector<algo::PlacedMessage> msgs;
+  for (std::uint64_t i = 0; i < 256; ++i)
+    msgs.push_back({static_cast<NodeId>(rng.below(64)), i, rng()});
+  const auto report = core::run_fast_broadcast(g, 16, msgs);
+  ASSERT_TRUE(report.complete);
+  EXPECT_LE(report.max_edge_congestion, 2 * report.total_rounds);
+}
+
+}  // namespace
+}  // namespace fc

@@ -1,0 +1,117 @@
+#include "graph/kd_connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/mincut.hpp"
+#include "graph/properties.hpp"
+
+namespace fc {
+namespace {
+
+TEST(GreedyPaths, PathGraphHasOnePath) {
+  const Graph g = gen::path(6);
+  const auto packing = greedy_disjoint_paths(g, 0, 5, 10, 10);
+  EXPECT_EQ(packing.paths, 1u);
+  EXPECT_EQ(packing.longest, 5u);
+}
+
+TEST(GreedyPaths, CycleHasTwoPaths) {
+  const Graph g = gen::cycle(8);
+  const auto packing = greedy_disjoint_paths(g, 0, 4, 8, 8);
+  EXPECT_EQ(packing.paths, 2u);  // clockwise and counterclockwise
+}
+
+TEST(GreedyPaths, LengthCapIsRespected) {
+  const Graph g = gen::cycle(8);
+  // Antipodal nodes: both paths have length 4; a cap of 3 forbids both.
+  EXPECT_EQ(greedy_disjoint_paths(g, 0, 4, 3, 8).paths, 0u);
+  EXPECT_EQ(greedy_disjoint_paths(g, 0, 4, 4, 8).paths, 2u);
+}
+
+TEST(GreedyPaths, CompleteGraphSaturatesDegree) {
+  const Graph g = gen::complete(7);
+  const auto packing = greedy_disjoint_paths(g, 0, 6, 2, 100);
+  // 1 direct edge + 5 two-hop paths = 6 = min degree.
+  EXPECT_EQ(packing.paths, 6u);
+}
+
+TEST(GreedyPaths, WitnessesAreValidAndDisjoint) {
+  const Graph g = gen::circulant(20, 3);
+  const auto packing = greedy_disjoint_paths(g, 0, 10, 20, 6);
+  EXPECT_GE(packing.paths, 3u);
+  std::set<std::pair<NodeId, NodeId>> used;
+  for (const auto& path : packing.witnesses) {
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_EQ(path.front(), 0u);
+    EXPECT_EQ(path.back(), 10u);
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(path[i - 1], path[i]));
+      auto key = std::minmax(path[i - 1], path[i]);
+      EXPECT_TRUE(used.insert(key).second) << "edge reused";
+    }
+  }
+}
+
+TEST(GreedyPaths, MaxPathsCapStops) {
+  const Graph g = gen::complete(9);
+  EXPECT_EQ(greedy_disjoint_paths(g, 0, 1, 3, 2).paths, 2u);
+}
+
+TEST(GreedyPaths, SameEndpointThrows) {
+  const Graph g = gen::cycle(4);
+  EXPECT_THROW(greedy_disjoint_paths(g, 1, 1, 3, 3), std::invalid_argument);
+}
+
+TEST(GreedyPaths, CountNeverExceedsEdgeConnectivityBetweenPair) {
+  // Edge-disjoint u-v paths <= local edge connectivity <= min degree.
+  Rng rng(5);
+  const Graph g = gen::random_regular(30, 4, rng);
+  for (NodeId v = 1; v < 10; ++v) {
+    const auto packing = greedy_disjoint_paths(g, 0, v, 30, 100);
+    EXPECT_LE(packing.paths, 4u);
+  }
+}
+
+class Lemma9Test : public ::testing::TestWithParam<int> {
+ protected:
+  Graph make_graph() const {
+    Rng rng(GetParam() * 31 + 7);
+    switch (GetParam()) {
+      case 0: return gen::random_regular(80, 8, rng);
+      case 1: return gen::circulant(90, 5);
+      case 2: return gen::hypercube(6);
+      case 3: return gen::thick_path(8, 5);
+      default: return gen::dumbbell(20, 4);
+    }
+  }
+};
+
+TEST_P(Lemma9Test, HoldsOnFamilies) {
+  // Lemma 9: every simple graph is (λ/5, 16n/δ)-connected. The greedy
+  // certificate can only under-count, so holds() passing is conclusive.
+  const Graph g = make_graph();
+  const std::uint32_t lambda = edge_connectivity(g);
+  const std::uint32_t delta = min_degree(g);
+  Rng rng(GetParam());
+  const auto check = check_lemma9(g, lambda, delta, 15, rng);
+  EXPECT_TRUE(check.holds())
+      << "min_paths=" << check.min_paths
+      << " required=" << check.required_paths
+      << " longest=" << check.max_length_used
+      << " allowed=" << check.allowed_length;
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, Lemma9Test, ::testing::Range(0, 5));
+
+TEST(Lemma9, PathLengthsStayWithinBudget) {
+  const Graph g = gen::thick_path(10, 5);
+  Rng rng(9);
+  const auto check = check_lemma9(g, edge_connectivity(g), min_degree(g), 10, rng);
+  EXPECT_LE(check.max_length_used, check.allowed_length);
+}
+
+}  // namespace
+}  // namespace fc

@@ -1,0 +1,52 @@
+#include "algo/leader_election.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+
+namespace fc::algo {
+namespace {
+
+TEST(LeaderElection, ElectsMaxId) {
+  for (NodeId n : {2u, 5u, 16u, 33u}) {
+    const Graph g = gen::cycle(std::max<NodeId>(n, 3));
+    congest::Network net(g);
+    LeaderElection alg(g);
+    const auto res = net.run(alg);
+    EXPECT_TRUE(res.finished);
+    EXPECT_EQ(alg.leader(), g.node_count() - 1);
+  }
+}
+
+TEST(LeaderElection, EveryNodeLearnsMax) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(60, 4, rng);
+  congest::Network net(g);
+  LeaderElection alg(g);
+  net.run(alg);
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    EXPECT_EQ(alg.known_max(v), g.node_count() - 1);
+}
+
+TEST(LeaderElection, RoundsBoundedByDiameterPlusSlack) {
+  const Graph g = gen::path(40);  // worst case: wave crosses the whole path
+  congest::Network net(g);
+  LeaderElection alg(g);
+  const auto res = net.run(alg);
+  const auto d = diameter_exact(g);
+  EXPECT_LE(res.rounds, static_cast<std::uint64_t>(d) + 4);
+}
+
+TEST(LeaderElection, CompleteGraphIsInstant) {
+  const Graph g = gen::complete(10);
+  congest::Network net(g);
+  LeaderElection alg(g);
+  const auto res = net.run(alg);
+  EXPECT_LE(res.rounds, 4u);
+  EXPECT_EQ(alg.leader(), 9u);
+}
+
+}  // namespace
+}  // namespace fc::algo

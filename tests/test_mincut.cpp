@@ -1,0 +1,109 @@
+#include "graph/mincut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace fc {
+namespace {
+
+WeightedGraph unit(const Graph& g) {
+  return WeightedGraph(g, std::vector<Weight>(g.edge_count(), 1));
+}
+
+TEST(CutWeight, ManualCut) {
+  const auto wg = gen::with_unit_weights(gen::cycle(6));
+  std::vector<bool> side(6, false);
+  side[0] = side[1] = side[2] = true;
+  EXPECT_EQ(cut_weight(wg, side), 2);
+  EXPECT_EQ(cut_size(wg.graph(), side), 2u);
+}
+
+TEST(CutWeight, WeightedCut) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  const WeightedGraph wg(g, {5, 7, 11});
+  std::vector<bool> side{true, false, false};
+  EXPECT_EQ(cut_weight(wg, side), 5 + 11);
+}
+
+TEST(StoerWagner, KnownFamilies) {
+  EXPECT_EQ(stoer_wagner_mincut(unit(gen::cycle(7))), 2);
+  EXPECT_EQ(stoer_wagner_mincut(unit(gen::complete(6))), 5);
+  EXPECT_EQ(stoer_wagner_mincut(unit(gen::path(5))), 1);
+  EXPECT_EQ(stoer_wagner_mincut(unit(gen::hypercube(3))), 3);
+}
+
+TEST(StoerWagner, ReturnsValidSide) {
+  const auto wg = unit(gen::dumbbell(5, 2));
+  std::vector<bool> side;
+  const Weight w = stoer_wagner_mincut(wg, &side);
+  EXPECT_EQ(w, 2);
+  EXPECT_EQ(cut_weight(wg, side), w);
+  // Non-trivial side.
+  int ones = 0;
+  for (bool b : side) ones += b;
+  EXPECT_GT(ones, 0);
+  EXPECT_LT(ones, static_cast<int>(side.size()));
+}
+
+TEST(StoerWagner, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g = gen::erdos_renyi(9, 0.5, rng);
+    if (!is_connected(g)) continue;
+    std::vector<Weight> w(g.edge_count());
+    for (auto& x : w) x = rng.range(1, 9);
+    const WeightedGraph wg(g, w);
+    EXPECT_EQ(stoer_wagner_mincut(wg), mincut_bruteforce(wg))
+        << "trial " << trial;
+  }
+}
+
+TEST(EdgeConnectivity, DisconnectedIsZero) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(edge_connectivity(g), 0u);
+}
+
+TEST(EdgeConnectivity, GeneratorGuarantees) {
+  EXPECT_EQ(edge_connectivity(gen::circulant(17, 2)), 4u);
+  EXPECT_EQ(edge_connectivity(gen::dumbbell(6, 4)), 4u);
+  EXPECT_EQ(edge_connectivity(gen::thick_path(4, 3)), 3u);
+}
+
+TEST(BruteForce, RejectsBigN) {
+  EXPECT_THROW(mincut_bruteforce(unit(gen::cycle(30))), std::invalid_argument);
+}
+
+TEST(RandomCuts, NonTrivialSides) {
+  Rng rng(5);
+  const auto cuts = random_cuts(12, 25, rng);
+  EXPECT_EQ(cuts.size(), 25u);
+  for (const auto& side : cuts) {
+    int ones = 0;
+    for (bool b : side) ones += b;
+    EXPECT_GT(ones, 0);
+    EXPECT_LT(ones, 12);
+  }
+}
+
+TEST(KargerEstimate, UpperBoundsAndOftenFindsLambda) {
+  Rng rng(7);
+  const Graph g = gen::dumbbell(8, 2);
+  const auto est = karger_mincut_estimate(g, 200, rng);
+  EXPECT_GE(est, 2u);   // never below the true min cut
+  EXPECT_EQ(est, 2u);   // 200 trials on this tiny graph always find it
+}
+
+TEST(KargerEstimate, NeverBelowTrueMinCut) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::erdos_renyi(14, 0.4, rng);
+    if (!is_connected(g)) continue;
+    const auto truth = edge_connectivity(g);
+    EXPECT_GE(karger_mincut_estimate(g, 50, rng), truth);
+  }
+}
+
+}  // namespace
+}  // namespace fc

@@ -1,0 +1,65 @@
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace fc {
+namespace {
+
+Options make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Options(static_cast<int>(args.size()),
+                 const_cast<char**>(args.data()));
+}
+
+TEST(Options, ParsesKeyValue) {
+  auto o = make({"--n=100", "--name=abc"});
+  EXPECT_EQ(o.get_int("n", 0), 100);
+  EXPECT_EQ(o.get("name", ""), "abc");
+}
+
+TEST(Options, Flags) {
+  auto o = make({"--verbose"});
+  EXPECT_TRUE(o.get_bool("verbose"));
+  EXPECT_FALSE(o.get_bool("quiet"));
+}
+
+TEST(Options, Fallbacks) {
+  auto o = make({});
+  EXPECT_EQ(o.get_int("missing", 7), 7);
+  EXPECT_EQ(o.get("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(o.get_double("missing", 2.5), 2.5);
+  EXPECT_TRUE(o.get_bool("missing", true));
+}
+
+TEST(Options, DoubleParsing) {
+  auto o = make({"--eps=0.125"});
+  EXPECT_DOUBLE_EQ(o.get_double("eps", 0), 0.125);
+}
+
+TEST(Options, Positional) {
+  auto o = make({"first", "--k=1", "second"});
+  ASSERT_EQ(o.positional_count(), 2u);
+  EXPECT_EQ(o.positional(0), "first");
+  EXPECT_EQ(o.positional(1), "second");
+  EXPECT_THROW(o.positional(2), std::out_of_range);
+}
+
+TEST(Options, BoolSpellings) {
+  auto o = make({"--a=true", "--b=1", "--c=yes", "--d=false"});
+  EXPECT_TRUE(o.get_bool("a"));
+  EXPECT_TRUE(o.get_bool("b"));
+  EXPECT_TRUE(o.get_bool("c"));
+  EXPECT_FALSE(o.get_bool("d"));
+}
+
+TEST(Options, HasDetectsPresence) {
+  auto o = make({"--x=1"});
+  EXPECT_TRUE(o.has("x"));
+  EXPECT_FALSE(o.has("y"));
+}
+
+}  // namespace
+}  // namespace fc

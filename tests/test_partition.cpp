@@ -1,0 +1,118 @@
+#include "graph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace fc {
+namespace {
+
+TEST(SampleEdges, ProbabilityExtremes) {
+  Rng rng(1);
+  const Graph g = gen::complete(12);
+  EXPECT_TRUE(sample_edges(g, 0.0, rng).empty());
+  EXPECT_EQ(sample_edges(g, 1.0, rng).size(), g.edge_count());
+}
+
+TEST(SampleEdges, Concentrates) {
+  Rng rng(2);
+  const Graph g = gen::complete(60);  // 1770 edges
+  const auto kept = sample_edges(g, 0.3, rng);
+  const double expected = 0.3 * g.edge_count();
+  EXPECT_GT(kept.size(), expected * 0.8);
+  EXPECT_LT(kept.size(), expected * 1.2);
+}
+
+TEST(EdgeColors, DeterministicInSeed) {
+  const Graph g = gen::hypercube(5);
+  EXPECT_EQ(edge_colors(g, 4, 77), edge_colors(g, 4, 77));
+  EXPECT_NE(edge_colors(g, 4, 77), edge_colors(g, 4, 78));
+}
+
+TEST(EdgeColors, CommunicationFree) {
+  // The colour of edge {u, v} must depend only on (seed, u, v) — the same
+  // edge in a different graph gets the same colour.
+  const Graph g1 = Graph::from_edges(5, {{1, 3}, {0, 4}});
+  const Graph g2 = Graph::from_edges(6, {{2, 5}, {1, 3}});
+  const auto c1 = edge_colors(g1, 8, 42);
+  const auto c2 = edge_colors(g2, 8, 42);
+  EXPECT_EQ(c1[0], c2[1]);  // both are edge {1, 3}
+}
+
+TEST(EdgeColors, RoughlyBalanced) {
+  const Graph g = gen::complete(64);  // 2016 edges
+  const std::uint32_t parts = 6;
+  const auto colors = edge_colors(g, parts, 9);
+  std::vector<int> counts(parts, 0);
+  for (auto c : colors) {
+    ASSERT_LT(c, parts);
+    ++counts[c];
+  }
+  const double expected = static_cast<double>(colors.size()) / parts;
+  for (int c : counts) {
+    EXPECT_GT(c, expected * 0.75);
+    EXPECT_LT(c, expected * 1.25);
+  }
+}
+
+TEST(RandomEdgePartition, CoversEveryEdgeExactlyOnce) {
+  const Graph g = gen::circulant(40, 4);
+  const auto part = random_edge_partition(g, 5, 3);
+  ASSERT_EQ(part.parts.size(), 5u);
+  std::vector<int> owner(g.edge_count(), -1);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    for (EdgeId e : part.parts[i].parent_edge) {
+      EXPECT_EQ(owner[e], -1) << "edge in two parts";
+      owner[e] = static_cast<int>(i);
+    }
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    ASSERT_NE(owner[e], -1) << "edge missing from partition";
+    EXPECT_EQ(static_cast<std::uint32_t>(owner[e]), part.color[e]);
+  }
+}
+
+TEST(RandomEdgePartition, PartsShareNodeSet) {
+  const Graph g = gen::hypercube(4);
+  const auto part = random_edge_partition(g, 3, 8);
+  for (const auto& p : part.parts)
+    EXPECT_EQ(p.graph.node_count(), g.node_count());
+}
+
+TEST(RandomEdgePartition, SinglePartIsWholeGraph) {
+  const Graph g = gen::cycle(9);
+  const auto part = random_edge_partition(g, 1, 5);
+  EXPECT_EQ(part.parts[0].graph.edge_count(), g.edge_count());
+}
+
+TEST(Theorem2PartCount, Formula) {
+  // λ' = floor(λ / (C ln n)), at least 1.
+  EXPECT_EQ(theorem2_part_count(100, 1024, 2.0),
+            static_cast<std::uint32_t>(100.0 / (2.0 * std::log(1024.0))));
+  EXPECT_EQ(theorem2_part_count(1, 1024, 2.0), 1u);
+  EXPECT_EQ(theorem2_part_count(5, 2, 1.0), std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(5.0 / std::log(2.0))));
+}
+
+TEST(Theorem2PartCount, MonotoneInLambda) {
+  for (std::uint32_t lam = 1; lam < 200; ++lam)
+    EXPECT_LE(theorem2_part_count(lam, 512, 2.0),
+              theorem2_part_count(lam + 1, 512, 2.0));
+}
+
+TEST(Theorem2Semantics, PartsAreSpanningOnWellConnectedGraph) {
+  // Lemma 5 in action: on a 24-regular circulant with n=120, λ = 24 and
+  // C = 2 gives λ' = 2 parts; each must span and be connected w.h.p.
+  const Graph g = gen::circulant(120, 12);
+  const std::uint32_t parts = theorem2_part_count(24, 120, 2.0);
+  ASSERT_GE(parts, 2u);
+  const auto part = random_edge_partition(g, parts, 4);
+  for (const auto& p : part.parts) EXPECT_TRUE(is_connected(p.graph));
+}
+
+}  // namespace
+}  // namespace fc

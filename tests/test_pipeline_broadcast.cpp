@@ -1,0 +1,176 @@
+#include "algo/pipeline_broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+
+namespace fc::algo {
+namespace {
+
+std::vector<PlacedMessage> random_messages(const Graph& g, std::uint64_t k,
+                                           Rng& rng) {
+  std::vector<PlacedMessage> msgs;
+  msgs.reserve(k);
+  for (std::uint64_t i = 0; i < k; ++i)
+    msgs.push_back({static_cast<NodeId>(rng.below(g.node_count())), i,
+                    rng()});
+  return msgs;
+}
+
+TEST(PipelineBroadcast, EveryoneGetsEverything) {
+  Rng rng(1);
+  const Graph g = gen::grid(5, 5);
+  const auto msgs = random_messages(g, 40, rng);
+  const auto tree = run_bfs(g, 0).tree;
+  congest::Network net(g);
+  PipelineBroadcast alg(g, tree, msgs);
+  const auto res = net.run(alg);
+  EXPECT_TRUE(res.finished);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(alg.received_count(v), 40u);
+    EXPECT_EQ(alg.digest(v), alg.expected_digest());
+  }
+}
+
+TEST(PipelineBroadcast, RoundBoundDPlusK) {
+  // Lemma 1: O(D + k) rounds. The implementation's constant is <= 2 plus
+  // pipeline latencies; assert rounds <= 2(depth + k) + slack over a sweep.
+  Rng rng(2);
+  for (std::uint64_t k : {1ull, 8ull, 64ull, 256ull}) {
+    const Graph g = gen::cycle(32);
+    const auto tree = run_bfs(g, 0).tree;
+    const auto msgs = random_messages(g, k, rng);
+    congest::Network net(g);
+    PipelineBroadcast alg(g, tree, msgs);
+    const auto res = net.run(alg);
+    ASSERT_TRUE(res.finished);
+    EXPECT_LE(res.rounds, 2 * (static_cast<std::uint64_t>(tree.depth) + k) + 8)
+        << "k=" << k;
+  }
+}
+
+TEST(PipelineBroadcast, CongestionLinearInK) {
+  // Lemma 1: at most O(k) messages per edge.
+  Rng rng(3);
+  const Graph g = gen::grid(6, 6);
+  const auto tree = run_bfs(g, 0).tree;
+  for (std::uint64_t k : {10ull, 50ull, 100ull}) {
+    const auto msgs = random_messages(g, k, rng);
+    congest::Network net(g);
+    PipelineBroadcast alg(g, tree, msgs);
+    const auto res = net.run(alg);
+    EXPECT_LE(res.max_edge_congestion(g), 2 * k + 2) << "k=" << k;
+  }
+}
+
+TEST(PipelineBroadcast, AllMessagesAtRoot) {
+  const Graph g = gen::path(10);
+  const auto tree = run_bfs(g, 0).tree;
+  std::vector<PlacedMessage> msgs;
+  for (std::uint64_t i = 0; i < 20; ++i) msgs.push_back({0, i, i * 31});
+  congest::Network net(g);
+  PipelineBroadcast alg(g, tree, msgs);
+  const auto res = net.run(alg);
+  EXPECT_TRUE(res.finished);
+  // Down phase only: depth + k rounds suffice.
+  EXPECT_LE(res.rounds, 9 + 20 + 4u);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(alg.digest(v), alg.expected_digest());
+}
+
+TEST(PipelineBroadcast, AllMessagesAtDeepestLeaf) {
+  const Graph g = gen::path(10);
+  const auto tree = run_bfs(g, 0).tree;
+  std::vector<PlacedMessage> msgs;
+  for (std::uint64_t i = 0; i < 15; ++i) msgs.push_back({9, i, i});
+  congest::Network net(g);
+  PipelineBroadcast alg(g, tree, msgs);
+  const auto res = net.run(alg);
+  EXPECT_TRUE(res.finished);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(alg.received_count(v), 15u);
+}
+
+TEST(PipelineBroadcast, ZeroMessages) {
+  const Graph g = gen::cycle(6);
+  const auto tree = run_bfs(g, 0).tree;
+  congest::Network net(g);
+  PipelineBroadcast alg(g, tree, {});
+  const auto res = net.run(alg);
+  EXPECT_TRUE(res.finished);
+  EXPECT_LE(res.rounds, 2u);
+  EXPECT_EQ(res.messages, 0u);
+}
+
+TEST(PipelineBroadcast, SingleNodeGraph) {
+  const Graph g = Graph::from_edges(1, std::vector<std::pair<NodeId, NodeId>>{});
+  const auto tree = run_bfs(g, 0).tree;
+  std::vector<PlacedMessage> msgs{{0, 0, 7}, {0, 1, 8}};
+  congest::Network net(g);
+  PipelineBroadcast alg(g, tree, msgs);
+  const auto res = net.run(alg);
+  EXPECT_TRUE(res.finished);
+  EXPECT_EQ(alg.received_count(0), 2u);
+}
+
+TEST(PipelineBroadcast, DigestDetectsContent) {
+  // Digests of different message sets differ (with overwhelming probability).
+  const Graph g = gen::path(3);
+  const auto tree = run_bfs(g, 0).tree;
+  PipelineBroadcast a(g, tree, {{0, 0, 1}});
+  PipelineBroadcast b(g, tree, {{0, 0, 2}});
+  EXPECT_NE(a.expected_digest(), b.expected_digest());
+}
+
+TEST(PipelineBroadcast, SparseIdsSupported) {
+  // Ids need not be dense — only distinct.
+  Rng rng(9);
+  const Graph g = gen::cycle(8);
+  const auto tree = run_bfs(g, 0).tree;
+  std::vector<PlacedMessage> msgs{{1, 1'000'000, 5},
+                                  {4, 42, 6},
+                                  {6, 0xffffffffffffULL, 7}};
+  congest::Network net(g);
+  PipelineBroadcast alg(g, tree, msgs);
+  const auto res = net.run(alg);
+  EXPECT_TRUE(res.finished);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(alg.digest(v), alg.expected_digest());
+}
+
+class BroadcastViaTreeTest
+    : public ::testing::TestWithParam<std::pair<NodeId, std::uint64_t>> {};
+
+TEST_P(BroadcastViaTreeTest, EndToEnd) {
+  auto [n, k] = GetParam();
+  Rng rng(mix64(n, k));
+  const Graph g = gen::circulant(n, 2);
+  auto msgs = random_messages(g, k, rng);
+  const auto out = broadcast_via_tree(g, 0, msgs);
+  EXPECT_TRUE(out.complete);
+  // Textbook bound with the BFS cost folded in.
+  const auto d = diameter_exact(g);
+  EXPECT_LE(out.rounds, 2 * (static_cast<std::uint64_t>(d) + k) + 12);
+  EXPECT_LE(out.max_edge_congestion, 2 * k + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BroadcastViaTreeTest,
+    ::testing::Values(std::pair<NodeId, std::uint64_t>{16, 4},
+                      std::pair<NodeId, std::uint64_t>{32, 32},
+                      std::pair<NodeId, std::uint64_t>{64, 128},
+                      std::pair<NodeId, std::uint64_t>{25, 1}));
+
+TEST(PipelineBroadcast, RejectsNonSpanningTree) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  const auto tree = run_bfs(g, 0).tree;  // covers only {0, 1}
+  EXPECT_THROW(PipelineBroadcast(g, tree, {}), std::invalid_argument);
+}
+
+TEST(PipelineBroadcast, RejectsBadOrigin) {
+  const Graph g = gen::path(3);
+  const auto tree = run_bfs(g, 0).tree;
+  EXPECT_THROW(PipelineBroadcast(g, tree, {{9, 0, 0}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fc::algo

@@ -1,0 +1,144 @@
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fc {
+namespace {
+
+TEST(BfsDistances, PathGraph) {
+  const Graph g = gen::path(6);
+  const auto d = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(BfsDistances, DisconnectedMarksUnreached) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kUnreached);
+  EXPECT_EQ(d[3], kUnreached);
+}
+
+TEST(BfsTree, ParentsDecreaseDistance) {
+  Rng rng(3);
+  const Graph g = gen::erdos_renyi(60, 0.15, rng);
+  const auto t = bfs_tree(g, 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == 0 || t.dist[v] == kUnreached) continue;
+    ASSERT_NE(t.parent[v], kInvalidNode);
+    EXPECT_EQ(t.dist[t.parent[v]] + 1, t.dist[v]);
+    EXPECT_TRUE(g.has_edge(v, t.parent[v]));
+  }
+}
+
+TEST(BfsTree, DepthMatchesEccentricity) {
+  const Graph g = gen::grid(4, 4);
+  const auto t = bfs_tree(g, 0);
+  EXPECT_EQ(t.depth(), eccentricity(g, 0));
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter_exact(gen::path(10)), 9u);
+  EXPECT_EQ(diameter_exact(gen::cycle(10)), 5u);
+  EXPECT_EQ(diameter_exact(gen::complete(5)), 1u);
+  EXPECT_EQ(diameter_exact(gen::hypercube(5)), 5u);
+}
+
+TEST(Diameter, DoubleSweepIsLowerBoundAndExactOnTrees) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const Graph g = gen::erdos_renyi(50, 0.12, rng);
+    if (!is_connected(g)) continue;
+    const auto exact = diameter_exact(g);
+    const auto sweep = diameter_double_sweep(g);
+    EXPECT_LE(sweep, exact);
+    EXPECT_GE(2 * sweep, exact);
+  }
+  // A path is a tree: double sweep is exact.
+  EXPECT_EQ(diameter_double_sweep(gen::path(17)), 16u);
+}
+
+TEST(Diameter, DisconnectedReturnsUnreached) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(diameter_exact(g), kUnreached);
+  EXPECT_EQ(diameter_double_sweep(g), kUnreached);
+}
+
+TEST(Components, CountsAndLabels) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}});
+  const auto labels = components(g);
+  EXPECT_EQ(component_count(g), 3u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_NE(labels[3], labels[5]);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_TRUE(is_connected(gen::cycle(6)));
+}
+
+TEST(Degrees, MinMaxAverage) {
+  const Graph g = gen::path(4);  // degrees 1,2,2,1
+  EXPECT_EQ(min_degree(g), 1u);
+  EXPECT_EQ(max_degree(g), 2u);
+  EXPECT_DOUBLE_EQ(average_degree(g), 1.5);
+}
+
+TEST(ObservationOne, DiameterAtMostThreeNOverDelta) {
+  // Paper Observation 1: D = O(n/δ) for connected simple graphs; the proof
+  // gives D <= 3n/δ. Verify over a family sweep.
+  Rng rng(11);
+  for (std::uint32_t d : {4u, 6u, 8u}) {
+    const Graph g = gen::random_regular(120, d, rng);
+    if (!is_connected(g)) continue;
+    EXPECT_LE(diameter_exact(g),
+              3u * g.node_count() / min_degree(g) + 3u);
+  }
+  const Graph tp = gen::thick_path(10, 5);
+  EXPECT_LE(diameter_exact(tp), 3u * tp.node_count() / min_degree(tp) + 3u);
+}
+
+TEST(SpanningTree, AcceptsBfsTree) {
+  const Graph g = gen::grid(4, 5);
+  const auto t = bfs_tree(g, 0);
+  std::vector<EdgeId> edges;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (t.parent[v] == kInvalidNode) continue;
+    const ArcId a = g.find_arc(v, t.parent[v]);
+    edges.push_back(g.arc_edge(a));
+  }
+  EXPECT_TRUE(is_spanning_tree(g, edges));
+}
+
+TEST(SpanningTree, RejectsWrongCount) {
+  const Graph g = gen::cycle(5);
+  EXPECT_FALSE(is_spanning_tree(g, {0, 1}));
+}
+
+TEST(SpanningTree, RejectsCycle) {
+  const Graph g = gen::cycle(4);  // 4 edges; any 3 of them form a tree,
+  // but {0,1,2,3} has 4 edges -> wrong count; {0,1,0} invalid anyway.
+  // Build a graph with a triangle + pendant: edges {0-1,1-2,0-2,2-3}.
+  const Graph h = Graph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  EXPECT_FALSE(is_spanning_tree(h, {0, 1, 2}));  // triangle, misses node 3
+  EXPECT_TRUE(is_spanning_tree(h, {0, 1, 3}));
+  (void)g;
+}
+
+TEST(ApspExact, MatchesPerSourceBfs) {
+  Rng rng(13);
+  const Graph g = gen::erdos_renyi(30, 0.2, rng);
+  const auto all = apsp_exact(g);
+  for (NodeId v = 0; v < g.node_count(); v += 7)
+    EXPECT_EQ(all[v], bfs_distances(g, v));
+  // Symmetry.
+  for (NodeId u = 0; u < g.node_count(); ++u)
+    for (NodeId v = 0; v < g.node_count(); ++v)
+      EXPECT_EQ(all[u][v], all[v][u]);
+}
+
+}  // namespace
+}  // namespace fc

@@ -1,0 +1,100 @@
+#include "apps/prt12_apsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+
+namespace fc::apps {
+namespace {
+
+class Prt12FamilyTest : public ::testing::TestWithParam<int> {
+ protected:
+  Graph make_graph() const {
+    Rng rng(GetParam());
+    switch (GetParam() % 5) {
+      case 0: return gen::path(20);
+      case 1: return gen::cycle(25);
+      case 2: return gen::grid(5, 6);
+      case 3: return gen::random_regular(40, 4, rng);
+      default: return gen::erdos_renyi(35, 0.2, rng);
+    }
+  }
+};
+
+TEST_P(Prt12FamilyTest, DistancesMatchExactApsp) {
+  Graph g = make_graph();
+  if (!is_connected(g)) GTEST_SKIP();
+  const auto result = prt12_apsp(g);
+  const auto expected = apsp_exact(g);
+  for (NodeId u = 0; u < g.node_count(); ++u)
+    EXPECT_EQ(result.dist[u], expected[u]) << "source " << u;
+}
+
+TEST_P(Prt12FamilyTest, NoCollisionProperty) {
+  Graph g = make_graph();
+  if (!is_connected(g)) GTEST_SKIP();
+  const auto result = prt12_apsp(g);
+  EXPECT_TRUE(result.collision_free);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, Prt12FamilyTest, ::testing::Range(0, 10));
+
+TEST(Prt12, TimestampsSatisfyWalkDistanceInequality) {
+  // The PRT12 proof needs |π(u) - π(w)| >= d(u, w) for all pairs: the DFS
+  // walk travels at least d(u, w) edges between first visits.
+  Rng rng(42);
+  const Graph g = gen::random_regular(30, 4, rng);
+  const auto result = prt12_apsp(g);
+  const auto dist = apsp_exact(g);
+  for (NodeId u = 0; u < g.node_count(); ++u)
+    for (NodeId w = 0; w < g.node_count(); ++w) {
+      const auto gap = static_cast<std::int64_t>(result.pi[u]) -
+                       static_cast<std::int64_t>(result.pi[w]);
+      EXPECT_GE(std::abs(gap), static_cast<std::int64_t>(dist[u][w]))
+          << "u=" << u << " w=" << w;
+    }
+}
+
+TEST(Prt12, TimestampsAreDistinctAndBounded) {
+  const Graph g = gen::grid(4, 5);
+  const auto result = prt12_apsp(g);
+  std::vector<std::uint32_t> pi = result.pi;
+  std::sort(pi.begin(), pi.end());
+  EXPECT_EQ(std::adjacent_find(pi.begin(), pi.end()), pi.end());
+  EXPECT_EQ(pi.front(), 0u);
+  // Euler walk has 2(n-1) steps on the DFS tree.
+  EXPECT_LT(pi.back(), 2u * g.node_count());
+}
+
+TEST(Prt12, VirtualRoundsBound) {
+  // Schedule ends by max_u(2π(u) + ecc(u)) <= 4n + D.
+  const Graph g = gen::cycle(30);
+  const auto result = prt12_apsp(g);
+  EXPECT_LE(result.virtual_rounds,
+            4ull * g.node_count() + diameter_exact(g) + 2);
+}
+
+TEST(Prt12, DifferentRootsSameDistances) {
+  const Graph g = gen::grid(4, 4);
+  const auto r0 = prt12_apsp(g, 0);
+  const auto r5 = prt12_apsp(g, 5);
+  EXPECT_EQ(r0.dist, r5.dist);
+}
+
+TEST(Prt12, SingleNode) {
+  const Graph g = Graph::from_edges(1, std::vector<std::pair<NodeId, NodeId>>{});
+  const auto result = prt12_apsp(g);
+  EXPECT_EQ(result.dist[0][0], 0u);
+}
+
+TEST(Prt12, DisconnectedThrows) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(prt12_apsp(g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fc::apps

@@ -1,0 +1,109 @@
+#include "apps/resilient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fc::apps {
+namespace {
+
+core::TreePacking packing_for(const Graph& g, std::uint32_t lambda,
+                              std::uint32_t target) {
+  core::DecompositionOptions opts;
+  opts.C = 1.5;
+  return core::build_low_congestion_packing(g, lambda, target, opts);
+}
+
+TEST(Resilient, NoAdversaryAlwaysDecodes) {
+  Rng rng(1);
+  const Graph g = gen::random_regular(96, 24, rng);
+  const auto packing = packing_for(g, 24, 5);
+  ResilientOptions opts;
+  opts.adversary = AdversaryKind::kNone;
+  const auto report = resilient_broadcast(g, packing, 32, opts);
+  EXPECT_TRUE(report.all_decoded());
+  EXPECT_EQ(report.corrupted_copies, 0u);
+  EXPECT_EQ(report.trees, packing.tree_count());
+}
+
+TEST(Resilient, TreeFocusedAdversaryIsDefeatedByReplication) {
+  // The adversary owns one whole tree; with >= 3 trees the majority is
+  // untouched, so every slot decodes.
+  Rng rng(2);
+  const Graph g = gen::random_regular(96, 32, rng);
+  const auto packing = packing_for(g, 32, 5);
+  ASSERT_GE(packing.tree_count(), 3u);
+  ResilientOptions opts;
+  opts.adversary = AdversaryKind::kTreeFocused;
+  opts.f = 8;
+  const auto report = resilient_broadcast(g, packing, 16, opts);
+  EXPECT_GT(report.corrupted_copies, 0u);  // the attack does land...
+  EXPECT_TRUE(report.all_decoded());       // ...but majority absorbs it
+}
+
+TEST(Resilient, SingleTreeIsFragile) {
+  // The FP23 motivation: without replication, one corrupted edge per round
+  // breaks delivery.
+  Rng rng(3);
+  const Graph g = gen::random_regular(64, 16, rng);
+  core::DecompositionOptions dopts;
+  auto packing = core::build_edge_disjoint_packing(g, 4, dopts);  // 1 part
+  ASSERT_EQ(packing.tree_count(), 1u);
+  ResilientOptions opts;
+  opts.adversary = AdversaryKind::kTreeFocused;
+  opts.f = 4;
+  const auto report = resilient_broadcast(g, packing, 16, opts);
+  EXPECT_GT(report.decode_failures, 0u);
+}
+
+TEST(Resilient, FailureRateGrowsWithF) {
+  Rng rng(4);
+  const Graph g = gen::random_regular(96, 24, rng);
+  const auto packing = packing_for(g, 24, 5);
+  double prev = -1;
+  for (std::uint32_t f : {0u, 16u, 96u}) {
+    ResilientOptions opts;
+    opts.adversary = AdversaryKind::kRandom;
+    opts.f = f;
+    opts.seed = 9;
+    const auto report = resilient_broadcast(g, packing, 16, opts);
+    EXPECT_GE(report.failure_rate, prev);
+    prev = report.failure_rate;
+  }
+}
+
+TEST(Resilient, CutFocusedAdversaryOnSmallCut) {
+  // On a dumbbell the adversary parks on the bridge cut; with f >= bridges
+  // it owns the cut every round and no copy reaches the far side intact.
+  const Graph g = gen::dumbbell(16, 2);
+  core::DecompositionOptions dopts;
+  auto packing = core::build_low_congestion_packing(g, 2, 3, dopts);
+  ResilientOptions opts;
+  opts.adversary = AdversaryKind::kCutFocused;
+  opts.f = 2;
+  opts.attacked_cut.assign(g.node_count(), false);
+  for (NodeId v = 0; v < 16; ++v) opts.attacked_cut[v] = true;
+  const auto report = resilient_broadcast(g, packing, 8, opts);
+  // Every root->far-side path crosses the owned cut: decode fails somewhere.
+  EXPECT_GT(report.decode_failures, 0u);
+}
+
+TEST(Resilient, RoundsAccountSerializedWindows) {
+  Rng rng(5);
+  const Graph g = gen::random_regular(64, 16, rng);
+  const auto packing = packing_for(g, 16, 3);
+  const auto report = resilient_broadcast(g, packing, 10, {});
+  std::uint32_t max_depth = 0;
+  for (const auto& t : packing.trees) max_depth = std::max(max_depth, t.depth);
+  EXPECT_EQ(report.rounds, (max_depth + 10 + 1ull) * packing.tree_count());
+}
+
+TEST(Resilient, RejectsEmptyPacking) {
+  const Graph g = gen::cycle(5);
+  core::TreePacking empty;
+  EXPECT_THROW(resilient_broadcast(g, empty, 1, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fc::apps

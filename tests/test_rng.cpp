@@ -1,0 +1,148 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace fc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedResets) {
+  Rng a(7);
+  const auto x = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), x);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80'000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.range(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDraws) {
+  Rng a(31);
+  Rng child1 = a.fork(5);
+  a();  // advancing the parent must not change an already-made fork
+  Rng b(31);
+  Rng child2 = b.fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child1(), child2());
+}
+
+TEST(Rng, ForksWithDifferentStreamsDiffer) {
+  Rng a(37);
+  Rng c1 = a.fork(1), c2 = a.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (c1() == c2());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Mix64, SensitiveToEveryArgument) {
+  std::set<std::uint64_t> values;
+  for (std::uint64_t a = 0; a < 10; ++a)
+    for (std::uint64_t b = 0; b < 10; ++b)
+      for (std::uint64_t c = 0; c < 10; ++c) values.insert(mix64(a, b, c));
+  EXPECT_EQ(values.size(), 1000u);
+}
+
+TEST(SkipGeometric, ZeroProbabilityHitsCap) {
+  Rng rng(41);
+  EXPECT_EQ(skip_geometric(rng, 0.0, 100), 100u);
+}
+
+TEST(SkipGeometric, FullProbabilityIsImmediate) {
+  Rng rng(43);
+  EXPECT_EQ(skip_geometric(rng, 1.0, 100), 0u);
+}
+
+TEST(SkipGeometric, MeanMatchesGeometric) {
+  Rng rng(47);
+  const double p = 0.1;
+  double sum = 0;
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i)
+    sum += static_cast<double>(skip_geometric(rng, p, 1'000'000));
+  // Mean number of failures before success = (1-p)/p = 9.
+  EXPECT_NEAR(sum / kDraws, 9.0, 0.4);
+}
+
+TEST(SkipGeometric, RespectsCap) {
+  Rng rng(53);
+  for (int i = 0; i < 1000; ++i) EXPECT_LE(skip_geometric(rng, 0.001, 5), 5u);
+}
+
+}  // namespace
+}  // namespace fc

@@ -1,0 +1,108 @@
+#include "apps/spanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+
+namespace fc::apps {
+namespace {
+
+void expect_stretch(const WeightedGraph& g, const SpannerResult& s) {
+  const auto h = spanner_graph(g, s);
+  // Spot-check sources (full APSP on both is the ground truth).
+  for (NodeId src = 0; src < g.graph().node_count();
+       src += std::max<NodeId>(1, g.graph().node_count() / 8)) {
+    const auto dg = dijkstra(g, src);
+    const auto dh = dijkstra(h, src);
+    for (NodeId v = 0; v < g.graph().node_count(); ++v) {
+      ASSERT_LT(dg[v], kInfWeight) << "input graph disconnected";
+      ASSERT_LT(dh[v], kInfWeight) << "spanner disconnected, src=" << src;
+      EXPECT_GE(dh[v], dg[v]);  // subgraph distances can only grow
+      EXPECT_LE(dh[v], static_cast<Weight>(s.stretch) * dg[v])
+          << "src=" << src << " v=" << v;
+    }
+  }
+}
+
+class SpannerStretchTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SpannerStretchTest, UnweightedRandomRegular) {
+  const std::uint32_t k = GetParam();
+  Rng rng(k * 7 + 1);
+  const auto g = gen::with_unit_weights(gen::random_regular(100, 10, rng));
+  const auto s = baswana_sen(g, k, /*seed=*/k);
+  EXPECT_EQ(s.stretch, 2 * k - 1);
+  expect_stretch(g, s);
+}
+
+TEST_P(SpannerStretchTest, WeightedCirculant) {
+  const std::uint32_t k = GetParam();
+  Rng rng(k * 13 + 5);
+  const auto g = gen::with_random_weights(gen::circulant(90, 6), 1, 100, rng);
+  const auto s = baswana_sen(g, k, /*seed=*/k + 100);
+  expect_stretch(g, s);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, SpannerStretchTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Spanner, KOneKeepsEverything) {
+  const auto g = gen::with_unit_weights(gen::complete(10));
+  const auto s = baswana_sen(g, 1, 0);
+  EXPECT_EQ(s.edges.size(), g.graph().edge_count());
+  EXPECT_EQ(s.stretch, 1u);
+}
+
+TEST(Spanner, SizeShrinksWithK) {
+  Rng rng(3);
+  const auto g = gen::with_unit_weights(gen::random_regular(200, 30, rng));
+  const auto s2 = baswana_sen(g, 2, 1);
+  EXPECT_LT(s2.edges.size(), g.graph().edge_count());
+  // k = 2 expected size O(n^{1.5}): loose sanity bound.
+  const double n = 200;
+  EXPECT_LT(static_cast<double>(s2.edges.size()), 8.0 * 2 * std::pow(n, 1.5));
+}
+
+TEST(Spanner, DenseGraphCompressesWell) {
+  Rng rng(4);
+  const auto g = gen::with_unit_weights(gen::complete(80));  // 3160 edges
+  const auto s3 = baswana_sen(g, 3, 2);
+  // k=3: expected O(3 * n^{4/3}) ~ 1037; allow generous slack but require
+  // real compression.
+  EXPECT_LT(s3.edges.size(), g.graph().edge_count() / 2);
+  expect_stretch(g, s3);
+}
+
+TEST(Spanner, EdgesAreUniqueAndValid) {
+  Rng rng(5);
+  const auto g = gen::with_random_weights(gen::random_regular(60, 8, rng), 1, 50, rng);
+  const auto s = baswana_sen(g, 3, 7);
+  for (std::size_t i = 1; i < s.edges.size(); ++i)
+    EXPECT_LT(s.edges[i - 1], s.edges[i]);  // sorted unique
+  for (EdgeId e : s.edges) EXPECT_LT(e, g.graph().edge_count());
+}
+
+TEST(Spanner, DeterministicInSeed) {
+  Rng rng(6);
+  const auto g = gen::with_unit_weights(gen::random_regular(80, 6, rng));
+  const auto s1 = baswana_sen(g, 3, 11);
+  const auto s2 = baswana_sen(g, 3, 11);
+  EXPECT_EQ(s1.edges, s2.edges);
+}
+
+TEST(Spanner, RoundsQuadraticInK) {
+  const auto g = gen::with_unit_weights(gen::cycle(20));
+  EXPECT_EQ(baswana_sen(g, 4, 0).rounds, 16u);
+}
+
+TEST(Spanner, RejectsKZero) {
+  const auto g = gen::with_unit_weights(gen::cycle(5));
+  EXPECT_THROW(baswana_sen(g, 0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fc::apps

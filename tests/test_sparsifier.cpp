@@ -1,0 +1,96 @@
+#include "apps/sparsifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/mincut.hpp"
+#include "util/rng.hpp"
+
+namespace fc::apps {
+namespace {
+
+TEST(Sparsifier, FullSamplingWhenPIsOne) {
+  // Small λ forces p = 1: the sparsifier is the graph itself, error 0.
+  const Graph g = gen::cycle(12);
+  const auto h = build_cut_sparsifier(g, 2, 0.5);
+  EXPECT_EQ(h.p, 1.0);
+  EXPECT_EQ(h.size(), g.edge_count());
+  Rng rng(1);
+  const auto cuts = random_cuts(12, 20, rng);
+  EXPECT_DOUBLE_EQ(max_cut_error(g, h, cuts), 0.0);
+}
+
+TEST(Sparsifier, SampledSizeConcentrates) {
+  Rng rng(2);
+  const Graph g = gen::random_regular(256, 64, rng);
+  SparsifierOptions opts;
+  opts.c = 2.0;
+  const auto h = build_cut_sparsifier(g, 64, 0.5, opts);
+  ASSERT_LT(h.p, 1.0);
+  const double expected = h.p * g.edge_count();
+  EXPECT_GT(static_cast<double>(h.size()), 0.7 * expected);
+  EXPECT_LT(static_cast<double>(h.size()), 1.3 * expected);
+}
+
+TEST(Sparsifier, EnumeratedCutsWithinEpsilonOnSmallGraph) {
+  // Exhaustive verification on a graph small enough to enumerate all cuts.
+  Rng rng(3);
+  const Graph g = gen::circulant(16, 4);  // λ = 8
+  const double eps = 0.6;
+  const auto h = build_cut_sparsifier(g, 8, eps, {.c = 6.0, .seed = 4});
+  double worst = 0;
+  std::vector<bool> side(16);
+  for (std::uint32_t mask = 1; mask < (1u << 15); ++mask) {
+    for (NodeId v = 0; v < 16; ++v) side[v] = v > 0 && ((mask >> (v - 1)) & 1);
+    const double truth = static_cast<double>(cut_size(g, side));
+    const double est = sparsifier_cut(g, h, side);
+    worst = std::max(worst, std::abs(est - truth) / truth);
+  }
+  EXPECT_LE(worst, eps) << "worst relative cut error " << worst;
+}
+
+TEST(Sparsifier, SampledCutsWithinEpsilonOnLargerGraph) {
+  Rng rng(5);
+  const Graph g = gen::random_regular(300, 60, rng);
+  const double eps = 0.3;
+  const auto h = build_cut_sparsifier(g, 60, eps, {.c = 6.0, .seed = 6});
+  const auto cuts = random_cuts(300, 200, rng);
+  EXPECT_LE(max_cut_error(g, h, cuts), eps);
+}
+
+TEST(Sparsifier, SmallerEpsilonKeepsMoreEdges) {
+  Rng rng(7);
+  const Graph g = gen::random_regular(200, 50, rng);
+  const auto coarse = build_cut_sparsifier(g, 50, 0.8);
+  const auto fine = build_cut_sparsifier(g, 50, 0.2);
+  EXPECT_GE(fine.p, coarse.p);
+  EXPECT_GE(fine.size(), coarse.size());
+}
+
+TEST(Sparsifier, EstimateIsUnbiasedOnAverage) {
+  Rng rng(8);
+  const Graph g = gen::random_regular(128, 32, rng);
+  std::vector<bool> side(128, false);
+  for (NodeId v = 0; v < 64; ++v) side[v] = true;
+  const double truth = static_cast<double>(cut_size(g, side));
+  double sum = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    SparsifierOptions sopts;
+    sopts.c = 1.0;
+    sopts.seed = 1000 + static_cast<std::uint64_t>(t);
+    const auto h = build_cut_sparsifier(g, 32, 0.5, sopts);
+    sum += sparsifier_cut(g, h, side);
+  }
+  EXPECT_NEAR(sum / trials, truth, 0.1 * truth);
+}
+
+TEST(Sparsifier, RejectsBadArguments) {
+  const Graph g = gen::cycle(5);
+  EXPECT_THROW(build_cut_sparsifier(g, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(build_cut_sparsifier(g, 2, 0.0), std::invalid_argument);
+  EXPECT_THROW(build_cut_sparsifier(g, 2, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fc::apps

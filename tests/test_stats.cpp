@@ -1,0 +1,120 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace fc {
+namespace {
+
+TEST(Summarize, EmptyInput) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::vector<double> xs{5.0};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 5);
+  EXPECT_EQ(s.max, 5);
+  EXPECT_EQ(s.mean, 5);
+  EXPECT_EQ(s.stddev, 0);
+  EXPECT_EQ(s.median, 5);
+}
+
+TEST(Summarize, KnownSample) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summarize, DoesNotMutateInput) {
+  const std::vector<double> xs{3, 1, 2};
+  (void)summarize(xs);
+  EXPECT_EQ(xs[0], 3);
+  EXPECT_EQ(xs[1], 1);
+}
+
+TEST(PercentileSorted, Interpolates) {
+  const std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.25), 2.5);
+}
+
+TEST(PercentileSorted, ClampsQuantile) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 2.0), 3.0);
+}
+
+TEST(Accumulator, MatchesBatchStatistics) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  const auto s = summarize(xs);
+  EXPECT_EQ(acc.count(), s.count);
+  EXPECT_NEAR(acc.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(acc.stddev(), s.stddev, 1e-12);
+  EXPECT_EQ(acc.min(), s.min);
+  EXPECT_EQ(acc.max(), s.max);
+}
+
+TEST(Accumulator, VarianceOfConstantIsZero) {
+  Accumulator acc;
+  for (int i = 0; i < 10; ++i) acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{3, 5, 7, 9};  // y = 1 + 2x
+  const auto f = fit_line(xs, ys);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(FitLine, TooFewPoints) {
+  const std::vector<double> xs{1};
+  const std::vector<double> ys{2};
+  const auto f = fit_line(xs, ys);
+  EXPECT_EQ(f.slope, 0);
+}
+
+TEST(FitPowerLaw, RecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x = 1; x <= 64; x *= 2) {
+    xs.push_back(x);
+    ys.push_back(5.0 * x * x);  // y = 5 x^2
+  }
+  const auto f = fit_power_law(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(std::exp(f.intercept), 5.0, 1e-6);
+}
+
+TEST(FitPowerLaw, IgnoresNonPositive) {
+  const std::vector<double> xs{0, 1, 2, 4};
+  const std::vector<double> ys{-1, 1, 2, 4};
+  const auto f = fit_power_law(xs, ys);  // only (1,1),(2,2),(4,4) used
+  EXPECT_NEAR(f.slope, 1.0, 1e-9);
+}
+
+TEST(Harmonic, KnownValues) {
+  EXPECT_DOUBLE_EQ(harmonic(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_NEAR(harmonic(2), 1.5, 1e-12);
+  EXPECT_NEAR(harmonic(100), 5.187377517639621, 1e-9);
+}
+
+}  // namespace
+}  // namespace fc

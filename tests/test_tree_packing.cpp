@@ -1,0 +1,114 @@
+#include "core/tree_packing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+
+namespace fc::core {
+namespace {
+
+TEST(EdgeDisjointPacking, TreesAreSpanningAndEdgeDisjoint) {
+  Rng rng(1);
+  const Graph g = gen::random_regular(128, 32, rng);
+  DecompositionOptions opts;
+  opts.C = 1.0;
+  const auto packing = build_edge_disjoint_packing(g, 32, opts);
+  ASSERT_GE(packing.tree_count(), 2u);
+  EXPECT_LE(packing.max_edge_load(), 1u);  // edge-disjoint
+  for (std::size_t i = 0; i < packing.tree_count(); ++i) {
+    EXPECT_TRUE(is_spanning_tree(g, packing.tree_edges[i])) << "tree " << i;
+    EXPECT_EQ(packing.trees[i].covered, g.node_count());
+  }
+}
+
+TEST(EdgeDisjointPacking, LiftedTreesAreConsistent) {
+  Rng rng(2);
+  const Graph g = gen::circulant(80, 8);
+  const auto packing = build_edge_disjoint_packing(g, 16);
+  for (const auto& tree : packing.trees) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == tree.root) {
+        EXPECT_EQ(tree.parent_arc[v], kInvalidArc);
+        continue;
+      }
+      const ArcId pa = tree.parent_arc[v];
+      ASSERT_NE(pa, kInvalidArc);
+      EXPECT_EQ(g.arc_tail(pa), v);  // arcs live in the parent graph
+      EXPECT_EQ(tree.depth_of[g.arc_head(pa)] + 1, tree.depth_of[v]);
+    }
+  }
+}
+
+TEST(EdgeDisjointPacking, TreeCountMatchesTheorem2) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(256, 48, rng);
+  DecompositionOptions opts;
+  opts.C = 2.0;
+  const auto packing = build_edge_disjoint_packing(g, 48, opts);
+  EXPECT_EQ(packing.tree_count(),
+            theorem2_part_count(48, g.node_count(), opts.C));
+}
+
+TEST(LowCongestionPacking, ReachesTargetWithBoundedLoad) {
+  Rng rng(4);
+  const Graph g = gen::random_regular(128, 32, rng);
+  DecompositionOptions opts;
+  opts.C = 1.5;
+  const std::uint32_t target = 12;
+  const auto packing = build_low_congestion_packing(g, 32, target, opts);
+  EXPECT_GE(packing.tree_count(), target);
+  // Each repetition contributes at most one tree per edge.
+  EXPECT_LE(packing.max_edge_load(), packing.repetitions);
+  for (std::size_t i = 0; i < packing.tree_count(); ++i)
+    EXPECT_TRUE(is_spanning_tree(g, packing.tree_edges[i]));
+}
+
+TEST(LowCongestionPacking, PaperParameters) {
+  // ">= λ spanning trees with congestion O(log n)": here λ = 24, n = 144,
+  // so λ' ≈ 24/(1.5 ln 144) ≈ 3 trees/repetition → about 8 = O(log n)
+  // repetitions, each edge in at most that many trees.
+  Rng rng(5);
+  const Graph g = gen::random_regular(144, 24, rng);
+  DecompositionOptions opts;
+  opts.C = 1.5;
+  const auto packing = build_low_congestion_packing(g, 24, 24, opts);
+  EXPECT_GE(packing.tree_count(), 24u);
+  const double log_n = std::log2(144.0);
+  EXPECT_LE(packing.max_edge_load(), 4 * log_n);
+}
+
+TEST(LowCongestionPacking, ThrowsWhenImpossible) {
+  // A path has λ = 1: every spanning tree uses every edge, so asking for
+  // many trees with few repetitions must fail.
+  const Graph g = gen::path(20);
+  DecompositionOptions opts;
+  EXPECT_THROW(build_low_congestion_packing(g, 1, 50, opts, /*max_reps=*/3),
+               std::runtime_error);
+}
+
+TEST(Packing, DiameterTracksNOverLambdaOnBottleneckFamily) {
+  // E12 flavour: on a thick path, any spanning tree must run the length of
+  // the path, so tree depth >= groups - 1 ~ n/λ.
+  const Graph g = gen::thick_path(16, 4);
+  const auto packing = build_edge_disjoint_packing(g, 4);
+  ASSERT_GE(packing.tree_count(), 1u);
+  for (const auto& t : packing.trees)
+    EXPECT_GE(t.depth, 15u);  // must traverse all 16 groups
+}
+
+TEST(Packing, BuildRoundsAccumulate) {
+  Rng rng(6);
+  const Graph g = gen::random_regular(96, 16, rng);
+  const auto p1 = build_edge_disjoint_packing(g, 16);
+  const auto p2 = build_low_congestion_packing(g, 16, 8);
+  EXPECT_GT(p1.build_rounds, 0u);
+  EXPECT_GE(p2.build_rounds, p1.build_rounds);
+  EXPECT_GE(p2.repetitions, 1u);
+}
+
+}  // namespace
+}  // namespace fc::core

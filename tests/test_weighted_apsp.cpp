@@ -1,0 +1,79 @@
+#include "apps/weighted_apsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+
+namespace fc::apps {
+namespace {
+
+TEST(WeightedApsp, Theorem5StretchGuarantee) {
+  Rng rng(1);
+  const auto g =
+      gen::with_random_weights(gen::random_regular(96, 16, rng), 1, 64, rng);
+  const std::uint32_t k = 3;
+  const auto report = approximate_apsp_weighted(g, 16, k);
+  EXPECT_TRUE(report.broadcast_report.complete);
+  for (NodeId src : {NodeId{0}, NodeId{40}, NodeId{95}}) {
+    const auto exact = dijkstra(g, src);
+    const auto est = report.distances_from(src);
+    for (NodeId v = 0; v < g.graph().node_count(); ++v) {
+      EXPECT_GE(est[v], exact[v]);
+      EXPECT_LE(est[v], static_cast<Weight>(2 * k - 1) * exact[v]);
+    }
+  }
+}
+
+TEST(WeightedApsp, RoundsSplitBetweenPhases) {
+  Rng rng(2);
+  const auto g =
+      gen::with_random_weights(gen::circulant(64, 8), 1, 32, rng);
+  const auto report = approximate_apsp_weighted(g, 16, 2);
+  EXPECT_EQ(report.total_rounds,
+            report.spanner_rounds + report.broadcast_rounds);
+  EXPECT_GT(report.broadcast_rounds, 0u);
+  // Two messages per spanner edge.
+  EXPECT_EQ(report.broadcast_report.k, 2 * report.spanner.edges.size());
+}
+
+TEST(WeightedApsp, HigherKBroadcastsFewerMessages) {
+  Rng rng(3);
+  const auto g =
+      gen::with_unit_weights(gen::random_regular(128, 24, rng));
+  WeightedApspOptions wopts;
+  wopts.seed = 5;
+  const auto r2 = approximate_apsp_weighted(g, 24, 2, wopts);
+  const auto r4 = approximate_apsp_weighted(g, 24, 4, wopts);
+  EXPECT_LE(r4.spanner.edges.size(), r2.spanner.edges.size());
+}
+
+TEST(WeightedApsp, Corollary1KFormula) {
+  EXPECT_EQ(corollary1_k(2), 1u);
+  // n = 1024: ln n ≈ 6.93, ln ln n ≈ 1.94 -> ceil(3.58) = 4.
+  EXPECT_EQ(corollary1_k(1024), 4u);
+  EXPECT_GE(corollary1_k(1u << 20), corollary1_k(1024));
+}
+
+TEST(WeightedApsp, Corollary1EndToEnd) {
+  Rng rng(4);
+  const auto g =
+      gen::with_random_weights(gen::random_regular(64, 16, rng), 1, 20, rng);
+  const std::uint32_t k = corollary1_k(64);
+  const auto report = approximate_apsp_weighted(g, 16, k);
+  EXPECT_TRUE(report.broadcast_report.complete);
+  const auto exact = dijkstra(g, 0);
+  const auto est = report.distances_from(0);
+  for (NodeId v = 0; v < 64; ++v)
+    EXPECT_LE(est[v], static_cast<Weight>(2 * k - 1) * exact[v]);
+}
+
+TEST(WeightedApsp, DisconnectedThrows) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  const WeightedGraph wg(g, {1, 1});
+  EXPECT_THROW(approximate_apsp_weighted(wg, 1, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fc::apps

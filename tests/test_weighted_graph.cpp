@@ -1,0 +1,127 @@
+#include "graph/weighted_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+
+namespace fc {
+namespace {
+
+/// Bellman–Ford ground truth for Dijkstra.
+std::vector<Weight> bellman_ford(const WeightedGraph& g, NodeId src) {
+  const Graph& graph = g.graph();
+  std::vector<Weight> dist(graph.node_count(), kInfWeight);
+  dist[src] = 0;
+  for (NodeId iter = 0; iter + 1 < graph.node_count(); ++iter) {
+    bool changed = false;
+    for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+      const NodeId u = graph.edge_u(e), v = graph.edge_v(e);
+      const Weight w = g.weight(e);
+      if (dist[u] < kInfWeight && dist[u] + w < dist[v]) {
+        dist[v] = dist[u] + w;
+        changed = true;
+      }
+      if (dist[v] < kInfWeight && dist[v] + w < dist[u]) {
+        dist[u] = dist[v] + w;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+TEST(WeightedGraph, RejectsMismatchedWeights) {
+  const Graph g = gen::cycle(4);
+  EXPECT_THROW(WeightedGraph(g, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(WeightedGraph, RejectsNegativeWeights) {
+  const Graph g = gen::path(3);
+  EXPECT_THROW(WeightedGraph(g, {1, -2}), std::invalid_argument);
+}
+
+TEST(WeightedGraph, ArcWeightMatchesEdgeWeight) {
+  Rng rng(1);
+  const auto g = gen::with_random_weights(gen::cycle(8), 1, 9, rng);
+  for (EdgeId e = 0; e < g.graph().edge_count(); ++e) {
+    const auto [a, b] = g.graph().edge_arcs(e);
+    EXPECT_EQ(g.arc_weight(a), g.weight(e));
+    EXPECT_EQ(g.arc_weight(b), g.weight(e));
+  }
+}
+
+TEST(WeightedGraph, TotalWeight) {
+  const Graph g = gen::path(4);
+  const WeightedGraph wg(g, {5, 6, 7});
+  EXPECT_EQ(wg.total_weight(), 18);
+}
+
+TEST(Dijkstra, MatchesBellmanFordOnRandomGraphs) {
+  Rng rng(2);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph base = gen::erdos_renyi(30, 0.2, rng);
+    std::vector<Weight> w(base.edge_count());
+    for (auto& x : w) x = rng.range(0, 20);  // zero weights allowed
+    const WeightedGraph g(base, w);
+    const auto d1 = dijkstra(g, 0);
+    const auto d2 = bellman_ford(g, 0);
+    EXPECT_EQ(d1, d2) << "trial " << trial;
+  }
+}
+
+TEST(Dijkstra, UnweightedMatchesBfsTimesOne) {
+  const auto g = gen::with_unit_weights(gen::grid(4, 5));
+  const auto d = dijkstra(g, 0);
+  const auto b = bfs_distances(g.graph(), 0);
+  for (NodeId v = 0; v < g.graph().node_count(); ++v)
+    EXPECT_EQ(static_cast<std::uint32_t>(d[v]), b[v]);
+}
+
+TEST(Dijkstra, DisconnectedIsInfinite) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  const WeightedGraph wg(g, {1, 1});
+  const auto d = dijkstra(wg, 0);
+  EXPECT_EQ(d[2], kInfWeight);
+  EXPECT_EQ(d[3], kInfWeight);
+}
+
+TEST(WeightedApspExact, SymmetricAndZeroDiagonal) {
+  Rng rng(3);
+  const auto g = gen::with_random_weights(gen::cycle(12), 1, 50, rng);
+  const auto all = weighted_apsp_exact(g);
+  for (NodeId u = 0; u < 12; ++u) {
+    EXPECT_EQ(all[u][u], 0);
+    for (NodeId v = 0; v < 12; ++v) EXPECT_EQ(all[u][v], all[v][u]);
+  }
+}
+
+TEST(NewGenerators, CompleteBipartite) {
+  const Graph g = gen::complete_bipartite(3, 5);
+  EXPECT_EQ(g.node_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 15u);
+  // No intra-side edges.
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(3, 4));
+  EXPECT_TRUE(g.has_edge(0, 3));
+}
+
+TEST(NewGenerators, RingOfCliques) {
+  const Graph g = gen::ring_of_cliques(4, 5);
+  EXPECT_EQ(g.node_count(), 20u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(min_degree(g), 4u);
+}
+
+TEST(NewGenerators, MargulisExpanderIsSmallDiameter) {
+  const Graph g = gen::margulis_expander(12);  // 144 nodes
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_LE(max_degree(g), 8u);
+  // Expander: diameter O(log n) — generous cap.
+  EXPECT_LE(diameter_double_sweep(g), 12u);
+}
+
+}  // namespace
+}  // namespace fc
