@@ -14,6 +14,8 @@
 #include "algo/pipeline_broadcast.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
+#include "scenario/spec.hpp"
+#include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -21,6 +23,25 @@ namespace fc::bench {
 
 inline void banner(const std::string& experiment, const std::string& claim) {
   std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+/// A workload graph with its display name (the canonical spec string).
+struct NamedGraph {
+  std::string name;
+  Graph graph;
+};
+
+/// Graph-spec overrides from the harness command line: every --graph=<spec>
+/// option, built through the scenario registry. Empty when none were passed
+/// — the harness then runs its built-in experiment grid.
+inline std::vector<NamedGraph> spec_graphs(int argc, char** argv) {
+  const Options opts(argc, argv);
+  std::vector<NamedGraph> out;
+  for (const auto& text : opts.get_all("graph")) {
+    const auto spec = scenario::GraphSpec::parse(text);
+    out.push_back({spec.to_string(), scenario::Registry::instance().build(spec)});
+  }
+  return out;
 }
 
 inline std::vector<algo::PlacedMessage> random_messages(const Graph& g,

@@ -1,8 +1,10 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 namespace fc::gen {
@@ -13,6 +15,10 @@ using EdgeVec = std::vector<std::pair<NodeId, NodeId>>;
 std::uint64_t edge_key(NodeId u, NodeId v) {
   if (u > v) std::swap(u, v);
   return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+ThreadPool& pool_or_global(ThreadPool* pool) {
+  return pool != nullptr ? *pool : ThreadPool::global();
 }
 }  // namespace
 
@@ -98,7 +104,11 @@ Graph harary(NodeId n, std::uint32_t k) {
 }
 
 Graph erdos_renyi(NodeId n, double p, Rng& rng) {
-  if (p < 0 || p > 1) throw std::invalid_argument("erdos_renyi: bad p");
+  if (n == 0) throw std::invalid_argument("erdos_renyi: n must be >= 1");
+  if (std::isnan(p) || p < 0 || p > 1)
+    throw std::invalid_argument(
+        "erdos_renyi: edge probability p must lie in [0, 1], got p=" +
+        std::to_string(p));
   EdgeVec edges;
   // Iterate over the implicit lexicographic edge enumeration, skipping
   // non-edges geometrically.
@@ -128,8 +138,17 @@ Graph erdos_renyi(NodeId n, double p, Rng& rng) {
 }
 
 Graph random_regular(NodeId n, std::uint32_t d, Rng& rng) {
-  if (d >= n || (static_cast<std::uint64_t>(n) * d) % 2 != 0)
-    throw std::invalid_argument("random_regular: need d < n and n*d even");
+  if (n == 0)
+    throw std::invalid_argument("random_regular: n must be >= 1");
+  if (d >= n)
+    throw std::invalid_argument(
+        "random_regular: degree must satisfy d < n, got n=" +
+        std::to_string(n) + ", d=" + std::to_string(d));
+  if ((static_cast<std::uint64_t>(n) * d) % 2 != 0)
+    throw std::invalid_argument(
+        "random_regular: n*d must be even (each edge consumes two stubs), "
+        "got n=" + std::to_string(n) + ", d=" + std::to_string(d) +
+        "; increase n or d by one");
   if (d == 0) return Graph::from_edges(n, EdgeVec{});
   // Pairing (configuration) model followed by edge-switch repair: a raw
   // pairing contains Θ(d²) self-loops/parallel edges, and rejecting whole
@@ -219,8 +238,14 @@ Graph thick_cycle(NodeId groups, NodeId width) {
 }
 
 Graph dumbbell(NodeId s, NodeId bridges) {
-  if (s < 2 || bridges == 0 || bridges > s)
-    throw std::invalid_argument("dumbbell: need 1 <= bridges <= s, s >= 2");
+  if (s < 2)
+    throw std::invalid_argument(
+        "dumbbell: clique size s must be >= 2, got s=" + std::to_string(s));
+  if (bridges == 0 || bridges > s)
+    throw std::invalid_argument(
+        "dumbbell: bridge count must satisfy 1 <= bridges <= s "
+        "(each bridge needs a distinct endpoint per clique), got s=" +
+        std::to_string(s) + ", bridges=" + std::to_string(bridges));
   EdgeVec edges;
   const NodeId n = 2 * s;
   for (NodeId u = 0; u < s; ++u)
@@ -296,6 +321,258 @@ Graph margulis_expander(NodeId side) {
         if (seen.insert(key).second) edges.emplace_back(a, b);
       }
     }
+  return Graph::from_edges(n, edges);
+}
+
+Graph rmat(NodeId n, std::uint64_t edge_attempts, double a, double b,
+           double c, Rng& rng, ThreadPool* pool) {
+  if (n < 2 || (n & (n - 1)) != 0)
+    throw std::invalid_argument(
+        "rmat: n must be a power of two >= 2, got n=" + std::to_string(n));
+  const double d = 1.0 - a - b - c;
+  if (std::isnan(d) || a < 0 || b < 0 || c < 0 || d < -1e-9)
+    throw std::invalid_argument(
+        "rmat: corner probabilities need a,b,c >= 0 and a+b+c <= 1, got a=" +
+        std::to_string(a) + ", b=" + std::to_string(b) +
+        ", c=" + std::to_string(c));
+  std::uint32_t levels = 0;
+  while ((NodeId{1} << levels) < n) ++levels;
+
+  // Each attempt descends the 2x2 recursive matrix with its own forked
+  // stream, so attempt i lands on the same cell no matter which worker
+  // runs it.
+  const Rng base = rng.fork(0x524d4154ULL);  // "RMAT"
+  std::vector<std::pair<NodeId, NodeId>> cand(edge_attempts);
+  pool_or_global(pool).parallel_chunks(
+      edge_attempts,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Rng child = base.fork(i);
+          NodeId u = 0, v = 0;
+          for (std::uint32_t lvl = 0; lvl < levels; ++lvl) {
+            const double r = child.uniform();
+            u <<= 1;
+            v <<= 1;
+            if (r < a) {
+              // top-left: no bit set
+            } else if (r < a + b) {
+              v |= 1;
+            } else if (r < a + b + c) {
+              u |= 1;
+            } else {
+              u |= 1;
+              v |= 1;
+            }
+          }
+          cand[i] = {u, v};
+        }
+      });
+
+  EdgeVec edges;
+  edges.reserve(edge_attempts);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edge_attempts * 2);
+  for (const auto& [u, v] : cand)
+    if (u != v && seen.insert(edge_key(u, v)).second) edges.emplace_back(u, v);
+  return Graph::from_edges(n, edges);
+}
+
+Graph barabasi_albert(NodeId n, std::uint32_t m, Rng& rng, ThreadPool* pool) {
+  if (m == 0)
+    throw std::invalid_argument("barabasi_albert: m must be >= 1");
+  if (n <= m)
+    throw std::invalid_argument(
+        "barabasi_albert: need n > m (the first m nodes are the seed), "
+        "got n=" + std::to_string(n) + ", m=" + std::to_string(m));
+
+  // Sanders–Schulz position resolution over the virtual endpoint array
+  //   V = [seed nodes 0..m-1] ++ [src_0, tgt_0, src_1, tgt_1, ...]
+  // where src_j = m + j/m is fixed and tgt_j is a uniform draw over the
+  // prefix V[0, m+2j) — i.e. attachment proportional to degree. A draw that
+  // hits a target slot re-resolves with randomness keyed by that POSITION,
+  // so every chain that passes through a slot agrees on its value and the
+  // whole array never needs to be materialised or sequentialised.
+  const Rng base = rng.fork(0x42415247ULL);  // "BARG"
+  const std::uint64_t total = static_cast<std::uint64_t>(n - m) * m;
+  std::vector<NodeId> target(total);
+  pool_or_global(pool).parallel_chunks(
+      total,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t j = begin; j < end; ++j) {
+          std::uint64_t pos = m + 2 * static_cast<std::uint64_t>(j) + 1;
+          NodeId resolved = kInvalidNode;
+          for (;;) {
+            // The draw for the target slot at `pos` = m+2j+1 is uniform over
+            // the prefix [0, m+2j) = [0, pos-1).
+            std::uint64_t r = base.fork(pos).below(pos - 1);
+            if (r < m) {
+              resolved = static_cast<NodeId>(r);  // seed node
+              break;
+            }
+            const std::uint64_t q = r - m;
+            if (q % 2 == 0) {
+              resolved = static_cast<NodeId>(m + (q / 2) / m);  // src slot
+              break;
+            }
+            pos = r;  // another target slot: follow the chain
+          }
+          target[j] = resolved;
+        }
+      });
+
+  EdgeVec edges;
+  edges.reserve(total + m);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(2 * total);
+  // Connected seed: path over the first m nodes.
+  for (NodeId v = 0; v + 1 < m; ++v) {
+    seen.insert(edge_key(v, v + 1));
+    edges.emplace_back(v, v + 1);
+  }
+  for (NodeId v = m; v < n; ++v) {
+    bool attached = false;
+    for (std::uint32_t j = 0; j < m; ++j) {
+      const NodeId t = target[static_cast<std::uint64_t>(v - m) * m + j];
+      if (t == v) continue;  // resolved to an earlier edge of v itself
+      if (!seen.insert(edge_key(v, t)).second) continue;
+      edges.emplace_back(v, t);
+      attached = true;
+    }
+    // All m draws collapsed to self/duplicates (vanishingly rare): keep the
+    // arrival invariant — every node joins the existing component.
+    if (!attached) {
+      seen.insert(edge_key(v, v - 1));
+      edges.emplace_back(v, v - 1);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph watts_strogatz(NodeId n, std::uint32_t k, double p, Rng& rng,
+                     ThreadPool* pool) {
+  if (k < 2 || k % 2 != 0)
+    throw std::invalid_argument(
+        "watts_strogatz: k must be even and >= 2 (k/2 neighbours per side), "
+        "got k=" + std::to_string(k));
+  if (n < 2 * (k / 2) + 1)
+    throw std::invalid_argument(
+        "watts_strogatz: need n >= k+1 for a simple ring lattice, got n=" +
+        std::to_string(n) + ", k=" + std::to_string(k));
+  if (std::isnan(p) || p < 0 || p > 1)
+    throw std::invalid_argument(
+        "watts_strogatz: rewiring probability p must lie in [0, 1], got p=" +
+        std::to_string(p));
+
+  // Per lattice edge (v, v+j): decide rewiring and draw the replacement
+  // endpoint from the edge's own stream; conflicts are resolved in one
+  // deterministic sequential pass below.
+  const std::uint32_t half = k / 2;
+  const std::uint64_t lattice = static_cast<std::uint64_t>(n) * half;
+  const Rng base = rng.fork(0x57535457ULL);  // "WSTW"
+  struct Draw {
+    NodeId new_target;
+    bool rewire;
+  };
+  std::vector<Draw> draws(lattice);
+  pool_or_global(pool).parallel_chunks(
+      lattice,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t e = begin; e < end; ++e) {
+          Rng child = base.fork(e);
+          const bool rewire = child.chance(p);
+          draws[e] = {static_cast<NodeId>(child.below(n)), rewire};
+        }
+      });
+
+  // Standard WS semantics: the full lattice exists first, then edges are
+  // rewired one at a time; a rewire whose target would duplicate a current
+  // edge is skipped (the lattice edge stays). Seeding `seen` with the whole
+  // lattice reproduces that exactly — every edge survives in one form or
+  // the other, so the graph always has exactly n*k/2 edges.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(2 * lattice);
+  for (NodeId v = 0; v < n; ++v)
+    for (std::uint32_t j = 1; j <= half; ++j)
+      seen.insert(edge_key(v, static_cast<NodeId>((v + j) % n)));
+  EdgeVec edges;
+  edges.reserve(lattice);
+  for (NodeId v = 0; v < n; ++v)
+    for (std::uint32_t j = 1; j <= half; ++j) {
+      const auto& d = draws[static_cast<std::uint64_t>(v) * half + (j - 1)];
+      const NodeId orig = static_cast<NodeId>((v + j) % n);
+      if (d.rewire && d.new_target != v &&
+          seen.insert(edge_key(v, d.new_target)).second) {
+        seen.erase(edge_key(v, orig));
+        edges.emplace_back(v, d.new_target);
+      } else {
+        edges.emplace_back(v, orig);
+      }
+    }
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_geometric(NodeId n, double radius, Rng& rng, ThreadPool* pool) {
+  if (n == 0)
+    throw std::invalid_argument("random_geometric: n must be >= 1");
+  if (std::isnan(radius) || radius <= 0)
+    throw std::invalid_argument(
+        "random_geometric: radius must be > 0, got radius=" +
+        std::to_string(radius));
+
+  const Rng base = rng.fork(0x52474721ULL);  // "RGG!"
+  std::vector<double> x(n), y(n);
+  ThreadPool& tp = pool_or_global(pool);
+  tp.parallel_chunks(n, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      Rng child = base.fork(v);
+      x[v] = child.uniform();
+      y[v] = child.uniform();
+    }
+  });
+
+  // Bucket grid with cell size >= radius: all neighbours of a node lie in
+  // its own or the eight adjacent cells. Cell count is capped at ~sqrt(n)
+  // per axis so the grid itself stays O(n) even for tiny radii (a wider
+  // cell only adds candidates to scan, never misses a neighbour).
+  const double max_cells = std::sqrt(static_cast<double>(n)) + 1;
+  const std::uint32_t cells = static_cast<std::uint32_t>(
+      std::max(1.0, std::min(max_cells, 1.0 / radius)));
+  auto cell_of = [cells](double coord) {
+    auto c = static_cast<std::uint32_t>(coord * cells);
+    return std::min(c, cells - 1);
+  };
+  std::vector<std::vector<NodeId>> bucket(
+      static_cast<std::size_t>(cells) * cells);
+  for (NodeId v = 0; v < n; ++v)
+    bucket[static_cast<std::size_t>(cell_of(x[v])) * cells + cell_of(y[v])]
+        .push_back(v);
+
+  // Each node collects its higher-id neighbours into its own slot, then the
+  // slots are concatenated in node order: output is independent of chunking.
+  const double r2 = radius * radius;
+  std::vector<std::vector<NodeId>> adj(n);
+  tp.parallel_chunks(n, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      const std::uint32_t cx = cell_of(x[v]), cy = cell_of(y[v]);
+      const std::uint32_t x0 = cx == 0 ? 0 : cx - 1;
+      const std::uint32_t y0 = cy == 0 ? 0 : cy - 1;
+      const std::uint32_t x1 = std::min(cells - 1, cx + 1);
+      const std::uint32_t y1 = std::min(cells - 1, cy + 1);
+      for (std::uint32_t gx = x0; gx <= x1; ++gx)
+        for (std::uint32_t gy = y0; gy <= y1; ++gy)
+          for (const NodeId w :
+               bucket[static_cast<std::size_t>(gx) * cells + gy]) {
+            if (w <= v) continue;
+            const double dx = x[v] - x[w], dy = y[v] - y[w];
+            if (dx * dx + dy * dy <= r2) adj[v].push_back(w);
+          }
+      std::sort(adj[v].begin(), adj[v].end());
+    }
+  });
+
+  EdgeVec edges;
+  for (NodeId v = 0; v < n; ++v)
+    for (const NodeId w : adj[v]) edges.emplace_back(v, w);
   return Graph::from_edges(n, edges);
 }
 

@@ -14,6 +14,7 @@
 #include "graph/graph.hpp"
 #include "graph/weighted_graph.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fc::gen {
 
@@ -86,6 +87,47 @@ Graph ring_of_cliques(NodeId groups, NodeId width);
 /// spectral gap family, δ <= 8; used to stress the decomposition on
 /// constant-degree expanders.
 Graph margulis_expander(NodeId side);
+
+// ---- Parallel random families -------------------------------------------
+//
+// The four families below are the scenario-engine workhorses: their heavy
+// per-node / per-edge loops run on ThreadPool::parallel_chunks (pass nullptr
+// to use the process-global pool). All randomness is derived per index from
+// the caller's Rng via fork(), never from shared mutable state, so the
+// result is bit-identical for a fixed seed regardless of thread count.
+
+/// R-MAT (Chakrabarti–Zhan–Faloutsos) recursive-matrix graph. `n` must be a
+/// power of two. Makes `edge_attempts` quadrant descents with corner
+/// probabilities (a, b, c, 1-a-b-c); self-loops and duplicates are dropped,
+/// so the final edge count is at most `edge_attempts`. Skewed degrees,
+/// λ typically ≪ δ_max: the "realistic internet-like" bottleneck family.
+Graph rmat(NodeId n, std::uint64_t edge_attempts, double a, double b,
+           double c, Rng& rng, ThreadPool* pool = nullptr);
+
+/// Barabási–Albert preferential attachment: nodes m, m+1, ..., n-1 arrive in
+/// order and attach `m` edges each, preferentially to high-degree nodes.
+/// Uses the Sanders–Schulz position-resolution scheme (each target resolves
+/// a chain of positions in the virtual endpoint array with position-keyed
+/// randomness), which is embarrassingly parallel. The first m nodes are
+/// seeded as a path and every arriving node keeps at least one edge, so the
+/// graph is always connected. Power-law degrees: λ ≈ m ≪ δ_max.
+Graph barabasi_albert(NodeId n, std::uint32_t m, Rng& rng,
+                      ThreadPool* pool = nullptr);
+
+/// Watts–Strogatz small world: ring lattice C_n(1..k/2) with every lattice
+/// edge rewired to a uniform random endpoint with probability p (invalid
+/// rewires keep the original edge, as in the standard construction).
+/// `k` must be even, 2 <= k < n. Interpolates between the circulant
+/// (λ = k) at p = 0 and near-Erdős–Rényi mixing at p = 1.
+Graph watts_strogatz(NodeId n, std::uint32_t k, double p, Rng& rng,
+                     ThreadPool* pool = nullptr);
+
+/// 2D random geometric graph: n points uniform in the unit square, an edge
+/// when dist <= radius. Bucket grid of cell size `radius`, per-node cell
+/// scans in parallel. Community-like locality: λ tracks the sparsest local
+/// neighbourhood, diameter ~ 1/radius.
+Graph random_geometric(NodeId n, double radius, Rng& rng,
+                       ThreadPool* pool = nullptr);
 
 /// Attach uniform random integer weights in [lo, hi] to a graph.
 WeightedGraph with_random_weights(Graph g, Weight lo, Weight hi, Rng& rng);

@@ -1,0 +1,218 @@
+#include "scenario/graph_io.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fc::scenario {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x46434752;  // "FCGR"
+constexpr std::uint32_t kVersion = 1;
+
+[[noreturn]] void io_fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("graph_io: " + path + ": " + what);
+}
+
+/// Running digest; chained mix64 so word order matters.
+struct Digest {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  void word(std::uint64_t w) { h = mix64(h, w); }
+};
+
+void write_u32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint32_t read_u32(std::ifstream& in, const std::string& path,
+                       const std::string& field) {
+  std::uint32_t v = 0;
+  if (!in.read(reinterpret_cast<char*>(&v), sizeof v))
+    io_fail(path, "truncated while reading " + field);
+  return v;
+}
+
+std::uint64_t read_u64(std::ifstream& in, const std::string& path,
+                       const std::string& field) {
+  std::uint64_t v = 0;
+  if (!in.read(reinterpret_cast<char*>(&v), sizeof v))
+    io_fail(path, "truncated while reading " + field);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t graph_checksum(const Graph& g) {
+  Digest d;
+  d.word(g.node_count());
+  d.word(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    d.word((static_cast<std::uint64_t>(g.edge_u(e)) << 32) | g.edge_v(e));
+  return d.h;
+}
+
+void save_edge_list(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) io_fail(path, "cannot open for writing");
+  out << g.node_count() << ' ' << g.edge_count() << '\n';
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    out << g.edge_u(e) << ' ' << g.edge_v(e) << '\n';
+  if (!out) io_fail(path, "write failed");
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) io_fail(path, "cannot open for reading");
+  std::string line;
+  std::uint64_t n = 0, m = 0;
+  bool have_header = false;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    if (!have_header) {
+      if (!(fields >> n >> m))
+        io_fail(path, "line " + std::to_string(line_no) +
+                          ": expected header 'n m'");
+      have_header = true;
+      edges.reserve(m);
+      continue;
+    }
+    std::uint64_t u = 0, v = 0;
+    if (!(fields >> u >> v))
+      io_fail(path,
+              "line " + std::to_string(line_no) + ": expected edge 'u v'");
+    if (u >= n || v >= n)
+      io_fail(path, "line " + std::to_string(line_no) + ": endpoint " +
+                        std::to_string(std::max(u, v)) + " >= n = " +
+                        std::to_string(n));
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  if (!have_header) io_fail(path, "missing 'n m' header");
+  if (edges.size() != m)
+    io_fail(path, "header promises " + std::to_string(m) + " edges, found " +
+                      std::to_string(edges.size()));
+  return Graph::from_edges(static_cast<NodeId>(n), edges);
+}
+
+void save_binary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) io_fail(path, "cannot open for writing");
+  Digest d;
+  write_u32(out, kMagic);
+  write_u32(out, kVersion);
+  write_u32(out, g.node_count());
+  write_u32(out, g.edge_count());
+  d.word(kMagic);
+  d.word(kVersion);
+  d.word(g.node_count());
+  d.word(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    write_u32(out, g.edge_u(e));
+    d.word(g.edge_u(e));
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    write_u32(out, g.edge_v(e));
+    d.word(g.edge_v(e));
+  }
+  write_u64(out, d.h);
+  if (!out) io_fail(path, "write failed");
+}
+
+Graph load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) io_fail(path, "cannot open for reading");
+  Digest d;
+  const std::uint32_t magic = read_u32(in, path, "magic");
+  if (magic != kMagic)
+    io_fail(path, "not a fastcast binary graph (bad magic)");
+  const std::uint32_t version = read_u32(in, path, "version");
+  if (version != kVersion)
+    io_fail(path, "format version " + std::to_string(version) +
+                      " unsupported (expected " + std::to_string(kVersion) +
+                      "); regenerate the cache");
+  const std::uint32_t n = read_u32(in, path, "node count");
+  const std::uint32_t m = read_u32(in, path, "edge count");
+  // Validate the promised payload against the real file size BEFORE
+  // allocating anything from the untrusted header: a flipped byte in the
+  // edge count must surface as the documented runtime_error, not bad_alloc.
+  const std::uint64_t expected_size = 16 + 8ull * m + 8;
+  const auto actual_size = std::filesystem::file_size(path);
+  if (actual_size != expected_size)
+    io_fail(path, "header promises " + std::to_string(m) + " edges (" +
+                      std::to_string(expected_size) + " bytes) but the file "
+                      "has " + std::to_string(actual_size) + " bytes");
+  d.word(magic);
+  d.word(version);
+  d.word(n);
+  d.word(m);
+  std::vector<std::pair<NodeId, NodeId>> edges(m);
+  for (std::uint32_t e = 0; e < m; ++e) {
+    edges[e].first = read_u32(in, path, "edge sources");
+    d.word(edges[e].first);
+  }
+  for (std::uint32_t e = 0; e < m; ++e) {
+    edges[e].second = read_u32(in, path, "edge targets");
+    d.word(edges[e].second);
+  }
+  const std::uint64_t stored = read_u64(in, path, "checksum");
+  if (stored != d.h)
+    io_fail(path, "checksum mismatch (file corrupt or partially written)");
+  char extra = 0;
+  if (in.read(&extra, 1))
+    io_fail(path, "trailing bytes after checksum");
+  return Graph::from_edges(n, edges);
+}
+
+std::string cache_file_name(const GraphSpec& spec) {
+  const std::string canon = spec.to_string();
+  std::string safe;
+  safe.reserve(canon.size());
+  for (const char ch : canon) {
+    const bool keep = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                      (ch >= '0' && ch <= '9') || ch == '=' || ch == '.' ||
+                      ch == '-';
+    safe += keep ? ch : '_';
+  }
+  // Hash suffix keeps distinct specs distinct even after sanitizing.
+  std::uint64_t h = 0x72d2e1f3c5a7b911ULL;
+  for (const char ch : canon) h = mix64(h, static_cast<unsigned char>(ch));
+  char suffix[32];
+  std::snprintf(suffix, sizeof suffix, "-%08llx.fcg",
+                static_cast<unsigned long long>(h & 0xffffffffULL));
+  return safe + suffix;
+}
+
+Graph load_or_generate(const GraphSpec& spec, const std::string& cache_dir,
+                       bool* from_cache) {
+  namespace fs = std::filesystem;
+  const fs::path file = fs::path(cache_dir) / cache_file_name(spec);
+  if (fs::exists(file)) {
+    try {
+      Graph g = load_binary(file.string());
+      if (from_cache != nullptr) *from_cache = true;
+      return g;
+    } catch (const std::exception&) {
+      // Stale or corrupt cache entry: fall through and regenerate.
+    }
+  }
+  Graph g = Registry::instance().build(spec);
+  fs::create_directories(cache_dir);
+  save_binary(g, file.string());
+  if (from_cache != nullptr) *from_cache = false;
+  return g;
+}
+
+}  // namespace fc::scenario

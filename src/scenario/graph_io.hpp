@@ -1,0 +1,52 @@
+#pragma once
+// Graph corpus I/O: text edge lists for interchange, and a versioned,
+// checksummed binary format so large generated graphs are built once and
+// reloaded in milliseconds.
+//
+// The binary format stores the canonical edge list (the graph's identity:
+// Graph::from_edges rebuilds the exact same CSR, arc ids included):
+//
+//   u32 magic "FCGR"  | u32 version | u32 n | u32 m
+//   u32 edge_u[m]     | u32 edge_v[m]
+//   u64 checksum      (mix64 chain over everything above)
+//
+// Loaders never trust the file: magic, version, size and checksum are all
+// validated and failures throw std::runtime_error with the reason — a
+// truncated or stale cache regenerates instead of corrupting an experiment.
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "scenario/spec.hpp"
+
+namespace fc::scenario {
+
+/// Order-sensitive digest of (n, edge list). Two graphs with equal
+/// checksums have identical CSR layouts (same nodes, edges, arc order).
+std::uint64_t graph_checksum(const Graph& g);
+
+/// Text edge list: header line "n m", then one "u v" line per edge.
+/// Lines starting with '#' or '%' are comments.
+void save_edge_list(const Graph& g, const std::string& path);
+Graph load_edge_list(const std::string& path);
+
+/// Binary CSR cache (see the format note above).
+void save_binary(const Graph& g, const std::string& path);
+Graph load_binary(const std::string& path);
+
+/// Cache-file name a spec maps to inside a corpus directory: the sanitized
+/// canonical spec plus a hash suffix, e.g. "rmat_n=4096_deg=8_seed=1-1a2b3c.fcg".
+/// NOTE: the identity is the spec STRING, so registry-defaulted parameters
+/// (e.g. rmat's a/b/c) are not part of it — when changing a family's default
+/// in spec.cpp, bump kVersion in graph_io.cpp so stale corpora regenerate.
+std::string cache_file_name(const GraphSpec& spec);
+
+/// Load the spec's graph from `cache_dir` if a valid cache file exists;
+/// otherwise generate it via the Registry and write the cache. A corrupt or
+/// unreadable cache file is silently regenerated. `from_cache` (optional)
+/// reports which path was taken.
+Graph load_or_generate(const GraphSpec& spec, const std::string& cache_dir,
+                       bool* from_cache = nullptr);
+
+}  // namespace fc::scenario

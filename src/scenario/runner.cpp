@@ -1,0 +1,235 @@
+#include "scenario/runner.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+#include "algo/bfs.hpp"
+#include "algo/convergecast.hpp"
+#include "algo/leader_election.hpp"
+#include "algo/pipeline_broadcast.hpp"
+#include "congest/network.hpp"
+#include "graph/properties.hpp"
+#include "scenario/spec.hpp"
+#include "util/rng.hpp"
+
+namespace fc::scenario {
+
+namespace {
+
+congest::RunOptions run_options(const ScenarioConfig& cfg) {
+  congest::RunOptions opts;
+  opts.max_rounds = cfg.max_rounds;
+  return opts;
+}
+
+NodeId checked_root(const Graph& g, const ScenarioConfig& cfg) {
+  if (cfg.root >= g.node_count())
+    throw std::invalid_argument(
+        "scenario: root " + std::to_string(cfg.root) +
+        " out of range for a graph with n=" + std::to_string(g.node_count()));
+  return cfg.root;
+}
+
+/// Fold one engine run into the result (phases add; congestion is over the
+/// whole execution, so arc sends accumulate across phases).
+void accumulate(ScenarioResult& r, const congest::RunResult& cost,
+                std::vector<std::uint64_t>& arc_sends) {
+  r.rounds += cost.rounds;
+  r.messages += cost.messages;
+  r.finished = r.finished && cost.finished;
+  if (arc_sends.empty()) arc_sends.assign(cost.arc_sends.size(), 0);
+  for (std::size_t a = 0; a < cost.arc_sends.size(); ++a)
+    arc_sends[a] += cost.arc_sends[a];
+}
+
+void finish(ScenarioResult& r, const Graph& g,
+            const std::vector<std::uint64_t>& arc_sends) {
+  r.nodes = g.node_count();
+  r.edges = g.edge_count();
+  for (const auto s : arc_sends)
+    r.max_arc_congestion = std::max(r.max_arc_congestion, s);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [a, b] = g.edge_arcs(e);
+    r.max_edge_congestion =
+        std::max(r.max_edge_congestion, arc_sends[a] + arc_sends[b]);
+  }
+}
+
+ScenarioResult run_bfs_scenario(const Graph& g, const ScenarioConfig& cfg) {
+  ScenarioResult r;
+  r.finished = true;
+  congest::Network net(g);
+  algo::DistributedBfs bfs(g, checked_root(g, cfg));
+  const auto cost = net.run(bfs, run_options(cfg));
+  std::vector<std::uint64_t> sends;
+  accumulate(r, cost, sends);
+  finish(r, g, sends);
+  r.note = "depth=" + std::to_string(bfs.depth()) +
+           " reached=" + std::to_string(bfs.reached_count());
+  return r;
+}
+
+ScenarioResult run_leader_scenario(const Graph& g, const ScenarioConfig& cfg) {
+  ScenarioResult r;
+  r.finished = true;
+  congest::Network net(g);
+  algo::LeaderElection alg(g);
+  const auto cost = net.run(alg, run_options(cfg));
+  std::vector<std::uint64_t> sends;
+  accumulate(r, cost, sends);
+  finish(r, g, sends);
+  r.note = cost.finished ? "leader=" + std::to_string(alg.leader()) : "-";
+  return r;
+}
+
+/// Tree workloads (broadcast, convergecast) need a spanning tree, but
+/// scenario families like R-MAT are naturally disconnected. Restrict such
+/// runs to the root's component (relabelled to dense ids) and record the
+/// restriction in the note, instead of refusing the workload.
+struct Workload {
+  const Graph* graph;            // the graph to run on
+  NodeId root;
+  std::optional<Graph> induced;  // storage when restricted
+  std::string note;              // "" or " cc=<reached>/<n>"
+};
+
+Workload root_component(const Graph& g, NodeId root) {
+  Workload w{&g, root, std::nullopt, ""};
+  const auto dist = bfs_distances(g, root);
+  std::vector<NodeId> newid(g.node_count(), kInvalidNode);
+  NodeId reached = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    if (dist[v] != kUnreached) newid[v] = reached++;
+  if (reached == g.node_count()) return w;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (const auto& [u, v] : g.edge_list())
+    if (newid[u] != kInvalidNode && newid[v] != kInvalidNode)
+      edges.emplace_back(newid[u], newid[v]);
+  w.induced = Graph::from_edges(reached, edges);
+  w.graph = &*w.induced;
+  w.root = newid[root];
+  w.note = " cc=" + std::to_string(reached) + "/" +
+           std::to_string(g.node_count());
+  return w;
+}
+
+ScenarioResult run_broadcast_scenario(const Graph& full,
+                                      const ScenarioConfig& cfg) {
+  ScenarioResult r;
+  r.finished = true;
+  const Workload w = root_component(full, checked_root(full, cfg));
+  const Graph& g = *w.graph;
+  const NodeId root = w.root;
+  const std::uint64_t k = cfg.k != 0 ? cfg.k : g.node_count();
+  Rng rng(cfg.seed);
+  std::vector<algo::PlacedMessage> msgs;
+  msgs.reserve(k);
+  for (std::uint64_t i = 0; i < k; ++i)
+    msgs.push_back({static_cast<NodeId>(rng.below(g.node_count())), i, rng()});
+
+  std::vector<std::uint64_t> sends;
+  congest::Network net(g);
+  algo::DistributedBfs bfs(g, root);
+  accumulate(r, net.run(bfs, run_options(cfg)), sends);
+  const auto tree = algo::extract_tree(g, bfs);
+
+  congest::Network net2(g);
+  algo::PipelineBroadcast pipe(g, tree, std::move(msgs));
+  accumulate(r, net2.run(pipe, run_options(cfg)), sends);
+  finish(r, g, sends);
+
+  bool complete = true;
+  for (NodeId v = 0; v < g.node_count() && complete; ++v)
+    complete = pipe.digest(v) == pipe.expected_digest();
+  r.note = "k=" + std::to_string(k) +
+           (complete ? " delivered" : " INCOMPLETE") + w.note;
+  r.finished = r.finished && complete;
+  return r;
+}
+
+ScenarioResult run_convergecast_scenario(const Graph& full,
+                                         const ScenarioConfig& cfg) {
+  ScenarioResult r;
+  r.finished = true;
+  const Workload w = root_component(full, checked_root(full, cfg));
+  const Graph& g = *w.graph;
+  const NodeId root = w.root;
+  std::vector<std::uint64_t> sends;
+  congest::Network net(g);
+  algo::DistributedBfs bfs(g, root);
+  accumulate(r, net.run(bfs, run_options(cfg)), sends);
+  const auto tree = algo::extract_tree(g, bfs);
+
+  // Aggregate sum of node ids: every node can verify n(n-1)/2.
+  std::vector<std::uint64_t> values(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) values[v] = v;
+  congest::Network net2(g);
+  algo::Convergecast agg(g, tree, algo::AggregateOp::kSum, std::move(values));
+  accumulate(r, net2.run(agg, run_options(cfg)), sends);
+  finish(r, g, sends);
+  r.note = "sum=" + std::to_string(agg.result(root)) + w.note;
+  return r;
+}
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner() {
+  add("bfs", run_bfs_scenario);
+  add("leader-election", run_leader_scenario);
+  add("broadcast", run_broadcast_scenario);
+  add("convergecast", run_convergecast_scenario);
+}
+
+std::vector<std::string> ScenarioRunner::algorithms() const {
+  std::vector<std::string> out;
+  out.reserve(algos_.size());
+  for (const auto& [name, _] : algos_) out.push_back(name);
+  return out;
+}
+
+void ScenarioRunner::add(const std::string& name, AlgoFn fn) {
+  algos_[name] = std::move(fn);
+}
+
+ScenarioResult ScenarioRunner::run(const std::string& algo, const Graph& g,
+                                   const std::string& graph_name,
+                                   const ScenarioConfig& cfg) const {
+  const auto it = algos_.find(algo);
+  if (it == algos_.end()) {
+    std::string known;
+    for (const auto& [name, _] : algos_) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    throw std::invalid_argument("scenario: unknown algorithm '" + algo +
+                                "'; known: " + known);
+  }
+  ScenarioResult r = it->second(g, cfg);
+  r.graph = graph_name;
+  r.algo = algo;
+  return r;
+}
+
+ScenarioResult ScenarioRunner::run_spec(const std::string& algo,
+                                        const std::string& spec,
+                                        const ScenarioConfig& cfg) const {
+  const GraphSpec parsed = GraphSpec::parse(spec);
+  const Graph g = Registry::instance().build(parsed);
+  return run(algo, g, parsed.to_string(), cfg);
+}
+
+Table make_report(const std::vector<ScenarioResult>& results) {
+  Table table({"graph", "algo", "n", "m", "rounds", "messages", "max arc",
+               "max edge", "done", "note"});
+  for (const auto& r : results)
+    table.add_row({r.graph, r.algo, Table::num(std::size_t{r.nodes}),
+                   Table::num(std::size_t{r.edges}),
+                   Table::num(std::size_t{r.rounds}),
+                   Table::num(std::size_t{r.messages}),
+                   Table::num(std::size_t{r.max_arc_congestion}),
+                   Table::num(std::size_t{r.max_edge_congestion}),
+                   r.finished ? "yes" : "NO", r.note});
+  return table;
+}
+
+}  // namespace fc::scenario

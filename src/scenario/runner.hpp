@@ -1,0 +1,74 @@
+#pragma once
+// ScenarioRunner: the bridge from declarative scenarios to the CONGEST
+// engine. Maps (--graph=<spec>, --algo=<name>) onto the library's
+// distributed algorithms and reports the paper's cost measures — rounds,
+// total messages, and max per-arc / per-edge congestion — as util/table rows.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/table.hpp"
+
+namespace fc::scenario {
+
+/// Knobs shared by all scenario algorithms.
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  /// Messages for k-broadcast style workloads; 0 means "one per node".
+  std::uint64_t k = 0;
+  NodeId root = 0;
+  std::uint64_t max_rounds = 10'000'000;
+};
+
+/// One algorithm run on one graph, in paper cost measures.
+struct ScenarioResult {
+  std::string graph;  // display name (usually the canonical spec)
+  std::string algo;
+  NodeId nodes = 0;
+  EdgeId edges = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t max_arc_congestion = 0;   // max sends over any directed arc
+  std::uint64_t max_edge_congestion = 0;  // both directions of one edge
+  bool finished = false;
+  std::string note;  // algorithm-specific outcome, e.g. "depth=7"
+};
+
+class ScenarioRunner {
+ public:
+  using AlgoFn = std::function<ScenarioResult(const Graph&,
+                                              const ScenarioConfig&)>;
+
+  /// Constructs with the built-in algorithms registered: bfs,
+  /// leader-election, broadcast, convergecast.
+  ScenarioRunner();
+
+  /// Registered algorithm names, sorted.
+  std::vector<std::string> algorithms() const;
+  bool has(const std::string& algo) const { return algos_.count(algo) > 0; }
+
+  /// Register (or replace) an algorithm.
+  void add(const std::string& name, AlgoFn fn);
+
+  /// Run one algorithm on one graph. Throws std::invalid_argument for an
+  /// unknown algorithm name (message lists the known ones).
+  ScenarioResult run(const std::string& algo, const Graph& g,
+                     const std::string& graph_name,
+                     const ScenarioConfig& cfg = {}) const;
+
+  /// Convenience: parse + build the spec, then run.
+  ScenarioResult run_spec(const std::string& algo, const std::string& spec,
+                          const ScenarioConfig& cfg = {}) const;
+
+ private:
+  std::map<std::string, AlgoFn> algos_;
+};
+
+/// Render results as the standard metrics table.
+Table make_report(const std::vector<ScenarioResult>& results);
+
+}  // namespace fc::scenario

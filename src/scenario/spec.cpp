@@ -1,0 +1,350 @@
+#include "scenario/spec.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fc::scenario {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("graph spec: " + what);
+}
+
+std::uint64_t parse_uint(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  std::uint64_t out = 0;
+  try {
+    out = std::stoull(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != value.size() || value.empty() || value[0] == '-')
+    bad("parameter '" + key + "' expects a non-negative integer, got '" +
+        value + "'");
+  return out;
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  double out = 0;
+  try {
+    out = std::stod(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != value.size() || value.empty())
+    bad("parameter '" + key + "' expects a number, got '" + value + "'");
+  return out;
+}
+
+NodeId to_node(std::uint64_t v, const std::string& key) {
+  if (v > std::numeric_limits<NodeId>::max())
+    bad("parameter '" + key + "' = " + std::to_string(v) +
+        " exceeds the 32-bit node-id space");
+  return static_cast<NodeId>(v);
+}
+
+std::uint32_t to_u32(std::uint64_t v, const std::string& key) {
+  if (v > std::numeric_limits<std::uint32_t>::max())
+    bad("parameter '" + key + "' = " + std::to_string(v) + " out of range");
+  return static_cast<std::uint32_t>(v);
+}
+
+Rng spec_rng(const GraphSpec& s) { return Rng(s.get_uint("seed", 1)); }
+
+}  // namespace
+
+GraphSpec GraphSpec::parse(const std::string& text) {
+  const auto colon = text.find(':');
+  std::string family = text.substr(0, colon);
+  if (family.empty()) bad("empty family name in '" + text + "'");
+  std::map<std::string, std::string> params;
+  if (colon != std::string::npos) {
+    std::size_t pos = colon + 1;
+    while (pos <= text.size()) {
+      const auto comma = text.find(',', pos);
+      const std::string item =
+          text.substr(pos, comma == std::string::npos ? std::string::npos
+                                                      : comma - pos);
+      if (item.empty())
+        bad("empty parameter in '" + text + "' (trailing or doubled comma?)");
+      const auto eq = item.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == item.size())
+        bad("parameter '" + item + "' in '" + text +
+            "' is not of the form key=value");
+      const std::string key = item.substr(0, eq);
+      if (!params.emplace(key, item.substr(eq + 1)).second)
+        bad("duplicate parameter '" + key + "' in '" + text + "'");
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  return GraphSpec(std::move(family), std::move(params));
+}
+
+std::uint64_t GraphSpec::get_uint(const std::string& key,
+                                  std::uint64_t fallback) const {
+  const auto it = params_.find(key);
+  return it == params_.end() ? fallback : parse_uint(key, it->second);
+}
+
+std::uint64_t GraphSpec::require_uint(const std::string& key) const {
+  const auto it = params_.find(key);
+  if (it == params_.end())
+    bad("family '" + family_ + "' requires parameter '" + key + "' (in '" +
+        to_string() + "')");
+  return parse_uint(key, it->second);
+}
+
+double GraphSpec::get_double(const std::string& key, double fallback) const {
+  const auto it = params_.find(key);
+  return it == params_.end() ? fallback : parse_double(key, it->second);
+}
+
+double GraphSpec::require_double(const std::string& key) const {
+  const auto it = params_.find(key);
+  if (it == params_.end())
+    bad("family '" + family_ + "' requires parameter '" + key + "' (in '" +
+        to_string() + "')");
+  return parse_double(key, it->second);
+}
+
+std::string GraphSpec::to_string() const {
+  std::string out = family_;
+  char sep = ':';
+  for (const auto& [k, v] : params_) {
+    out += sep;
+    out += k;
+    out += '=';
+    out += v;
+    sep = ',';
+  }
+  return out;
+}
+
+Registry& Registry::instance() {
+  static Registry reg;
+  return reg;
+}
+
+const FamilyInfo* Registry::find(const std::string& family) const {
+  const auto it = families_.find(family);
+  return it == families_.end() ? nullptr : &it->second;
+}
+
+std::vector<const FamilyInfo*> Registry::families() const {
+  std::vector<const FamilyInfo*> out;
+  out.reserve(families_.size());
+  for (const auto& [_, info] : families_) out.push_back(&info);
+  return out;
+}
+
+Graph Registry::build(const GraphSpec& spec) const {
+  const FamilyInfo* info = find(spec.family());
+  if (info == nullptr) {
+    std::string known;
+    for (const auto& [name, _] : families_) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    bad("unknown family '" + spec.family() + "'; known families: " + known);
+  }
+  for (const auto& [key, _] : spec.params()) {
+    bool ok = false;
+    for (const auto& k : info->keys) ok = ok || k == key;
+    if (!ok)
+      bad("family '" + spec.family() + "' does not take parameter '" + key +
+          "'; accepted: " + info->params_help);
+  }
+  return info->build(spec);
+}
+
+Graph Registry::build(const std::string& spec_text) const {
+  return build(GraphSpec::parse(spec_text));
+}
+
+void Registry::add(FamilyInfo info) {
+  families_[info.name] = std::move(info);
+}
+
+Graph build_graph(const std::string& spec_text) {
+  return Registry::instance().build(spec_text);
+}
+
+Registry::Registry() {
+  const auto reg = [this](FamilyInfo info) { add(std::move(info)); };
+
+  reg({"path", "n", "lambda = 1, D = n-1: the exact-test baseline",
+       "path:n=16",
+       {"n"},
+       [](const GraphSpec& s) {
+         return gen::path(to_node(s.require_uint("n"), "n"));
+       }});
+  reg({"cycle", "n", "lambda = 2, D = n/2", "cycle:n=16",
+       {"n"},
+       [](const GraphSpec& s) {
+         return gen::cycle(to_node(s.require_uint("n"), "n"));
+       }});
+  reg({"complete", "n", "lambda = delta = n-1, D = 1", "complete:n=16",
+       {"n"},
+       [](const GraphSpec& s) {
+         return gen::complete(to_node(s.require_uint("n"), "n"));
+       }});
+  reg({"grid", "rows, cols", "lambda = 2; planar mesh", "grid:rows=4,cols=5",
+       {"rows", "cols"},
+       [](const GraphSpec& s) {
+         return gen::grid(to_node(s.require_uint("rows"), "rows"),
+                          to_node(s.require_uint("cols"), "cols"));
+       }});
+  reg({"torus", "rows, cols", "lambda = 4; wrap-around mesh",
+       "torus:rows=4,cols=5",
+       {"rows", "cols"},
+       [](const GraphSpec& s) {
+         return gen::torus(to_node(s.require_uint("rows"), "rows"),
+                           to_node(s.require_uint("cols"), "cols"));
+       }});
+  reg({"hypercube", "dim", "lambda = delta = dim on 2^dim nodes",
+       "hypercube:dim=6",
+       {"dim"},
+       [](const GraphSpec& s) {
+         return gen::hypercube(to_u32(s.require_uint("dim"), "dim"));
+       }});
+  reg({"circulant", "n, k", "2k-regular, lambda = 2k: maximally connected "
+       "sparse",
+       "circulant:n=24,k=3",
+       {"n", "k"},
+       [](const GraphSpec& s) {
+         return gen::circulant(to_node(s.require_uint("n"), "n"),
+                               to_u32(s.require_uint("k"), "k"));
+       }});
+  reg({"harary", "n, k", "k-edge-connected with ceil(nk/2) edges",
+       "harary:n=24,k=4",
+       {"n", "k"},
+       [](const GraphSpec& s) {
+         return gen::harary(to_node(s.require_uint("n"), "n"),
+                            to_u32(s.require_uint("k"), "k"));
+       }});
+  reg({"erdos_renyi", "n, p, seed", "G(n,p); lambda ~ delta ~ np above the "
+       "connectivity threshold",
+       "erdos_renyi:n=64,p=0.2,seed=1",
+       {"n", "p", "seed"},
+       [](const GraphSpec& s) {
+         Rng rng = spec_rng(s);
+         return gen::erdos_renyi(to_node(s.require_uint("n"), "n"),
+                                 s.require_double("p"), rng);
+       }});
+  reg({"random_regular", "n, d, seed", "d-regular, lambda = delta = d whp: "
+       "the high-connectivity regime where fast broadcast wins",
+       "random_regular:n=64,d=6,seed=1",
+       {"n", "d", "seed"},
+       [](const GraphSpec& s) {
+         Rng rng = spec_rng(s);
+         return gen::random_regular(to_node(s.require_uint("n"), "n"),
+                                    to_u32(s.require_uint("d"), "d"), rng);
+       }});
+  reg({"thick_path", "groups, width", "lambda = width bottleneck chain "
+       "(E9/E12 family)",
+       "thick_path:groups=5,width=4",
+       {"groups", "width"},
+       [](const GraphSpec& s) {
+         return gen::thick_path(to_node(s.require_uint("groups"), "groups"),
+                                to_node(s.require_uint("width"), "width"));
+       }});
+  reg({"thick_cycle", "groups, width", "lambda = width+1 bottleneck ring",
+       "thick_cycle:groups=5,width=4",
+       {"groups", "width"},
+       [](const GraphSpec& s) {
+         return gen::thick_cycle(to_node(s.require_uint("groups"), "groups"),
+                                 to_node(s.require_uint("width"), "width"));
+       }});
+  reg({"dumbbell", "s, bridges", "lambda = bridges << delta = s-1: the "
+       "canonical lambda-oblivious search family (E9)",
+       "dumbbell:s=8,bridges=2",
+       {"s", "bridges"},
+       [](const GraphSpec& s) {
+         return gen::dumbbell(to_node(s.require_uint("s"), "s"),
+                              to_node(s.require_uint("bridges"), "bridges"));
+       }});
+  reg({"clique_path", "groups, width, overlap", "overlapping cliques; "
+       "lambda tracks the overlap",
+       "clique_path:groups=4,width=6,overlap=2",
+       {"groups", "width", "overlap"},
+       [](const GraphSpec& s) {
+         return gen::clique_path(to_node(s.require_uint("groups"), "groups"),
+                                 to_node(s.require_uint("width"), "width"),
+                                 to_node(s.require_uint("overlap"), "overlap"));
+       }});
+  reg({"complete_bipartite", "a, b", "lambda = min(a,b), D = 2",
+       "complete_bipartite:a=6,b=9",
+       {"a", "b"},
+       [](const GraphSpec& s) {
+         return gen::complete_bipartite(to_node(s.require_uint("a"), "a"),
+                                        to_node(s.require_uint("b"), "b"));
+       }});
+  reg({"ring_of_cliques", "groups, width", "lambda = 2 << delta = width-1: "
+       "extreme bottleneck ring",
+       "ring_of_cliques:groups=4,width=5",
+       {"groups", "width"},
+       [](const GraphSpec& s) {
+         return gen::ring_of_cliques(
+             to_node(s.require_uint("groups"), "groups"),
+             to_node(s.require_uint("width"), "width"));
+       }});
+  reg({"margulis", "side", "8-regular expander on side^2 nodes; constant "
+       "spectral gap",
+       "margulis:side=5",
+       {"side"},
+       [](const GraphSpec& s) {
+         return gen::margulis_expander(to_node(s.require_uint("side"), "side"));
+       }});
+
+  // ---- the four parallel scenario families --------------------------------
+  reg({"rmat", "n, deg | edges, a, b, c, seed", "R-MAT skewed-degree "
+       "internet-like family; lambda << delta_max",
+       "rmat:n=256,deg=8,seed=1",
+       {"n", "deg", "edges", "a", "b", "c", "seed"},
+       [](const GraphSpec& s) {
+         const NodeId n = to_node(s.require_uint("n"), "n");
+         const std::uint64_t attempts =
+             s.has("edges") ? s.require_uint("edges")
+                            : s.get_uint("deg", 8) * std::uint64_t{n} / 2;
+         Rng rng = spec_rng(s);
+         return gen::rmat(n, attempts, s.get_double("a", 0.57),
+                          s.get_double("b", 0.19), s.get_double("c", 0.19),
+                          rng);
+       }});
+  reg({"barabasi_albert", "n, m, seed", "preferential attachment; power-law "
+       "degrees, lambda ~ m << delta_max",
+       "barabasi_albert:n=256,m=3,seed=1",
+       {"n", "m", "seed"},
+       [](const GraphSpec& s) {
+         Rng rng = spec_rng(s);
+         return gen::barabasi_albert(to_node(s.require_uint("n"), "n"),
+                                     to_u32(s.get_uint("m", 2), "m"), rng);
+       }});
+  reg({"watts_strogatz", "n, k, p, seed", "small world: circulant lambda = k "
+       "at p=0, ER-like mixing at p=1",
+       "watts_strogatz:n=256,k=6,p=0.1,seed=1",
+       {"n", "k", "p", "seed"},
+       [](const GraphSpec& s) {
+         Rng rng = spec_rng(s);
+         return gen::watts_strogatz(to_node(s.require_uint("n"), "n"),
+                                    to_u32(s.get_uint("k", 4), "k"),
+                                    s.get_double("p", 0.1), rng);
+       }});
+  reg({"random_geometric", "n, radius, seed", "unit-square proximity graph; "
+       "lambda set by the sparsest neighbourhood, D ~ 1/radius",
+       "random_geometric:n=256,radius=0.125,seed=1",
+       {"n", "radius", "seed"},
+       [](const GraphSpec& s) {
+         Rng rng = spec_rng(s);
+         return gen::random_geometric(to_node(s.require_uint("n"), "n"),
+                                      s.require_double("radius"), rng);
+       }});
+}
+
+}  // namespace fc::scenario

@@ -1,0 +1,105 @@
+#pragma once
+// Declarative graph scenarios: KaGen-style spec strings and the family
+// registry behind them.
+//
+// A spec names a generator family plus its parameters:
+//
+//   "rmat:n=16384,deg=8,seed=7"
+//   "dumbbell:s=512,bridges=4"
+//   "hypercube:dim=10"
+//
+// Parsing is strict: unknown families, unknown parameter keys, and
+// malformed values all throw std::invalid_argument with an actionable
+// message, so a typo in an experiment grid fails fast instead of silently
+// running the wrong workload. to_string() renders the canonical form
+// (parameters sorted by key), which doubles as the cache-file identity in
+// graph_io.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace fc::scenario {
+
+/// A parsed spec: family name + key=value parameters.
+class GraphSpec {
+ public:
+  GraphSpec() = default;
+  GraphSpec(std::string family, std::map<std::string, std::string> params)
+      : family_(std::move(family)), params_(std::move(params)) {}
+
+  /// Parse "family:k1=v1,k2=v2". Throws std::invalid_argument on syntax
+  /// errors (empty family, missing '=', duplicate keys).
+  static GraphSpec parse(const std::string& text);
+
+  const std::string& family() const { return family_; }
+  const std::map<std::string, std::string>& params() const { return params_; }
+
+  bool has(const std::string& key) const { return params_.count(key) > 0; }
+
+  /// Typed accessors. The *get* forms fall back when the key is absent; the
+  /// *require* forms throw std::invalid_argument. Both throw on a value
+  /// that does not parse as the requested type.
+  std::uint64_t get_uint(const std::string& key, std::uint64_t fallback) const;
+  std::uint64_t require_uint(const std::string& key) const;
+  double get_double(const std::string& key, double fallback) const;
+  double require_double(const std::string& key) const;
+
+  /// Canonical rendering: "family:k1=v1,k2=v2" with keys sorted. Stable
+  /// under reparsing: parse(s).to_string() == parse(to_string()).to_string().
+  std::string to_string() const;
+
+ private:
+  std::string family_;
+  std::map<std::string, std::string> params_;  // map => sorted, canonical
+};
+
+/// One registered generator family.
+struct FamilyInfo {
+  std::string name;
+  /// Accepted parameter keys, e.g. "n, deg, seed" (informational).
+  std::string params_help;
+  /// One-line λ/δ regime note for the scenario catalog.
+  std::string regime;
+  /// A small, valid example spec (used by --list and the smoke tests).
+  std::string example;
+  /// Exact set of parameter keys build() understands; anything else in a
+  /// spec is rejected as a probable typo.
+  std::vector<std::string> keys;
+  std::function<Graph(const GraphSpec&)> build;
+};
+
+/// Registry of every family, seed and new. Process-wide singleton;
+/// registration of additional families is allowed (e.g. from tests).
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// nullptr when the family is unknown.
+  const FamilyInfo* find(const std::string& family) const;
+
+  /// All families sorted by name.
+  std::vector<const FamilyInfo*> families() const;
+
+  /// Build the graph a spec describes. Throws std::invalid_argument for an
+  /// unknown family or unknown parameter keys, and propagates the
+  /// generator's own precondition errors.
+  Graph build(const GraphSpec& spec) const;
+  Graph build(const std::string& spec_text) const;
+
+  /// Register (or replace) a family.
+  void add(FamilyInfo info);
+
+ private:
+  Registry();
+  std::map<std::string, FamilyInfo> families_;
+};
+
+/// Convenience: Registry::instance().build(spec_text).
+Graph build_graph(const std::string& spec_text);
+
+}  // namespace fc::scenario

@@ -12,11 +12,16 @@ Options::Options(int argc, char** argv) {
     if (arg.rfind("--", 0) == 0) {
       arg = arg.substr(2);
       const auto eq = arg.find('=');
+      std::string key, value;
       if (eq == std::string::npos) {
-        kv_[arg] = "true";
+        key = arg;
+        value = "true";
       } else {
-        kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        key = arg.substr(0, eq);
+        value = arg.substr(eq + 1);
       }
+      kv_[key] = value;
+      ordered_.emplace_back(std::move(key), std::move(value));
     } else {
       positional_.push_back(arg);
     }
@@ -46,6 +51,20 @@ bool Options::get_bool(const std::string& key, bool fallback) const {
   const auto it = kv_.find(key);
   if (it == kv_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> Options::get_all(const std::string& key) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : ordered_)
+    if (k == key) out.push_back(v);
+  return out;
+}
+
+std::vector<std::string> Options::keys() const {
+  std::vector<std::string> out;
+  out.reserve(kv_.size());
+  for (const auto& [k, _] : kv_) out.push_back(k);
+  return out;
 }
 
 const std::string& Options::positional(std::size_t i) const {

@@ -18,12 +18,22 @@ class Options {
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback = false) const;
 
+  /// Every value passed for a repeatable option, in command-line order
+  /// (e.g. --graph=a --graph=b). Empty when the key was never passed;
+  /// get() and friends see the LAST occurrence.
+  std::vector<std::string> get_all(const std::string& key) const;
+
+  /// Distinct option keys that were passed (sorted); lets binaries reject
+  /// typo'd flags instead of silently ignoring them.
+  std::vector<std::string> keys() const;
+
   /// Positional (non --key) arguments in order.
   const std::string& positional(std::size_t i) const;
   std::size_t positional_count() const { return positional_.size(); }
 
  private:
   std::map<std::string, std::string> kv_;
+  std::vector<std::pair<std::string, std::string>> ordered_;  // all --k=v
   std::vector<std::string> positional_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "graph/mincut.hpp"
 #include "graph/properties.hpp"
 
@@ -175,6 +177,166 @@ TEST(CliquePath, OverlapConnectivity) {
   EXPECT_GE(min_degree(g), 5u);
   // Separating two consecutive cliques cuts the overlap nodes' edges.
   EXPECT_LE(edge_connectivity(g), 2u * 5u);
+}
+
+TEST(Preconditions, ActionableMessages) {
+  Rng rng(1);
+  // The message must name the offending parameter with its value, so a bad
+  // experiment grid is debuggable from the exception alone.
+  try {
+    gen::random_regular(10, 12, rng);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find("d=12"), std::string::npos);
+  }
+  try {
+    gen::dumbbell(4, 9);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find("bridges=9"), std::string::npos);
+  }
+  try {
+    gen::erdos_renyi(10, 1.5, rng);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find("[0, 1]"), std::string::npos);
+  }
+}
+
+TEST(Preconditions, RejectsDegenerateInputs) {
+  Rng rng(1);
+  EXPECT_THROW(gen::erdos_renyi(0, 0.5, rng), std::invalid_argument);
+  EXPECT_THROW(gen::erdos_renyi(10, std::nan(""), rng),
+               std::invalid_argument);
+  EXPECT_THROW(gen::erdos_renyi(10, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(gen::random_regular(0, 0, rng), std::invalid_argument);
+  EXPECT_THROW(gen::dumbbell(1, 1), std::invalid_argument);
+  EXPECT_THROW(gen::dumbbell(4, 0), std::invalid_argument);
+}
+
+// ---- the four parallel scenario families ----------------------------------
+//
+// Determinism contract: a fixed seed yields a bit-identical graph no matter
+// how many workers the pool has (randomness is derived per index, chunking
+// only changes who computes each slot).
+
+template <typename Fn>
+void expect_thread_count_invariant(Fn&& build) {
+  ThreadPool solo(1), quad(4);
+  const Graph a = build(&solo);
+  const Graph b = build(&quad);
+  const Graph c = build(nullptr);  // global pool
+  EXPECT_EQ(a.edge_list(), b.edge_list());
+  EXPECT_EQ(a.edge_list(), c.edge_list());
+}
+
+TEST(Rmat, DeterministicAcrossThreadCounts) {
+  expect_thread_count_invariant([](ThreadPool* pool) {
+    Rng rng(11);
+    return gen::rmat(512, 2048, 0.57, 0.19, 0.19, rng, pool);
+  });
+}
+
+TEST(Rmat, ShapeAndPreconditions) {
+  Rng rng(3);
+  const Graph g = gen::rmat(1024, 4096, 0.57, 0.19, 0.19, rng);
+  EXPECT_EQ(g.node_count(), 1024u);
+  EXPECT_LE(g.edge_count(), 4096u);
+  EXPECT_GT(g.edge_count(), 2048u);  // dedup losses are moderate
+  // Skew: R-MAT concentrates degree on low-id nodes.
+  EXPECT_GT(max_degree(g), 4 * average_degree(g));
+
+  EXPECT_THROW(gen::rmat(1000, 100, .5, .2, .2, rng), std::invalid_argument);
+  EXPECT_THROW(gen::rmat(0, 100, .5, .2, .2, rng), std::invalid_argument);
+  EXPECT_THROW(gen::rmat(64, 100, .8, .3, .2, rng), std::invalid_argument);
+  EXPECT_THROW(gen::rmat(64, 100, -.1, .3, .2, rng), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, DeterministicAcrossThreadCounts) {
+  expect_thread_count_invariant([](ThreadPool* pool) {
+    Rng rng(12);
+    return gen::barabasi_albert(700, 3, rng, pool);
+  });
+}
+
+TEST(BarabasiAlbert, ConnectedPowerLawShape) {
+  Rng rng(5);
+  const NodeId n = 600;
+  const std::uint32_t m = 3;
+  const Graph g = gen::barabasi_albert(n, m, rng);
+  EXPECT_EQ(g.node_count(), n);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_LE(g.edge_count(), (n - m) * m + (m - 1));
+  EXPECT_GE(min_degree(g), 1u);
+  // Preferential attachment: the hubs dwarf the average degree.
+  EXPECT_GT(max_degree(g), 5 * average_degree(g));
+
+  EXPECT_THROW(gen::barabasi_albert(10, 0, rng), std::invalid_argument);
+  EXPECT_THROW(gen::barabasi_albert(5, 5, rng), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, TreeWhenMIsOne) {
+  Rng rng(6);
+  const Graph g = gen::barabasi_albert(200, 1, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.edge_count(), 199u);  // a tree
+}
+
+TEST(WattsStrogatz, DeterministicAcrossThreadCounts) {
+  expect_thread_count_invariant([](ThreadPool* pool) {
+    Rng rng(13);
+    return gen::watts_strogatz(500, 6, 0.2, rng, pool);
+  });
+}
+
+TEST(WattsStrogatz, ZeroRewiringIsTheCirculant) {
+  Rng rng(7);
+  const Graph g = gen::watts_strogatz(40, 6, 0.0, rng);
+  EXPECT_EQ(g.edge_list(), gen::circulant(40, 3).edge_list());
+}
+
+TEST(WattsStrogatz, RewiringKeepsSizeAndChangesEdges) {
+  Rng rng(8);
+  const Graph g = gen::watts_strogatz(300, 6, 0.3, rng);
+  EXPECT_EQ(g.node_count(), 300u);
+  // Rewiring moves edges but never destroys them: exactly n*k/2 survive,
+  // and every node keeps its k/2 "own" slots.
+  EXPECT_EQ(g.edge_count(), 900u);
+  EXPECT_GE(min_degree(g), 3u);
+  EXPECT_NE(g.edge_list(), gen::circulant(300, 3).edge_list());
+
+  EXPECT_THROW(gen::watts_strogatz(10, 3, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(gen::watts_strogatz(4, 4, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(gen::watts_strogatz(10, 4, 1.5, rng), std::invalid_argument);
+}
+
+TEST(RandomGeometric, DeterministicAcrossThreadCounts) {
+  expect_thread_count_invariant([](ThreadPool* pool) {
+    Rng rng(14);
+    return gen::random_geometric(800, 0.08, rng, pool);
+  });
+}
+
+TEST(RandomGeometric, HugeRadiusIsComplete) {
+  Rng rng(9);
+  const Graph g = gen::random_geometric(40, 1.5, rng);
+  EXPECT_EQ(g.edge_count(), 40u * 39 / 2);
+}
+
+TEST(RandomGeometric, EdgesRespectTheRadius) {
+  // The bucket-grid edge set must equal the brute-force edge set; build the
+  // same point cloud twice with radii r1 < r2 and check containment plus
+  // the expected-count ballpark for the larger radius.
+  Rng rng1(10), rng2(10);
+  const Graph small = gen::random_geometric(300, 0.05, rng1);
+  const Graph big = gen::random_geometric(300, 0.15, rng2);
+  EXPECT_GT(big.edge_count(), small.edge_count());
+  for (const auto& [u, v] : small.edge_list())
+    EXPECT_TRUE(big.has_edge(u, v));  // same points, larger radius
+
+  Rng rng(11);
+  EXPECT_THROW(gen::random_geometric(10, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(gen::random_geometric(0, 0.5, rng), std::invalid_argument);
 }
 
 TEST(Weights, RandomWeightsInRange) {

@@ -1,0 +1,171 @@
+#include "scenario/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.hpp"
+
+namespace fc::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+/// Full identity: node count, edge list (ids + order), and per-node arc
+/// order — everything the CSR layout is made of.
+void expect_identical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  EXPECT_EQ(a.edge_list(), b.edge_list());
+  for (NodeId v = 0; v < a.node_count(); ++v) {
+    ASSERT_EQ(a.arc_begin(v), b.arc_begin(v));
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()))
+        << "arc order differs at node " << v;
+  }
+  EXPECT_EQ(graph_checksum(a), graph_checksum(b));
+}
+
+Graph sample_graph() { return build_graph("rmat:n=256,deg=8,seed=3"); }
+
+TEST(EdgeListIo, RoundTrip) {
+  const Graph g = sample_graph();
+  const auto path = temp_path("roundtrip.txt");
+  save_edge_list(g, path);
+  expect_identical(g, load_edge_list(path));
+}
+
+TEST(EdgeListIo, CommentsAndErrors) {
+  const auto path = temp_path("edgelist.txt");
+  {
+    std::ofstream out(path);
+    out << "# a comment\n3 2\n0 1\n% another\n1 2\n";
+  }
+  const Graph g = load_edge_list(path);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+
+  {
+    std::ofstream out(path);
+    out << "3 5\n0 1\n";  // header promises more edges than present
+  }
+  EXPECT_THROW(load_edge_list(path), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "3 1\n0 7\n";  // endpoint out of range
+  }
+  EXPECT_THROW(load_edge_list(path), std::runtime_error);
+  EXPECT_THROW(load_edge_list(temp_path("no_such_file.txt")),
+               std::runtime_error);
+}
+
+TEST(BinaryIo, RoundTripIdentity) {
+  const Graph g = sample_graph();
+  const auto path = temp_path("roundtrip.fcg");
+  save_binary(g, path);
+  expect_identical(g, load_binary(path));
+}
+
+TEST(BinaryIo, ChecksumCatchesCorruption) {
+  const Graph g = sample_graph();
+  const auto path = temp_path("corrupt.fcg");
+  save_binary(g, path);
+  // Flip one payload byte.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(20);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(20);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  try {
+    load_binary(path);
+    FAIL() << "expected checksum failure";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(BinaryIo, RejectsTruncation) {
+  const Graph g = sample_graph();
+  const auto path = temp_path("trunc.fcg");
+  save_binary(g, path);
+  fs::resize_file(path, fs::file_size(path) / 2);
+  EXPECT_THROW(load_binary(path), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsBadMagicAndVersion) {
+  const Graph g = gen::cycle(8);
+  const auto path = temp_path("magic.fcg");
+  save_binary(g, path);
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    const std::uint32_t not_magic = 0xdeadbeef;
+    f.write(reinterpret_cast<const char*>(&not_magic), 4);
+  }
+  EXPECT_THROW(load_binary(path), std::runtime_error);
+
+  save_binary(g, path);
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(4);
+    const std::uint32_t future_version = 99;
+    f.write(reinterpret_cast<const char*>(&future_version), 4);
+  }
+  try {
+    load_binary(path);
+    FAIL() << "expected version failure";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(Corpus, LoadOrGenerateCachesAndReloads) {
+  const auto dir = temp_path("corpus_cache");
+  fs::remove_all(dir);
+  const auto spec = GraphSpec::parse("dumbbell:s=16,bridges=2");
+
+  bool from_cache = true;
+  const Graph generated = load_or_generate(spec, dir, &from_cache);
+  EXPECT_FALSE(from_cache);
+  EXPECT_TRUE(fs::exists(fs::path(dir) / cache_file_name(spec)));
+
+  const Graph reloaded = load_or_generate(spec, dir, &from_cache);
+  EXPECT_TRUE(from_cache);
+  expect_identical(generated, reloaded);
+}
+
+TEST(Corpus, CorruptCacheRegenerates) {
+  const auto dir = temp_path("corpus_corrupt");
+  fs::remove_all(dir);
+  const auto spec = GraphSpec::parse("cycle:n=12");
+  const Graph first = load_or_generate(spec, dir, nullptr);
+  const auto file = fs::path(dir) / cache_file_name(spec);
+  fs::resize_file(file, 3);  // destroy the cache entry
+
+  bool from_cache = true;
+  const Graph second = load_or_generate(spec, dir, &from_cache);
+  EXPECT_FALSE(from_cache);
+  expect_identical(first, second);
+  // And the rewritten cache is valid again.
+  expect_identical(first, load_binary(file.string()));
+}
+
+TEST(Corpus, DistinctSpecsGetDistinctFiles) {
+  EXPECT_NE(cache_file_name(GraphSpec::parse("rmat:n=256,deg=8,seed=1")),
+            cache_file_name(GraphSpec::parse("rmat:n=256,deg=8,seed=2")));
+  // Canonicalization: parameter order does not change the cache identity.
+  EXPECT_EQ(cache_file_name(GraphSpec::parse("rmat:seed=1,n=256,deg=8")),
+            cache_file_name(GraphSpec::parse("rmat:n=256,deg=8,seed=1")));
+}
+
+}  // namespace
+}  // namespace fc::scenario

@@ -1,0 +1,124 @@
+#include "scenario/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/spec.hpp"
+
+namespace fc::scenario {
+namespace {
+
+TEST(ScenarioRunner, RegistersBuiltInAlgorithms) {
+  const ScenarioRunner runner;
+  const auto algos = runner.algorithms();
+  for (const std::string expected :
+       {"bfs", "broadcast", "convergecast", "leader-election"})
+    EXPECT_TRUE(runner.has(expected)) << expected;
+  EXPECT_EQ(algos.size(), 4u);
+}
+
+TEST(ScenarioRunner, UnknownAlgorithmIsActionable) {
+  const ScenarioRunner runner;
+  try {
+    runner.run_spec("quicksort", "cycle:n=8");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("quicksort"), std::string::npos);
+    EXPECT_NE(what.find("bfs"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRunner, BfsOnRmatSpec) {
+  const ScenarioRunner runner;
+  const auto r = runner.run_spec("bfs", "rmat:n=256,deg=8,seed=1");
+  EXPECT_EQ(r.graph, "rmat:deg=8,n=256,seed=1");
+  EXPECT_EQ(r.algo, "bfs");
+  EXPECT_EQ(r.nodes, 256u);
+  EXPECT_TRUE(r.finished);
+  EXPECT_GT(r.rounds, 0u);
+  EXPECT_GT(r.messages, 0u);
+  EXPECT_NE(r.note.find("depth="), std::string::npos);
+}
+
+TEST(ScenarioRunner, EveryAlgorithmFinishesOnEveryNewFamily) {
+  const ScenarioRunner runner;
+  ScenarioConfig cfg;
+  cfg.k = 32;
+  for (const std::string spec :
+       {"rmat:n=64,deg=6,seed=2", "barabasi_albert:n=64,m=2,seed=2",
+        "watts_strogatz:n=64,k=4,p=0.2,seed=2",
+        "random_geometric:n=64,radius=0.3,seed=2"}) {
+    for (const auto& algo : runner.algorithms()) {
+      SCOPED_TRACE(spec + " / " + algo);
+      const auto r = runner.run_spec(algo, spec, cfg);
+      EXPECT_TRUE(r.finished);
+      EXPECT_GT(r.rounds, 0u);
+      // Any sent message is counted somewhere, and per-edge congestion
+      // dominates per-arc congestion by construction.
+      EXPECT_GE(r.max_edge_congestion, r.max_arc_congestion);
+      EXPECT_GE(r.messages, r.max_arc_congestion);
+    }
+  }
+}
+
+TEST(ScenarioRunner, ConvergecastComputesIdSum) {
+  const ScenarioRunner runner;
+  const auto r = runner.run_spec("convergecast", "cycle:n=32");
+  EXPECT_TRUE(r.finished);
+  EXPECT_EQ(r.note, "sum=" + std::to_string(32 * 31 / 2));
+}
+
+TEST(ScenarioRunner, LeaderIsMaxId) {
+  const ScenarioRunner runner;
+  const auto r = runner.run_spec("leader-election", "dumbbell:s=8,bridges=2");
+  EXPECT_TRUE(r.finished);
+  EXPECT_EQ(r.note, "leader=15");
+}
+
+TEST(ScenarioRunner, BroadcastDeliversAllMessages) {
+  const ScenarioRunner runner;
+  ScenarioConfig cfg;
+  cfg.k = 64;
+  cfg.seed = 9;
+  const auto r = runner.run_spec("broadcast", "complete:n=16", cfg);
+  EXPECT_TRUE(r.finished);
+  EXPECT_EQ(r.note, "k=64 delivered");
+  // k messages must each cross the root edge region at least once; the
+  // pipelined tree bound says congestion is O(k).
+  EXPECT_GE(r.max_edge_congestion, 1u);
+}
+
+TEST(ScenarioRunner, RootOutOfRangeThrows) {
+  const ScenarioRunner runner;
+  ScenarioConfig cfg;
+  cfg.root = 1000;
+  EXPECT_THROW(runner.run_spec("bfs", "cycle:n=8", cfg),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRunner, DeterministicAcrossRuns) {
+  const ScenarioRunner runner;
+  ScenarioConfig cfg;
+  cfg.k = 48;
+  const auto a = runner.run_spec("broadcast", "rmat:n=128,deg=6,seed=4", cfg);
+  const auto b = runner.run_spec("broadcast", "rmat:n=128,deg=6,seed=4", cfg);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.max_arc_congestion, b.max_arc_congestion);
+  EXPECT_EQ(a.max_edge_congestion, b.max_edge_congestion);
+}
+
+TEST(ScenarioReport, OneRowPerResult) {
+  const ScenarioRunner runner;
+  std::vector<ScenarioResult> results;
+  results.push_back(runner.run_spec("bfs", "cycle:n=16"));
+  results.push_back(runner.run_spec("leader-election", "cycle:n=16"));
+  const Table table = make_report(results);
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.row(0)[0], "cycle:n=16");
+  EXPECT_EQ(table.row(0)[1], "bfs");
+  EXPECT_EQ(table.row(1)[1], "leader-election");
+}
+
+}  // namespace
+}  // namespace fc::scenario

@@ -1,0 +1,119 @@
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace fc::scenario {
+namespace {
+
+TEST(GraphSpecParse, FamilyOnly) {
+  const auto spec = GraphSpec::parse("complete:n=8");
+  EXPECT_EQ(spec.family(), "complete");
+  EXPECT_EQ(spec.require_uint("n"), 8u);
+  const auto bare = GraphSpec::parse("hypercube");
+  EXPECT_EQ(bare.family(), "hypercube");
+  EXPECT_TRUE(bare.params().empty());
+}
+
+TEST(GraphSpecParse, CanonicalFormSortsKeys) {
+  const auto spec = GraphSpec::parse("rmat:seed=7,n=16384,deg=8");
+  EXPECT_EQ(spec.to_string(), "rmat:deg=8,n=16384,seed=7");
+}
+
+TEST(GraphSpecParse, RoundTripIsStable) {
+  for (const std::string text :
+       {"rmat:n=16384,deg=8,seed=7", "dumbbell:s=512,bridges=4",
+        "watts_strogatz:n=100,k=6,p=0.25,seed=3", "path:n=5"}) {
+    const auto once = GraphSpec::parse(text).to_string();
+    EXPECT_EQ(GraphSpec::parse(once).to_string(), once) << text;
+  }
+}
+
+TEST(GraphSpecParse, SyntaxErrors) {
+  EXPECT_THROW(GraphSpec::parse(""), std::invalid_argument);
+  EXPECT_THROW(GraphSpec::parse(":n=4"), std::invalid_argument);
+  EXPECT_THROW(GraphSpec::parse("path:n"), std::invalid_argument);
+  EXPECT_THROW(GraphSpec::parse("path:=4"), std::invalid_argument);
+  EXPECT_THROW(GraphSpec::parse("path:n="), std::invalid_argument);
+  EXPECT_THROW(GraphSpec::parse("path:n=4,"), std::invalid_argument);
+  EXPECT_THROW(GraphSpec::parse("path:n=4,,m=2"), std::invalid_argument);
+  EXPECT_THROW(GraphSpec::parse("path:n=4,n=5"), std::invalid_argument);
+}
+
+TEST(GraphSpecParse, TypedValueErrors) {
+  const auto spec = GraphSpec::parse("path:n=abc,p=zz");
+  EXPECT_THROW(spec.require_uint("n"), std::invalid_argument);
+  EXPECT_THROW(spec.require_double("p"), std::invalid_argument);
+  EXPECT_THROW(spec.require_uint("missing"), std::invalid_argument);
+  EXPECT_EQ(spec.get_uint("missing", 42), 42u);
+}
+
+TEST(RegistryBuild, UnknownFamilyIsActionable) {
+  try {
+    build_graph("frobnicate:n=4");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("frobnicate"), std::string::npos);
+    EXPECT_NE(what.find("rmat"), std::string::npos);  // lists known families
+  }
+}
+
+TEST(RegistryBuild, UnknownParameterIsRejected) {
+  EXPECT_THROW(build_graph("complete:n=8,typo=3"), std::invalid_argument);
+  EXPECT_THROW(build_graph("rmat:n=256,degg=8"), std::invalid_argument);
+}
+
+TEST(RegistryBuild, MissingRequiredParameterIsRejected) {
+  EXPECT_THROW(build_graph("complete"), std::invalid_argument);
+  EXPECT_THROW(build_graph("dumbbell:s=8"), std::invalid_argument);
+  EXPECT_THROW(build_graph("random_geometric:n=64"), std::invalid_argument);
+}
+
+TEST(RegistryBuild, GeneratorPreconditionsPropagate) {
+  EXPECT_THROW(build_graph("rmat:n=100,deg=8"), std::invalid_argument);
+  EXPECT_THROW(build_graph("erdos_renyi:n=10,p=1.5"), std::invalid_argument);
+  EXPECT_THROW(build_graph("dumbbell:s=4,bridges=9"), std::invalid_argument);
+}
+
+TEST(RegistryBuild, EveryRegisteredExampleBuilds) {
+  for (const auto* info : Registry::instance().families()) {
+    SCOPED_TRACE(info->name);
+    const auto spec = GraphSpec::parse(info->example);
+    EXPECT_EQ(spec.family(), info->name);
+    const Graph g = Registry::instance().build(spec);
+    EXPECT_GT(g.node_count(), 0u);
+    EXPECT_GT(g.edge_count(), 0u);
+  }
+}
+
+TEST(RegistryBuild, SeedFamiliesMatchDirectGenerators) {
+  // The registry must be a faithful veneer over fc::gen.
+  EXPECT_EQ(build_graph("hypercube:dim=5").edge_list(),
+            gen::hypercube(5).edge_list());
+  EXPECT_EQ(build_graph("dumbbell:s=6,bridges=2").edge_list(),
+            gen::dumbbell(6, 2).edge_list());
+  Rng rng(9);
+  EXPECT_EQ(build_graph("erdos_renyi:n=50,p=0.2,seed=9").edge_list(),
+            gen::erdos_renyi(50, 0.2, rng).edge_list());
+}
+
+TEST(RegistryBuild, SameSpecSameGraph) {
+  for (const std::string text :
+       {"rmat:n=256,deg=8,seed=5", "barabasi_albert:n=200,m=3,seed=5",
+        "watts_strogatz:n=200,k=6,p=0.3,seed=5",
+        "random_geometric:n=200,radius=0.15,seed=5"}) {
+    SCOPED_TRACE(text);
+    EXPECT_EQ(build_graph(text).edge_list(), build_graph(text).edge_list());
+  }
+}
+
+TEST(RegistryBuild, SeedChangesGraph) {
+  EXPECT_NE(build_graph("rmat:n=256,deg=8,seed=1").edge_list(),
+            build_graph("rmat:n=256,deg=8,seed=2").edge_list());
+}
+
+}  // namespace
+}  // namespace fc::scenario
