@@ -42,10 +42,59 @@ void experiment_e15() {
   table.print(std::cout);
 }
 
+// --graph=<spec> override: the E15 batching comparison on caller-chosen
+// scenarios. λ is measured (or taken from --lambda); the query batch sizes
+// sweep as in the built-in grid.
+void experiment_specs(const std::vector<NamedGraph>& graphs,
+                      const Options& opts) {
+  banner("E15 on custom scenarios",
+         "batched aggregate queries over the Theorem 2 decomposition vs "
+         "sequential single-tree execution on --graph=<spec> workloads.");
+  Table table({"graph", "n", "lambda", "queries", "parts", "decomposed",
+               "single-tree", "gain"});
+  Rng rng(111);
+  for (const auto& [name, g] : graphs) {
+    const auto lambda = spec_lambda(opts, g);
+    if (lambda.value == 0) {
+      std::cout << "skipping " << name << ": disconnected (lambda = 0)\n";
+      continue;
+    }
+    for (std::size_t q : {8u, 32u}) {
+      std::vector<apps::AggregateQuery> queries(q);
+      for (std::size_t i = 0; i < q; ++i) {
+        queries[i].op = static_cast<algo::AggregateOp>(i % 3);
+        queries[i].values.resize(g.node_count());
+        for (auto& v : queries[i].values) v = rng.below(1'000'000);
+      }
+      const auto report = apps::multi_aggregate(g, lambda.value,
+                                                std::move(queries));
+      table.add_row(
+          {name, Table::num(std::size_t{g.node_count()}), lambda_str(lambda),
+           Table::num(q), Table::num(std::size_t{report.parts}),
+           Table::num(std::size_t{report.rounds}),
+           Table::num(std::size_t{report.baseline_rounds}),
+           Table::num(static_cast<double>(report.baseline_rounds) /
+                          static_cast<double>(report.rounds),
+                      2)});
+    }
+  }
+  table.print(std::cout);
+}
+
 }  // namespace
 }  // namespace fc::bench
 
-int main() {
+int main(int argc, char** argv) {
+  try {
+    const auto custom = fc::bench::spec_graphs(argc, argv);
+    if (!custom.empty()) {
+      fc::bench::experiment_specs(custom, fc::Options(argc, argv));
+      return 0;
+    }
+  } catch (const std::exception& err) {
+    std::cerr << "bench_aggregation: " << err.what() << "\n";
+    return 2;
+  }
   fc::bench::experiment_e15();
   return 0;
 }

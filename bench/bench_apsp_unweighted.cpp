@@ -99,10 +99,65 @@ void experiment_e4_vs_exact() {
   table.print(std::cout);
 }
 
+// --graph=<spec> override: Theorem 4 on caller-chosen scenarios. The
+// (3,2) quality check runs the O(n^2)-pair comparison only while n <= 512;
+// larger workloads report rounds and scaling alone.
+void experiment_specs(const std::vector<NamedGraph>& graphs,
+                      const Options& opts) {
+  banner("E4 on custom scenarios",
+         "(3,2)-approx unweighted APSP on --graph=<spec> workloads; "
+         "quality columns need n <= 512 (all-pairs exact comparison).");
+  Table table({"graph", "n", "lambda", "clusters", "rounds", "rounds*l/n",
+               "worst d'/d", "violations"});
+  for (const auto& [name, g] : graphs) {
+    const auto lambda = spec_lambda(opts, g);
+    if (lambda.value == 0 || !is_connected(g)) {
+      std::cout << "skipping " << name
+                << ": APSP needs a connected graph (lambda > 0)\n";
+      continue;
+    }
+    const auto report = apps::approximate_apsp_unweighted(g, lambda.value);
+    std::string worst = "-", violations = "-";
+    if (g.node_count() <= 512) {
+      const auto exact = apsp_exact(g);
+      double w = 0;
+      std::size_t bad = 0;
+      for (NodeId u = 0; u < g.node_count(); ++u)
+        for (NodeId v = u + 1; v < g.node_count(); ++v) {
+          const auto est = report.estimate(u, v);
+          w = std::max(w, static_cast<double>(est) /
+                              static_cast<double>(exact[u][v]));
+          if (est < exact[u][v] || est > 3 * exact[u][v] + 2) ++bad;
+        }
+      worst = Table::num(w, 2);
+      violations = Table::num(bad);
+    }
+    table.add_row(
+        {name, Table::num(std::size_t{g.node_count()}), lambda_str(lambda),
+         Table::num(std::size_t{report.clustering.cluster_count()}),
+         Table::num(std::size_t{report.total_rounds}),
+         Table::num(static_cast<double>(report.total_rounds) * lambda.value /
+                        g.node_count(),
+                    1),
+         worst, violations});
+  }
+  table.print(std::cout);
+}
+
 }  // namespace
 }  // namespace fc::bench
 
-int main() {
+int main(int argc, char** argv) {
+  try {
+    const auto custom = fc::bench::spec_graphs(argc, argv);
+    if (!custom.empty()) {
+      fc::bench::experiment_specs(custom, fc::Options(argc, argv));
+      return 0;
+    }
+  } catch (const std::exception& err) {
+    std::cerr << "bench_apsp_unweighted: " << err.what() << "\n";
+    return 2;
+  }
   fc::bench::experiment_e4();
   fc::bench::experiment_e4_phases();
   fc::bench::experiment_e4_vs_exact();

@@ -6,14 +6,29 @@
 // and prints the table the paper's theorem corresponds to. Absolute round
 // counts depend on implementation constants; the *shape* (who wins, how
 // quantities scale) is the reproduction target, per EXPERIMENTS.md.
+//
+// Spec overrides — every harness accepts the same flags:
+//   --graph=<spec>   repeatable; run the harness's spec-mode experiment on
+//                    these scenario-registry graphs instead of the built-in
+//                    grid. Weighted harnesses take weights=lo..hi specs.
+//   --cache=<dir>    corpus directory: graphs are load_or_generate'd
+//                    (binary CSR + manifest) instead of regenerated.
+//   --lambda=<l>     skip λ measurement and use this value (the generators
+//                    usually guarantee λ by construction).
+// Helpers here only *read* flags; unknown-flag policing stays with the
+// binaries that opt into it. All helpers are plain functions without
+// shared state — safe to call from any single thread, not synchronized.
 
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "algo/pipeline_broadcast.hpp"
 #include "graph/generators.hpp"
+#include "graph/mincut.hpp"
 #include "graph/properties.hpp"
+#include "scenario/graph_io.hpp"
 #include "scenario/spec.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
@@ -31,17 +46,60 @@ struct NamedGraph {
   Graph graph;
 };
 
+/// Weighted counterpart (weights from `weights=lo..hi`, else unit).
+struct NamedWeightedGraph {
+  std::string name;
+  WeightedGraph graph;
+};
+
 /// Graph-spec overrides from the harness command line: every --graph=<spec>
-/// option, built through the scenario registry. Empty when none were passed
-/// — the harness then runs its built-in experiment grid.
+/// option, built through the scenario registry — via the --cache corpus
+/// when given. Empty when none were passed — the harness then runs its
+/// built-in experiment grid.
 inline std::vector<NamedGraph> spec_graphs(int argc, char** argv) {
   const Options opts(argc, argv);
+  const std::string cache = opts.get("cache", "");
   std::vector<NamedGraph> out;
   for (const auto& text : opts.get_all("graph")) {
     const auto spec = scenario::GraphSpec::parse(text);
-    out.push_back({spec.to_string(), scenario::Registry::instance().build(spec)});
+    Graph g = cache.empty()
+                  ? scenario::Registry::instance().build(spec)
+                  : scenario::load_or_generate(spec, cache);
+    out.push_back({spec.to_string(), std::move(g)});
   }
   return out;
+}
+
+/// Weighted spec overrides for the weighted harnesses: same contract as
+/// spec_graphs, plus hash-derived `weights=lo..hi` weights (unit weights
+/// when the parameter is absent).
+inline std::vector<NamedWeightedGraph> spec_weighted_graphs(int argc,
+                                                            char** argv) {
+  const Options opts(argc, argv);
+  const std::string cache = opts.get("cache", "");
+  std::vector<NamedWeightedGraph> out;
+  for (const auto& text : opts.get_all("graph")) {
+    const auto spec = scenario::GraphSpec::parse(text);
+    WeightedGraph g =
+        cache.empty() ? scenario::Registry::instance().build_weighted(spec)
+                      : scenario::load_or_generate_weighted(spec, cache);
+    out.push_back({spec.to_string(), std::move(g)});
+  }
+  return out;
+}
+
+/// λ for a spec-mode workload: --lambda=<l> when given, otherwise the
+/// shared fc::estimate_edge_connectivity policy (exact for n <= 600, a
+/// Karger upper-bound estimate above it).
+inline ConnectivityEstimate spec_lambda(const Options& opts, const Graph& g) {
+  if (opts.has("lambda"))
+    return {static_cast<std::uint32_t>(opts.get_int("lambda", 1)), true};
+  return estimate_edge_connectivity(g, 0x6c);
+}
+
+/// Table rendering of the estimate: exact λ as "l", upper bounds as "~l".
+inline std::string lambda_str(const ConnectivityEstimate& est) {
+  return (est.exact ? "" : "~") + std::to_string(est.value);
 }
 
 inline std::vector<algo::PlacedMessage> random_messages(const Graph& g,

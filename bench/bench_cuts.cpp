@@ -75,10 +75,52 @@ void experiment_e6_mincut() {
   table.print(std::cout);
 }
 
+// --graph=<spec> override: Theorem 7 all-cuts approximation on
+// caller-chosen scenarios; --eps=<e> (default 0.25) sets the accuracy.
+void experiment_specs(const std::vector<NamedGraph>& graphs,
+                      const Options& opts) {
+  const double eps = opts.get_double("eps", 0.25);
+  banner("E6 on custom scenarios",
+         "all-cuts (1+eps) approximation on --graph=<spec> workloads; "
+         "eps = " + Table::num(eps, 2) + ", error on 200 random cuts.");
+  Table table({"graph", "n", "m", "lambda", "sparsifier edges", "rounds",
+               "max err", "bound eps"});
+  Rng rng(51);
+  for (const auto& [name, g] : graphs) {
+    const auto lambda = spec_lambda(opts, g);
+    if (lambda.value == 0) {
+      std::cout << "skipping " << name << ": disconnected (lambda = 0)\n";
+      continue;
+    }
+    apps::CutApproxOptions copts;
+    copts.sparsifier.c = 4.0;
+    const auto report =
+        apps::approximate_all_cuts(g, lambda.value, eps, copts);
+    const auto cuts = random_cuts(g.node_count(), 200, rng);
+    const double err = apps::max_cut_error(g, report.sparsifier, cuts);
+    table.add_row({name, Table::num(std::size_t{g.node_count()}),
+                   Table::num(std::size_t{g.edge_count()}), lambda_str(lambda),
+                   Table::num(report.sparsifier.size()),
+                   Table::num(std::size_t{report.total_rounds}),
+                   Table::num(err, 3), Table::num(eps, 2)});
+  }
+  table.print(std::cout);
+}
+
 }  // namespace
 }  // namespace fc::bench
 
-int main() {
+int main(int argc, char** argv) {
+  try {
+    const auto custom = fc::bench::spec_graphs(argc, argv);
+    if (!custom.empty()) {
+      fc::bench::experiment_specs(custom, fc::Options(argc, argv));
+      return 0;
+    }
+  } catch (const std::exception& err) {
+    std::cerr << "bench_cuts: " << err.what() << "\n";
+    return 2;
+  }
   fc::bench::experiment_e6();
   fc::bench::experiment_e6_lambda();
   fc::bench::experiment_e6_mincut();

@@ -103,10 +103,52 @@ void lemma5_sampling() {
   table.print(std::cout);
 }
 
+// --graph=<spec> override: the Theorem 2 partition on caller-chosen
+// scenarios; --C=<c> (default 2) sets the sampling constant.
+void experiment_specs(const std::vector<NamedGraph>& graphs,
+                      const Options& opts) {
+  const double C = opts.get_double("C", 2.0);
+  banner("E2 on custom scenarios",
+         "random edge partition (Theorem 2) on --graph=<spec> workloads: "
+         "parts, spanning check, max tree depth vs the (C n ln n)/delta "
+         "budget; C = " + Table::num(C, 2) + ".");
+  Table table({"graph", "n", "lambda", "parts", "spanning", "max depth",
+               "budget", "depth/budget"});
+  for (const auto& [name, g] : graphs) {
+    const auto lambda = spec_lambda(opts, g);
+    if (lambda.value == 0) {
+      std::cout << "skipping " << name << ": disconnected (lambda = 0)\n";
+      continue;
+    }
+    core::DecompositionOptions dopts;
+    dopts.C = C;
+    const auto dec = core::decompose(g, lambda.value, dopts);
+    const double budget =
+        core::Decomposition::diameter_budget(g.node_count(), min_degree(g), C);
+    const auto depth = dec.max_tree_depth();
+    table.add_row({name, Table::num(std::size_t{g.node_count()}),
+                   lambda_str(lambda), Table::num(std::size_t{dec.parts}),
+                   dec.all_spanning() ? "yes" : "NO",
+                   Table::num(std::size_t{depth}), Table::num(budget, 1),
+                   Table::num(budget > 0 ? depth / budget : 0.0, 3)});
+  }
+  table.print(std::cout);
+}
+
 }  // namespace
 }  // namespace fc::bench
 
-int main() {
+int main(int argc, char** argv) {
+  try {
+    const auto custom = fc::bench::spec_graphs(argc, argv);
+    if (!custom.empty()) {
+      fc::bench::experiment_specs(custom, fc::Options(argc, argv));
+      return 0;
+    }
+  } catch (const std::exception& err) {
+    std::cerr << "bench_decomposition: " << err.what() << "\n";
+    return 2;
+  }
   fc::bench::sweep_constant();
   fc::bench::sweep_lambda();
   fc::bench::lemma5_sampling();

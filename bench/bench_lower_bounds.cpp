@@ -98,10 +98,57 @@ void experiment_e8() {
                "fewer bits, exactly Theorem 9's 1/log(alpha) dependence)\n";
 }
 
+// --graph=<spec> override: the universal information-theoretic floors
+// (Theorems 3 & 8) evaluated on caller-chosen scenarios, against the
+// measured rounds of the oblivious broadcast; --k=<count> (default 4n).
+void experiment_specs(const std::vector<NamedGraph>& graphs,
+                      const Options& opts) {
+  banner("E7 on custom scenarios",
+         "k-broadcast floor k/(2 lambda) and the Theorem 8 id-learning "
+         "floor on --graph=<spec> workloads vs measured oblivious rounds.");
+  Table table({"graph", "n", "lambda", "k", "rounds", "floor k/2l",
+               "rounds/floor", "id floor (Thm 8)"});
+  Rng rng(61);
+  for (const auto& [name, g] : graphs) {
+    const auto lambda = spec_lambda(opts, g);
+    if (lambda.value == 0) {
+      std::cout << "skipping " << name << ": disconnected (lambda = 0)\n";
+      continue;
+    }
+    const std::uint64_t k =
+        opts.has("k") ? static_cast<std::uint64_t>(opts.get_int("k", 0))
+                      : 4ull * g.node_count();
+    const auto msgs = random_messages(g, k, rng);
+    const auto report = core::run_fast_broadcast_oblivious(g, msgs);
+    const auto floor = lb::broadcast_round_floor(k, 64, lambda.value, 64);
+    const auto id_floor =
+        lb::id_learning_round_floor(g.node_count(), lambda.value, 64, 64);
+    table.add_row({name, Table::num(std::size_t{g.node_count()}),
+                   lambda_str(lambda), Table::num(std::size_t{k}),
+                   Table::num(std::size_t{report.total_rounds}),
+                   Table::num(floor.round_floor, 1),
+                   Table::num(report.total_rounds / floor.round_floor, 2),
+                   Table::num(id_floor.round_floor, 1)});
+    if (!report.complete)
+      std::cout << "WARNING: incomplete broadcast on " << name << "\n";
+  }
+  table.print(std::cout);
+}
+
 }  // namespace
 }  // namespace fc::bench
 
-int main() {
+int main(int argc, char** argv) {
+  try {
+    const auto custom = fc::bench::spec_graphs(argc, argv);
+    if (!custom.empty()) {
+      fc::bench::experiment_specs(custom, fc::Options(argc, argv));
+      return 0;
+    }
+  } catch (const std::exception& err) {
+    std::cerr << "bench_lower_bounds: " << err.what() << "\n";
+    return 2;
+  }
   fc::bench::experiment_e7a();
   fc::bench::experiment_e7b();
   fc::bench::experiment_e8();

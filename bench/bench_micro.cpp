@@ -2,18 +2,31 @@
 // round throughput, distributed BFS, partitioning, spanner construction,
 // exact min cut. These are engineering benchmarks (items/sec), not paper
 // experiments; they guard the simulator's O(active + messages) round cost.
+//
+// --graph=<spec> (repeatable, with optional --cache=<dir>) switches to
+// spec mode: per scenario graph it registers CSR-construction benchmarks —
+// the serial reference vs the parallel build at 1/2/4/8 pool threads — and
+// a distributed-BFS throughput benchmark. Spec flags are split off before
+// google-benchmark parses the remaining (its own) flags.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "algo/bfs.hpp"
 #include "algo/leader_election.hpp"
 #include "algo/pipeline_broadcast.hpp"
 #include "apps/spanner.hpp"
+#include "bench_common.hpp"
 #include "core/fast_broadcast.hpp"
 #include "graph/generators.hpp"
 #include "graph/mincut.hpp"
 #include "graph/partition.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -125,6 +138,87 @@ void BM_LeaderElection(benchmark::State& state) {
 }
 BENCHMARK(BM_LeaderElection)->Arg(1024)->Arg(4096);
 
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+void register_spec_benchmarks(const fc::bench::NamedGraph& named) {
+  const auto edges = std::make_shared<EdgeList>(named.graph.edge_list());
+  const NodeId n = named.graph.node_count();
+  const auto items = static_cast<std::int64_t>(edges->size());
+
+  benchmark::RegisterBenchmark(
+      ("SPEC/FromEdgesSerial/" + named.name).c_str(),
+      [edges, n, items](benchmark::State& state) {
+        for (auto _ : state)
+          benchmark::DoNotOptimize(Graph::from_edges_serial(n, *edges));
+        state.SetItemsProcessed(state.iterations() * items);
+      });
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    benchmark::RegisterBenchmark(
+        ("SPEC/FromEdgesParallel/" + named.name + "/threads:" +
+         std::to_string(threads))
+            .c_str(),
+        [edges, n, items, threads](benchmark::State& state) {
+          ThreadPool pool(threads);
+          for (auto _ : state)
+            benchmark::DoNotOptimize(Graph::from_edges(n, *edges, pool));
+          state.SetItemsProcessed(state.iterations() * items);
+        });
+  }
+
+  const auto graph = std::make_shared<Graph>(named.graph);
+  benchmark::RegisterBenchmark(
+      ("SPEC/DistributedBfs/" + named.name).c_str(),
+      [graph](benchmark::State& state) {
+        for (auto _ : state) {
+          auto out = algo::run_bfs(*graph, 0);
+          benchmark::DoNotOptimize(out.tree.depth);
+        }
+        state.SetItemsProcessed(state.iterations() * graph->arc_count());
+      });
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Spec flags are ours; everything else belongs to google-benchmark.
+  std::vector<char*> spec_argv{argv[0]};
+  std::vector<char*> gb_argv{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const bool ours = std::strncmp(argv[i], "--graph=", 8) == 0 ||
+                      std::strncmp(argv[i], "--cache=", 8) == 0;
+    (ours ? spec_argv : gb_argv).push_back(argv[i]);
+  }
+  try {
+    const auto custom = fc::bench::spec_graphs(
+        static_cast<int>(spec_argv.size()), spec_argv.data());
+    for (const auto& named : custom) register_spec_benchmarks(named);
+    if (!custom.empty()) {
+      // Spec mode: default the filter to the per-graph benchmarks (not the
+      // built-in grid), but let an explicit --benchmark_filter win.
+      bool has_filter = false;
+      for (const char* arg : gb_argv)
+        has_filter = has_filter ||
+                     std::strncmp(arg, "--benchmark_filter=", 19) == 0;
+      std::vector<char*> filtered = gb_argv;
+      std::string filter = "--benchmark_filter=^SPEC/";
+      if (!has_filter) filtered.push_back(filter.data());
+      auto gb_argc = static_cast<int>(filtered.size());
+      benchmark::Initialize(&gb_argc, filtered.data());
+      // Same fail-fast contract as BENCHMARK_MAIN: a typo'd flag must not
+      // silently change the experiment.
+      if (benchmark::ReportUnrecognizedArguments(gb_argc, filtered.data()))
+        return 1;
+      benchmark::RunSpecifiedBenchmarks();
+      return 0;
+    }
+  } catch (const std::exception& err) {
+    std::cerr << "bench_micro: " << err.what() << "\n";
+    return 2;
+  }
+  auto gb_argc = static_cast<int>(gb_argv.size());
+  benchmark::Initialize(&gb_argc, gb_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(gb_argc, gb_argv.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

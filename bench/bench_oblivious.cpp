@@ -57,10 +57,54 @@ void experiment_e9() {
   table.print(std::cout);
 }
 
+// --graph=<spec> override: the λ-oblivious exponential search on
+// caller-chosen scenarios; --k=<count> messages (default 2n).
+void experiment_specs(const std::vector<NamedGraph>& graphs,
+                      const Options& opts) {
+  banner("E9 on custom scenarios",
+         "lambda-oblivious vs lambda-aware broadcast on --graph=<spec> "
+         "workloads; probes track log2(delta/lambda).");
+  Table table({"graph", "delta", "lambda", "probes", "search rounds",
+               "oblivious total", "aware total"});
+  Rng rng(71);
+  for (const auto& [name, g] : graphs) {
+    const auto lambda = spec_lambda(opts, g);
+    if (lambda.value == 0) {
+      std::cout << "skipping " << name << ": disconnected (lambda = 0)\n";
+      continue;
+    }
+    const std::uint64_t k =
+        opts.has("k") ? static_cast<std::uint64_t>(opts.get_int("k", 0))
+                      : 2ull * g.node_count();
+    const auto msgs = random_messages(g, k, rng);
+    const auto oblivious = core::run_fast_broadcast_oblivious(g, msgs);
+    const auto aware = core::run_fast_broadcast(g, lambda.value, msgs);
+    table.add_row({name, Table::num(std::size_t{min_degree(g)}),
+                   lambda_str(lambda),
+                   Table::num(std::size_t{oblivious.search_iterations}),
+                   Table::num(std::size_t{oblivious.search_rounds}),
+                   Table::num(std::size_t{oblivious.total_rounds}),
+                   Table::num(std::size_t{aware.total_rounds})});
+    if (!oblivious.complete || !aware.complete)
+      std::cout << "WARNING: incomplete broadcast on " << name << "\n";
+  }
+  table.print(std::cout);
+}
+
 }  // namespace
 }  // namespace fc::bench
 
-int main() {
+int main(int argc, char** argv) {
+  try {
+    const auto custom = fc::bench::spec_graphs(argc, argv);
+    if (!custom.empty()) {
+      fc::bench::experiment_specs(custom, fc::Options(argc, argv));
+      return 0;
+    }
+  } catch (const std::exception& err) {
+    std::cerr << "bench_oblivious: " << err.what() << "\n";
+    return 2;
+  }
   fc::bench::experiment_e9();
   return 0;
 }

@@ -77,10 +77,56 @@ void experiment_e13_single_vs_packed() {
   table.print(std::cout);
 }
 
+// --graph=<spec> override: f-mobile-resilient broadcast on caller-chosen
+// scenarios; --k=<count> messages (default 32), random adversary, f sweep.
+void experiment_specs(const std::vector<NamedGraph>& graphs,
+                      const Options& opts) {
+  banner("E13 on custom scenarios",
+         "FP23 resilient broadcast over the Theorem 2 packing on "
+         "--graph=<spec> workloads; random adversary, sweep f.");
+  Table table({"graph", "lambda", "trees", "f", "corrupted copies",
+               "decode failures", "failure rate"});
+  const auto k = static_cast<std::uint64_t>(opts.get_int("k", 32));
+  for (const auto& [name, g] : graphs) {
+    const auto lambda = spec_lambda(opts, g);
+    if (lambda.value == 0) {
+      std::cout << "skipping " << name << ": disconnected (lambda = 0)\n";
+      continue;
+    }
+    core::DecompositionOptions dopts;
+    dopts.C = 1.5;
+    const auto packing = core::build_low_congestion_packing(
+        g, lambda.value, std::max(1u, lambda.value / 4), dopts);
+    for (std::uint32_t f : {1u, 16u, 128u}) {
+      apps::ResilientOptions ropts;
+      ropts.adversary = apps::AdversaryKind::kRandom;
+      ropts.f = f;
+      ropts.seed = 7;
+      const auto report = apps::resilient_broadcast(g, packing, k, ropts);
+      table.add_row({name, lambda_str(lambda), Table::num(packing.tree_count()),
+                     Table::num(std::size_t{f}),
+                     Table::num(std::size_t{report.corrupted_copies}),
+                     Table::num(std::size_t{report.decode_failures}),
+                     Table::num(report.failure_rate, 4)});
+    }
+  }
+  table.print(std::cout);
+}
+
 }  // namespace
 }  // namespace fc::bench
 
-int main() {
+int main(int argc, char** argv) {
+  try {
+    const auto custom = fc::bench::spec_graphs(argc, argv);
+    if (!custom.empty()) {
+      fc::bench::experiment_specs(custom, fc::Options(argc, argv));
+      return 0;
+    }
+  } catch (const std::exception& err) {
+    std::cerr << "bench_resilient: " << err.what() << "\n";
+    return 2;
+  }
   fc::bench::experiment_e13();
   fc::bench::experiment_e13_single_vs_packed();
   return 0;

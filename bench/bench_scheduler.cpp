@@ -100,10 +100,69 @@ void experiment_e10_disjoint_vs_shared() {
   table.print(std::cout);
 }
 
+// --graph=<spec> override: Theorem 12 co-scheduling on caller-chosen
+// scenarios; --jobs=<J> (default 8) BFS-tree jobs of --packets=<p>
+// (default 32) packets each.
+void experiment_specs(const std::vector<NamedGraph>& graphs,
+                      const Options& opts) {
+  const auto jobs = static_cast<std::uint32_t>(opts.get_int("jobs", 8));
+  const auto packets = static_cast<std::uint32_t>(opts.get_int("packets", 32));
+  banner("E10 on custom scenarios",
+         "co-scheduled tree broadcasts on --graph=<spec> workloads: "
+         "makespan vs max(C, d) and the C + d log^2 n envelope.");
+  Table table({"graph", "n", "congestion C", "dilation d",
+               "makespan (no delay)", "makespan (rand delay)", "LB max(C,d)",
+               "C + d*log2^2 n"});
+  Rng rng(81);
+  for (const auto& [name, g] : graphs) {
+    if (!is_connected(g)) {
+      std::cout << "skipping " << name
+                << ": tree jobs need a connected graph\n";
+      continue;
+    }
+    std::vector<algo::SpanningTree> trees;
+    trees.reserve(jobs);
+    for (std::uint32_t j = 0; j < jobs; ++j)
+      trees.push_back(
+          algo::run_bfs(g, static_cast<NodeId>(rng.below(g.node_count())))
+              .tree);
+    std::vector<congest::TreeJob> naive, delayed;
+    for (std::uint32_t j = 0; j < jobs; ++j) {
+      naive.push_back({&trees[j], packets, 0});
+      delayed.push_back({&trees[j], packets, 0});
+    }
+    const auto res_naive = congest::schedule_tree_broadcasts(g, naive);
+    congest::randomize_delays(delayed, res_naive.congestion / 2 + 1, rng);
+    const auto res_delay = congest::schedule_tree_broadcasts(g, delayed);
+    const double log2n = std::log2(static_cast<double>(g.node_count()));
+    table.add_row(
+        {name, Table::num(std::size_t{g.node_count()}),
+         Table::num(std::size_t{res_naive.congestion}),
+         Table::num(std::size_t{res_naive.dilation}),
+         Table::num(std::size_t{res_naive.makespan}),
+         Table::num(std::size_t{res_delay.makespan}),
+         Table::num(std::max(res_naive.congestion, res_naive.dilation)),
+         Table::num(res_naive.congestion +
+                        res_naive.dilation * log2n * log2n,
+                    0)});
+  }
+  table.print(std::cout);
+}
+
 }  // namespace
 }  // namespace fc::bench
 
-int main() {
+int main(int argc, char** argv) {
+  try {
+    const auto custom = fc::bench::spec_graphs(argc, argv);
+    if (!custom.empty()) {
+      fc::bench::experiment_specs(custom, fc::Options(argc, argv));
+      return 0;
+    }
+  } catch (const std::exception& err) {
+    std::cerr << "bench_scheduler: " << err.what() << "\n";
+    return 2;
+  }
   fc::bench::experiment_e10();
   fc::bench::experiment_e10_disjoint_vs_shared();
   return 0;

@@ -93,10 +93,51 @@ void experiment_e12() {
   table.print(std::cout);
 }
 
+// --graph=<spec> override: edge-disjoint packings (E3a) on caller-chosen
+// scenarios.
+void experiment_specs(const std::vector<NamedGraph>& graphs,
+                      const Options& opts) {
+  banner("E3 on custom scenarios",
+         "edge-disjoint tree packing on --graph=<spec> workloads: trees vs "
+         "lambda/(C ln n), depth vs (n log n)/delta, congestion 1.");
+  Table table({"graph", "n", "lambda", "trees", "l/(C ln n)", "max depth",
+               "(n ln n)/d", "max edge load"});
+  for (const auto& [name, g] : graphs) {
+    const auto lambda = spec_lambda(opts, g);
+    if (lambda.value == 0) {
+      std::cout << "skipping " << name << ": disconnected (lambda = 0)\n";
+      continue;
+    }
+    core::DecompositionOptions dopts;
+    dopts.C = 2.0;
+    const auto packing =
+        core::build_edge_disjoint_packing(g, lambda.value, dopts);
+    const double n = g.node_count();
+    table.add_row(
+        {name, Table::num(std::size_t{g.node_count()}), lambda_str(lambda),
+         Table::num(packing.tree_count()),
+         Table::num(lambda.value / (2.0 * std::log(n)), 1),
+         Table::num(std::size_t{packing.max_tree_depth()}),
+         Table::num(n * std::log(n) / std::max(1u, min_degree(g)), 1),
+         Table::num(std::size_t{packing.max_edge_load()})});
+  }
+  table.print(std::cout);
+}
+
 }  // namespace
 }  // namespace fc::bench
 
-int main() {
+int main(int argc, char** argv) {
+  try {
+    const auto custom = fc::bench::spec_graphs(argc, argv);
+    if (!custom.empty()) {
+      fc::bench::experiment_specs(custom, fc::Options(argc, argv));
+      return 0;
+    }
+  } catch (const std::exception& err) {
+    std::cerr << "bench_tree_packing: " << err.what() << "\n";
+    return 2;
+  }
   fc::bench::experiment_e3a();
   fc::bench::experiment_e3b();
   fc::bench::experiment_e12();

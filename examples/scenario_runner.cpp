@@ -9,16 +9,21 @@
 // congestion). --algo=all runs every registered algorithm.
 //
 // Options:
-//   --graph=<spec>   graph spec, repeatable ("family:k=v,k=v"; see --list)
-//   --algo=<name>    algorithm, repeatable; "all" for every one (default bfs)
+//   --graph=<spec>   graph spec, repeatable ("family:k=v,k=v"; see --list).
+//                    weights=lo..hi makes the spec weighted (weighted-apsp).
+//   --algo=<name>    algorithm, repeatable; "all" for every TOPOLOGY
+//                    algorithm (default bfs). Weighted algorithms (e.g.
+//                    weighted-apsp) run when named explicitly.
 //   --k=<count>      messages for broadcast-style workloads (default: n)
 //   --seed=<seed>    seed for message placement (default 1)
 //   --root=<node>    root node for bfs/broadcast/convergecast (default 0)
-//   --cache=<dir>    binary graph corpus: generate once, reload after
+//   --stretch=<k>    weighted-apsp stretch parameter (default 3: 5-approx)
+//   --cache=<dir>    binary graph corpus + manifest: generate once, reload
 //   --markdown       emit a GitHub-flavoured markdown table
 
 #include <algorithm>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +44,10 @@ void print_catalog(const fc::scenario::ScenarioRunner& runner) {
   families.print(std::cout);
   std::cout << "\nAlgorithms (--algo=<name>):";
   for (const auto& name : runner.algorithms()) std::cout << ' ' << name;
+  std::cout << "\nWeighted algorithms (need --algo by name; use "
+               "weights=lo..hi specs):";
+  for (const auto& name : runner.weighted_algorithms())
+    std::cout << ' ' << name;
   std::cout << "\n";
 }
 
@@ -52,13 +61,14 @@ int main(int argc, char** argv) {
   // Same fail-fast contract as the specs themselves: a typo'd flag must not
   // silently change the experiment.
   static const std::vector<std::string> known_flags = {
-      "graph", "algo", "k", "seed", "root", "cache", "markdown", "list"};
+      "graph", "algo", "k",        "seed", "root",
+      "cache", "list", "markdown", "stretch"};
   for (const auto& key : opts.keys()) {
     if (std::find(known_flags.begin(), known_flags.end(), key) ==
         known_flags.end()) {
       std::cerr << "scenario_runner: unknown option '--" << key
                 << "'; known options: --graph --algo --k --seed --root "
-                   "--cache --markdown --list\n";
+                   "--stretch --cache --markdown --list\n";
       return 2;
     }
   }
@@ -82,6 +92,7 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   cfg.k = static_cast<std::uint64_t>(opts.get_int("k", 0));
   cfg.root = static_cast<NodeId>(opts.get_int("root", 0));
+  cfg.stretch_k = static_cast<std::uint32_t>(opts.get_int("stretch", 3));
 
   const std::string cache_dir = opts.get("cache", "");
   std::vector<scenario::ScenarioResult> results;
@@ -97,8 +108,18 @@ int main(int argc, char** argv) {
       } else {
         g = scenario::Registry::instance().build(spec);
       }
-      for (const auto& algo : algos)
-        results.push_back(runner.run(algo, g, spec.to_string(), cfg));
+      // One weighted build shared by every weighted algo on this spec.
+      std::optional<WeightedGraph> weighted;
+      for (const auto& algo : algos) {
+        if (runner.is_weighted(algo)) {
+          if (!weighted)
+            weighted = scenario::apply_spec_weights(g, spec);
+          results.push_back(runner.run(algo, *weighted, spec.to_string(),
+                                       cfg));
+        } else {
+          results.push_back(runner.run(algo, g, spec.to_string(), cfg));
+        }
+      }
     }
   } catch (const std::exception& err) {
     std::cerr << "scenario_runner: " << err.what() << "\n";

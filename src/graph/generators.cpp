@@ -588,4 +588,24 @@ WeightedGraph with_unit_weights(Graph g) {
   return WeightedGraph(std::move(g), std::move(w));
 }
 
+WeightedGraph with_hashed_weights(Graph g, Weight lo, Weight hi,
+                                  std::uint64_t seed, ThreadPool* pool) {
+  if (lo < 0 || hi < lo) throw std::invalid_argument("weights: bad range");
+  constexpr std::uint64_t kWeightStream = 0x5bd1e995ad4f19c7ULL;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  const EdgeId m = g.edge_count();
+  std::vector<Weight> w(m);
+  const auto fill = [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t e = begin; e < end; ++e)
+      w[e] = lo + static_cast<Weight>(mix64(kWeightStream, seed, e) % span);
+  };
+  if (pool == nullptr && m < (std::size_t{1} << 15)) {
+    fill(0, 0, m);
+  } else {
+    ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
+    p.parallel_chunks(m, fill);
+  }
+  return WeightedGraph(std::move(g), std::move(w));
+}
+
 }  // namespace fc::gen

@@ -135,4 +135,14 @@ WeightedGraph with_random_weights(Graph g, Weight lo, Weight hi, Rng& rng);
 /// Attach unit weights.
 WeightedGraph with_unit_weights(Graph g);
 
+/// Attach weights in [lo, hi] derived per edge as a pure hash of
+/// (seed, EdgeId) — no RNG stream to advance, so the result depends only on
+/// (topology, lo, hi, seed), never on thread count or call order. This is
+/// how `weights=lo..hi` scenario specs get their weights: the weighted
+/// graph can be reproduced from a cached topology without storing weights.
+/// Runs on `pool` (nullptr: serial under ~32k edges, global pool above).
+WeightedGraph with_hashed_weights(Graph g, Weight lo, Weight hi,
+                                  std::uint64_t seed,
+                                  ThreadPool* pool = nullptr);
+
 }  // namespace fc::gen

@@ -6,7 +6,32 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "util/thread_pool.hpp"
+
 namespace fc {
+
+namespace {
+
+// Below this size the serial path wins: the parallel build's per-thread
+// histograms and extra passes cost more than they save.
+constexpr std::size_t kParallelEdgeThreshold = std::size_t{1} << 15;
+
+// Validation outcomes of the counting pass, ordered by throw priority so
+// every thread count reports the same error for the same input. Workers
+// must NOT throw (an exception escaping a pool worker would terminate);
+// they record a code, and the calling thread throws after the join.
+enum class EdgeError : std::uint8_t { kNone = 0, kSelfLoop, kOutOfRange };
+
+[[noreturn]] void throw_edge_error(EdgeError err) {
+  switch (err) {
+    case EdgeError::kSelfLoop:
+      throw std::invalid_argument("Graph: self-loop");
+    default:
+      throw std::invalid_argument("Graph: endpoint >= n");
+  }
+}
+
+}  // namespace
 
 Graph Graph::from_edges(NodeId n,
                         const std::vector<std::pair<NodeId, NodeId>>& edges) {
@@ -15,6 +40,18 @@ Graph Graph::from_edges(NodeId n,
 
 Graph Graph::from_edges(NodeId n,
                         std::span<const std::pair<NodeId, NodeId>> edges) {
+  // The parallel build pays O(threads * n) histogram scratch and node
+  // passes; only worth it when edges dominate nodes (connected-ish
+  // graphs). Ultra-sparse inputs (n >> m) stay serial.
+  if (edges.size() >= kParallelEdgeThreshold && n <= 4 * edges.size())
+    return from_edges(n, edges, ThreadPool::global());
+  return from_edges_serial(n, edges);
+}
+
+Graph Graph::from_edges_serial(
+    NodeId n, std::span<const std::pair<NodeId, NodeId>> edges) {
+  // Serial reference path. The parallel path below must produce a
+  // bit-identical CSR; tests/test_parallel_csr.cpp holds it to that.
   Graph g;
   g.n_ = n;
   const auto m = static_cast<EdgeId>(edges.size());
@@ -68,6 +105,130 @@ Graph Graph::from_edges(NodeId n,
     g.arc_edge_[a_vu] = e;
     g.edge_arc_[e] = a_uv;
   }
+  return g;
+}
+
+Graph Graph::from_edges(NodeId n,
+                        std::span<const std::pair<NodeId, NodeId>> edges,
+                        ThreadPool& pool) {
+  Graph g;
+  g.n_ = n;
+  const auto m = static_cast<EdgeId>(edges.size());
+  g.edge_u_.resize(m);
+  g.edge_v_.resize(m);
+  g.edge_arc_.assign(m, kInvalidArc);
+
+  const std::size_t threads = pool.size();
+
+  // Pass 1 — validate, canonicalize (u < v), and count degrees into one
+  // histogram per worker. parallel_chunks assigns worker w the fixed range
+  // [w*ceil(m/T), ...), so hist[w] covers a contiguous, ordered slice of the
+  // edge list — the property the deterministic scatter below builds on.
+  std::vector<std::vector<std::uint32_t>> hist(
+      threads, std::vector<std::uint32_t>(n, 0));
+  std::vector<EdgeError> error(threads, EdgeError::kNone);
+  pool.parallel_chunks(m, [&](std::size_t w, std::size_t begin,
+                              std::size_t end) {
+    auto& deg = hist[w];
+    for (std::size_t e = begin; e < end; ++e) {
+      auto [u, v] = edges[e];
+      if (u == v) {
+        if (error[w] == EdgeError::kNone) error[w] = EdgeError::kSelfLoop;
+        continue;
+      }
+      if (u >= n || v >= n) {
+        if (error[w] == EdgeError::kNone) error[w] = EdgeError::kOutOfRange;
+        continue;
+      }
+      if (u > v) std::swap(u, v);
+      g.edge_u_[e] = u;
+      g.edge_v_[e] = v;
+      ++deg[u];
+      ++deg[v];
+    }
+  });
+  for (const EdgeError err : error)
+    if (err != EdgeError::kNone) throw_edge_error(err);
+
+  // Pass 2 — per-node exclusive scan across workers: hist[w][v] becomes the
+  // number of incident edges v has in chunks before w; deg_total holds the
+  // full degree. Parallel over nodes (each node's column is private).
+  std::vector<std::uint32_t> deg_total(n, 0);
+  pool.parallel_chunks(n, [&](std::size_t, std::size_t begin,
+                              std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      std::uint32_t running = 0;
+      for (std::size_t w = 0; w < threads; ++w) {
+        const std::uint32_t count = hist[w][v];
+        hist[w][v] = running;
+        running += count;
+      }
+      deg_total[v] = running;
+    }
+  });
+
+  // Offsets: a serial O(n) scan (the passes around it dominate).
+  g.offsets_.resize(n + 1);
+  g.offsets_[0] = 0;
+  for (NodeId v = 0; v < n; ++v)
+    g.offsets_[v + 1] = g.offsets_[v] + deg_total[v];
+
+  // Pass 3 — turn the per-worker scans into absolute CSR cursors.
+  pool.parallel_chunks(n, [&](std::size_t, std::size_t begin,
+                              std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v)
+      for (std::size_t w = 0; w < threads; ++w) hist[w][v] += g.offsets_[v];
+  });
+
+  const ArcId arcs = 2 * m;
+  g.arc_head_.resize(arcs);
+  g.arc_tail_.resize(arcs);
+  g.arc_rev_.resize(arcs);
+  g.arc_edge_.resize(arcs);
+
+  // Pass 4 — scatter. Worker w walks the SAME chunk as in pass 1 in input
+  // order, so edge e lands at offsets[u] + #(earlier input edges incident to
+  // u): exactly the serial layout, for every thread count. No two workers
+  // share a cursor, so the pass is data-race-free by construction.
+  pool.parallel_chunks(m, [&](std::size_t w, std::size_t begin,
+                              std::size_t end) {
+    auto& cursor = hist[w];
+    for (std::size_t e = begin; e < end; ++e) {
+      const NodeId u = g.edge_u_[e];
+      const NodeId v = g.edge_v_[e];
+      const ArcId a_uv = cursor[u]++;
+      const ArcId a_vu = cursor[v]++;
+      g.arc_head_[a_uv] = v;
+      g.arc_tail_[a_uv] = u;
+      g.arc_head_[a_vu] = u;
+      g.arc_tail_[a_vu] = v;
+      g.arc_rev_[a_uv] = a_vu;
+      g.arc_rev_[a_vu] = a_uv;
+      g.arc_edge_[a_uv] = static_cast<EdgeId>(e);
+      g.arc_edge_[a_vu] = static_cast<EdgeId>(e);
+      g.edge_arc_[e] = a_uv;
+    }
+  });
+
+  // Pass 5 — duplicate detection, parallel over nodes: a duplicate edge
+  // {u, v} shows up as two equal heads in u's (and v's) adjacency. Sorting
+  // a scratch copy keeps the CSR order intact.
+  std::vector<std::uint8_t> dup(threads, 0);
+  pool.parallel_chunks(n, [&](std::size_t w, std::size_t begin,
+                              std::size_t end) {
+    std::vector<NodeId> scratch;
+    for (std::size_t v = begin; v < end; ++v) {
+      const auto nbrs = g.neighbors(static_cast<NodeId>(v));
+      if (nbrs.size() < 2) continue;
+      scratch.assign(nbrs.begin(), nbrs.end());
+      std::sort(scratch.begin(), scratch.end());
+      if (std::adjacent_find(scratch.begin(), scratch.end()) != scratch.end())
+        dup[w] = 1;
+    }
+  });
+  for (const std::uint8_t d : dup)
+    if (d)
+      throw std::invalid_argument("Graph: duplicate edge (simple graphs only)");
   return g;
 }
 

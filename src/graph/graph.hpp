@@ -11,6 +11,13 @@
 // Arcs are the unit of communication in the CONGEST simulator: one message
 // may traverse each arc per round, so per-arc slots index directly into
 // flat buffers with no hashing.
+//
+// Thread-safety: a Graph is immutable after construction; every const
+// accessor is safe to call concurrently from any number of threads (the
+// simulator's parallel round loop relies on this). All accessors are O(1)
+// except find_arc/has_edge (O(deg v)) and edge_list/describe (O(m) / O(n)).
+// Accessors do not bounds-check their ids; passing v >= node_count() or
+// a/e >= arc/edge_count() is undefined behaviour.
 
 #include <cstdint>
 #include <span>
@@ -19,6 +26,8 @@
 #include <vector>
 
 namespace fc {
+
+class ThreadPool;
 
 using NodeId = std::uint32_t;
 using EdgeId = std::uint32_t;
@@ -36,10 +45,36 @@ class Graph {
   /// Throws std::invalid_argument on self-loops, duplicate edges, or
   /// endpoints >= n: the library works with *simple* graphs only (the paper's
   /// Lemma 5 provably fails on multigraphs; see its footnote 1).
+  ///
+  /// Construction cost is O(n + m) work plus O(sum_v deg(v) log deg(v)) for
+  /// the duplicate-edge check. Large edge lists build in parallel on
+  /// ThreadPool::parallel_chunks (per-chunk degree histograms, prefix-sum
+  /// offsets, per-chunk cursor scatter) with O(T * n) transient scratch for
+  /// a T-thread pool. The layout is DETERMINISTIC: the arc at CSR position
+  /// offsets[v] + j is the j-th input edge incident to v, independent of the
+  /// thread count, so parallel and serial builds are bit-identical.
+  ///
+  /// The two-argument overloads pick the path automatically: the
+  /// process-global pool for inputs with >= ~32k edges and n <= 4m, the
+  /// serial reference otherwise (tiny or ultra-sparse inputs, where the
+  /// O(T * n) scratch would dominate). Passing an explicit `pool` forces
+  /// the parallel path on that pool — the knob the determinism tests and
+  /// the TSAN CI job use. `edges` is only read; the caller may pass the
+  /// same span to concurrent builds.
   static Graph from_edges(NodeId n,
                           std::span<const std::pair<NodeId, NodeId>> edges);
   static Graph from_edges(NodeId n,
                           const std::vector<std::pair<NodeId, NodeId>>& edges);
+  static Graph from_edges(NodeId n,
+                          std::span<const std::pair<NodeId, NodeId>> edges,
+                          ThreadPool& pool);
+
+  /// The single-threaded reference implementation (hash-set duplicate
+  /// detection). Public as the determinism oracle for the parallel-CSR
+  /// tests and microbenchmarks; from_edges() picks it automatically for
+  /// small inputs.
+  static Graph from_edges_serial(
+      NodeId n, std::span<const std::pair<NodeId, NodeId>> edges);
 
   NodeId node_count() const { return n_; }
   EdgeId edge_count() const { return static_cast<EdgeId>(edge_u_.size()); }

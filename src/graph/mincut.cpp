@@ -160,4 +160,11 @@ std::uint32_t karger_mincut_estimate(const Graph& g, std::size_t trials,
   return best;
 }
 
+ConnectivityEstimate estimate_edge_connectivity(const Graph& g,
+                                                std::uint64_t seed) {
+  if (g.node_count() <= 600) return {edge_connectivity(g), true};
+  Rng rng(mix64(seed, g.node_count(), g.edge_count()));
+  return {karger_mincut_estimate(g, 32, rng), false};
+}
+
 }  // namespace fc

@@ -46,4 +46,15 @@ std::vector<std::vector<bool>> random_cuts(NodeId n, std::size_t count,
 std::uint32_t karger_mincut_estimate(const Graph& g, std::size_t trials,
                                      Rng& rng);
 
+/// λ for workload-sized graphs — THE shared policy of the scenario runner
+/// and the bench harnesses: exact Stoer–Wagner inside its n <= 600 comfort
+/// zone (`exact` = true), a 32-trial Karger contraction estimate (an upper
+/// bound; render as "~l") above it. Deterministic for a fixed seed.
+struct ConnectivityEstimate {
+  std::uint32_t value = 0;
+  bool exact = true;
+};
+ConnectivityEstimate estimate_edge_connectivity(const Graph& g,
+                                                std::uint64_t seed = 0);
+
 }  // namespace fc

@@ -1,12 +1,14 @@
 #include "scenario/graph_io.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "graph/generators.hpp"
 #include "util/rng.hpp"
 
 namespace fc::scenario {
@@ -176,8 +178,75 @@ Graph load_binary(const std::string& path) {
   return Graph::from_edges(n, edges);
 }
 
+namespace {
+
+/// The corpus identity of a spec: registry defaults baked in, weights
+/// stripped (cache files store topology only; weights re-derive from the
+/// spec seed).
+GraphSpec corpus_spec(const GraphSpec& spec) {
+  return Registry::instance().canonical(spec).without("weights");
+}
+
+constexpr const char* kManifestName = "manifest.txt";
+
+}  // namespace
+
+std::vector<ManifestEntry> read_manifest(const std::string& cache_dir) {
+  std::vector<ManifestEntry> out;
+  std::ifstream in(std::filesystem::path(cache_dir) / kManifestName);
+  if (!in) return out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto tab1 = line.find('\t');
+    const auto tab2 = tab1 == std::string::npos ? tab1
+                                                : line.find('\t', tab1 + 1);
+    if (tab2 == std::string::npos) continue;  // malformed: skip, don't poison
+    ManifestEntry entry;
+    entry.spec = line.substr(0, tab1);
+    entry.file = line.substr(tab1 + 1, tab2 - tab1 - 1);
+    const std::string hex = line.substr(tab2 + 1);
+    char* end = nullptr;
+    entry.checksum = std::strtoull(hex.c_str(), &end, 16);
+    if (entry.spec.empty() || entry.file.empty() || end == hex.c_str())
+      continue;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+void upsert_manifest(const std::string& cache_dir,
+                     const ManifestEntry& entry) {
+  namespace fs = std::filesystem;
+  auto entries = read_manifest(cache_dir);
+  bool replaced = false;
+  for (auto& e : entries)
+    if (e.spec == entry.spec) {
+      e = entry;
+      replaced = true;
+    }
+  if (!replaced) entries.push_back(entry);
+  fs::create_directories(cache_dir);
+  // Write-then-rename so a crash mid-write can never leave a truncated
+  // manifest (a missing ledger only disables the staleness cross-check,
+  // but a half-written one would shadow every entry after the cut).
+  const fs::path path = fs::path(cache_dir) / kManifestName;
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) io_fail(tmp.string(), "cannot open for writing");
+    for (const auto& e : entries) {
+      char hex[24];
+      std::snprintf(hex, sizeof hex, "%016llx",
+                    static_cast<unsigned long long>(e.checksum));
+      out << e.spec << '\t' << e.file << '\t' << hex << '\n';
+    }
+    if (!out) io_fail(tmp.string(), "write failed");
+  }
+  fs::rename(tmp, path);
+}
+
 std::string cache_file_name(const GraphSpec& spec) {
-  const std::string canon = spec.to_string();
+  const std::string canon = corpus_spec(spec).to_string();
   std::string safe;
   safe.reserve(canon.size());
   for (const char ch : canon) {
@@ -198,12 +267,24 @@ std::string cache_file_name(const GraphSpec& spec) {
 Graph load_or_generate(const GraphSpec& spec, const std::string& cache_dir,
                        bool* from_cache) {
   namespace fs = std::filesystem;
-  const fs::path file = fs::path(cache_dir) / cache_file_name(spec);
+  const GraphSpec canon = corpus_spec(spec);
+  const std::string file_name = cache_file_name(canon);
+  const fs::path file = fs::path(cache_dir) / file_name;
   if (fs::exists(file)) {
     try {
       Graph g = load_binary(file.string());
-      if (from_cache != nullptr) *from_cache = true;
-      return g;
+      // The file is internally consistent; now hold it to the manifest's
+      // promise. A disagreeing checksum means the file no longer is what
+      // the ledger says this spec produces — regenerate.
+      const std::string canon_text = canon.to_string();
+      const std::uint64_t checksum = graph_checksum(g);
+      bool stale = false;
+      for (const auto& entry : read_manifest(cache_dir))
+        if (entry.spec == canon_text) stale = entry.checksum != checksum;
+      if (!stale) {
+        if (from_cache != nullptr) *from_cache = true;
+        return g;
+      }
     } catch (const std::exception&) {
       // Stale or corrupt cache entry: fall through and regenerate.
     }
@@ -211,8 +292,16 @@ Graph load_or_generate(const GraphSpec& spec, const std::string& cache_dir,
   Graph g = Registry::instance().build(spec);
   fs::create_directories(cache_dir);
   save_binary(g, file.string());
+  upsert_manifest(cache_dir, {canon.to_string(), file_name, graph_checksum(g)});
   if (from_cache != nullptr) *from_cache = false;
   return g;
+}
+
+WeightedGraph load_or_generate_weighted(const GraphSpec& spec,
+                                        const std::string& cache_dir,
+                                        bool* from_cache) {
+  return apply_spec_weights(load_or_generate(spec, cache_dir, from_cache),
+                            spec);
 }
 
 }  // namespace fc::scenario

@@ -13,11 +13,34 @@
 // Loaders never trust the file: magic, version, size and checksum are all
 // validated and failures throw std::runtime_error with the reason — a
 // truncated or stale cache regenerates instead of corrupting an experiment.
+//
+// A corpus directory additionally carries a `manifest.txt` ledger: one
+// tab-separated line per cached graph,
+//
+//   <canonical spec> \t <file name> \t <checksum as 16 hex digits>
+//
+// where the canonical spec has every registry default baked in
+// (Registry::canonical). The manifest closes the cache-identity hole: if a
+// family default changes in spec.cpp, the canonical spec string changes, so
+// the entry (and file name) no longer match and the graph regenerates; if a
+// file is swapped or regenerated incompatibly, the checksum mismatch is
+// detected on load and the entry is refreshed.
+//
+// Thread-safety: the functions here touch the filesystem and are not
+// synchronized. Concurrent load_or_generate calls may duplicate work, and
+// concurrent MANIFEST updates can lose each other's entries (the manifest
+// itself is rewritten via rename, so it is never left half-written; a
+// missing entry only disables the staleness cross-check for that spec).
+// Loads validate checksums, and large CSR builds serialize on the global
+// ThreadPool, so loaded graphs are never corrupt. For guaranteed-complete
+// manifests, populate a corpus from one thread.
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
 #include "scenario/spec.hpp"
 
 namespace fc::scenario {
@@ -36,17 +59,45 @@ void save_binary(const Graph& g, const std::string& path);
 Graph load_binary(const std::string& path);
 
 /// Cache-file name a spec maps to inside a corpus directory: the sanitized
-/// canonical spec plus a hash suffix, e.g. "rmat_n=4096_deg=8_seed=1-1a2b3c.fcg".
-/// NOTE: the identity is the spec STRING, so registry-defaulted parameters
-/// (e.g. rmat's a/b/c) are not part of it — when changing a family's default
-/// in spec.cpp, bump kVersion in graph_io.cpp so stale corpora regenerate.
+/// CANONICAL spec (registry defaults baked in, `weights=` stripped — the
+/// file stores topology only) plus a hash suffix, e.g.
+/// "rmat_a=0.57_b=0.19_c=0.19_deg=8_n=4096_seed=1-1a2b3c.fcg". Because
+/// defaults are part of the identity, changing a family default in spec.cpp
+/// changes the file name and stale corpora can never be silently reloaded.
 std::string cache_file_name(const GraphSpec& spec);
 
+/// One manifest line: canonical spec -> file -> checksum.
+struct ManifestEntry {
+  std::string spec;   // canonical, weights stripped
+  std::string file;   // file name inside the corpus directory
+  std::uint64_t checksum = 0;
+};
+
+/// Read `cache_dir`/manifest.txt. Missing file: empty vector. Malformed
+/// lines are skipped (a half-written manifest must not poison the corpus);
+/// entries are returned in file order.
+std::vector<ManifestEntry> read_manifest(const std::string& cache_dir);
+
+/// Rewrite the manifest with `entry` inserted (or replaced, matching on
+/// spec). Creates the directory when needed.
+void upsert_manifest(const std::string& cache_dir, const ManifestEntry& entry);
+
 /// Load the spec's graph from `cache_dir` if a valid cache file exists;
-/// otherwise generate it via the Registry and write the cache. A corrupt or
-/// unreadable cache file is silently regenerated. `from_cache` (optional)
-/// reports which path was taken.
+/// otherwise generate it via the Registry and write the cache + manifest
+/// entry. A corrupt or unreadable cache file — or one whose checksum
+/// disagrees with the manifest — is silently regenerated. `from_cache`
+/// (optional) reports which path was taken. Any `weights=` parameter is
+/// ignored here: caching is by topology (see load_or_generate_weighted).
 Graph load_or_generate(const GraphSpec& spec, const std::string& cache_dir,
                        bool* from_cache = nullptr);
+
+/// Weighted variant: the topology loads/caches exactly as load_or_generate
+/// (weighted specs SHARE the topology cache file with their unweighted
+/// sibling), then `weights=lo..hi` weights are re-derived from the spec
+/// seed via gen::with_hashed_weights — bit-identical whether the topology
+/// was generated or reloaded. Unit weights when `weights=` is absent.
+WeightedGraph load_or_generate_weighted(const GraphSpec& spec,
+                                        const std::string& cache_dir,
+                                        bool* from_cache = nullptr);
 
 }  // namespace fc::scenario

@@ -7,7 +7,9 @@
 #include "algo/convergecast.hpp"
 #include "algo/leader_election.hpp"
 #include "algo/pipeline_broadcast.hpp"
+#include "apps/weighted_apsp.hpp"
 #include "congest/network.hpp"
+#include "graph/mincut.hpp"
 #include "graph/properties.hpp"
 #include "scenario/spec.hpp"
 #include "util/rng.hpp"
@@ -85,16 +87,20 @@ ScenarioResult run_leader_scenario(const Graph& g, const ScenarioConfig& cfg) {
 /// Tree workloads (broadcast, convergecast) need a spanning tree, but
 /// scenario families like R-MAT are naturally disconnected. Restrict such
 /// runs to the root's component (relabelled to dense ids) and record the
-/// restriction in the note, instead of refusing the workload.
+/// restriction in the note, instead of refusing the workload. `induced` is
+/// engaged only when restricted; resolve the graph to run on via get() so
+/// the struct stays safely movable (no pointer into itself).
 struct Workload {
-  const Graph* graph;            // the graph to run on
   NodeId root;
   std::optional<Graph> induced;  // storage when restricted
   std::string note;              // "" or " cc=<reached>/<n>"
+  const Graph& get(const Graph& full) const {
+    return induced ? *induced : full;
+  }
 };
 
 Workload root_component(const Graph& g, NodeId root) {
-  Workload w{&g, root, std::nullopt, ""};
+  Workload w{root, std::nullopt, ""};
   const auto dist = bfs_distances(g, root);
   std::vector<NodeId> newid(g.node_count(), kInvalidNode);
   NodeId reached = 0;
@@ -106,7 +112,6 @@ Workload root_component(const Graph& g, NodeId root) {
     if (newid[u] != kInvalidNode && newid[v] != kInvalidNode)
       edges.emplace_back(newid[u], newid[v]);
   w.induced = Graph::from_edges(reached, edges);
-  w.graph = &*w.induced;
   w.root = newid[root];
   w.note = " cc=" + std::to_string(reached) + "/" +
            std::to_string(g.node_count());
@@ -118,7 +123,7 @@ ScenarioResult run_broadcast_scenario(const Graph& full,
   ScenarioResult r;
   r.finished = true;
   const Workload w = root_component(full, checked_root(full, cfg));
-  const Graph& g = *w.graph;
+  const Graph& g = w.get(full);
   const NodeId root = w.root;
   const std::uint64_t k = cfg.k != 0 ? cfg.k : g.node_count();
   Rng rng(cfg.seed);
@@ -152,7 +157,7 @@ ScenarioResult run_convergecast_scenario(const Graph& full,
   ScenarioResult r;
   r.finished = true;
   const Workload w = root_component(full, checked_root(full, cfg));
-  const Graph& g = *w.graph;
+  const Graph& g = w.get(full);
   const NodeId root = w.root;
   std::vector<std::uint64_t> sends;
   congest::Network net(g);
@@ -171,6 +176,70 @@ ScenarioResult run_convergecast_scenario(const Graph& full,
   return r;
 }
 
+/// Weighted counterpart of Workload/root_component: restrict to the root's
+/// component, carrying edge weights over to the re-labelled subgraph.
+struct WeightedWorkload {
+  std::optional<WeightedGraph> induced;  // engaged only when restricted
+  std::string note;
+  const WeightedGraph& get(const WeightedGraph& full) const {
+    return induced ? *induced : full;
+  }
+};
+
+WeightedWorkload weighted_root_component(const WeightedGraph& wg,
+                                         NodeId root) {
+  const Graph& g = wg.graph();
+  WeightedWorkload w{std::nullopt, ""};
+  const auto dist = bfs_distances(g, root);
+  std::vector<NodeId> newid(g.node_count(), kInvalidNode);
+  NodeId reached = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    if (dist[v] != kUnreached) newid[v] = reached++;
+  if (reached == g.node_count()) return w;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<Weight> weights;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const NodeId u = g.edge_u(e), v = g.edge_v(e);
+    if (newid[u] != kInvalidNode && newid[v] != kInvalidNode) {
+      edges.emplace_back(newid[u], newid[v]);
+      weights.push_back(wg.weight(e));
+    }
+  }
+  w.induced = WeightedGraph::from_edges(reached, edges, std::move(weights));
+  w.note = " cc=" + std::to_string(reached) + "/" +
+           std::to_string(g.node_count());
+  return w;
+}
+
+ScenarioResult run_weighted_apsp_scenario(const WeightedGraph& full,
+                                          const ScenarioConfig& cfg) {
+  ScenarioResult r;
+  const WeightedWorkload w =
+      weighted_root_component(full, checked_root(full.graph(), cfg));
+  const WeightedGraph& g = w.get(full);
+  r.nodes = g.graph().node_count();
+  r.edges = g.graph().edge_count();
+  if (r.nodes < 2) {
+    r.finished = true;
+    r.note = "trivial component" + w.note;
+    return r;
+  }
+  const std::uint32_t lambda =
+      std::max(1u, estimate_edge_connectivity(g.graph(), cfg.seed).value);
+  apps::WeightedApspOptions opts;
+  opts.seed = cfg.seed;
+  const auto report =
+      apps::approximate_apsp_weighted(g, lambda, cfg.stretch_k, opts);
+  r.rounds = report.total_rounds;
+  r.messages = report.broadcast_report.messages;
+  r.max_edge_congestion = report.broadcast_report.max_edge_congestion;
+  r.finished = report.broadcast_report.complete;
+  r.note = "stretch<=" + std::to_string(2 * cfg.stretch_k - 1) +
+           " lambda=" + std::to_string(lambda) +
+           " spanner=" + std::to_string(report.spanner.edges.size()) + w.note;
+  return r;
+}
+
 }  // namespace
 
 ScenarioRunner::ScenarioRunner() {
@@ -178,6 +247,7 @@ ScenarioRunner::ScenarioRunner() {
   add("leader-election", run_leader_scenario);
   add("broadcast", run_broadcast_scenario);
   add("convergecast", run_convergecast_scenario);
+  add_weighted("weighted-apsp", run_weighted_apsp_scenario);
 }
 
 std::vector<std::string> ScenarioRunner::algorithms() const {
@@ -187,22 +257,65 @@ std::vector<std::string> ScenarioRunner::algorithms() const {
   return out;
 }
 
+std::vector<std::string> ScenarioRunner::weighted_algorithms() const {
+  std::vector<std::string> out;
+  out.reserve(weighted_algos_.size());
+  for (const auto& [name, _] : weighted_algos_) out.push_back(name);
+  return out;
+}
+
 void ScenarioRunner::add(const std::string& name, AlgoFn fn) {
   algos_[name] = std::move(fn);
 }
+
+void ScenarioRunner::add_weighted(const std::string& name, WeightedAlgoFn fn) {
+  weighted_algos_[name] = std::move(fn);
+}
+
+namespace {
+
+[[noreturn]] void unknown_algorithm(const std::string& algo,
+                                    std::vector<std::string> names,
+                                    const std::vector<std::string>& weighted) {
+  names.insert(names.end(), weighted.begin(), weighted.end());
+  std::string known;
+  for (const auto& name : names) {
+    if (!known.empty()) known += ", ";
+    known += name;
+  }
+  throw std::invalid_argument("scenario: unknown algorithm '" + algo +
+                              "'; known: " + known);
+}
+
+}  // namespace
 
 ScenarioResult ScenarioRunner::run(const std::string& algo, const Graph& g,
                                    const std::string& graph_name,
                                    const ScenarioConfig& cfg) const {
   const auto it = algos_.find(algo);
   if (it == algos_.end()) {
-    std::string known;
-    for (const auto& [name, _] : algos_) {
-      if (!known.empty()) known += ", ";
-      known += name;
+    if (is_weighted(algo)) {
+      // Topology-only caller: weighted algorithms see unit weights.
+      std::vector<Weight> unit(g.edge_count(), 1);
+      return run(algo, WeightedGraph(g, std::move(unit)), graph_name, cfg);
     }
-    throw std::invalid_argument("scenario: unknown algorithm '" + algo +
-                                "'; known: " + known);
+    unknown_algorithm(algo, algorithms(), weighted_algorithms());
+  }
+  ScenarioResult r = it->second(g, cfg);
+  r.graph = graph_name;
+  r.algo = algo;
+  return r;
+}
+
+ScenarioResult ScenarioRunner::run(const std::string& algo,
+                                   const WeightedGraph& g,
+                                   const std::string& graph_name,
+                                   const ScenarioConfig& cfg) const {
+  const auto it = weighted_algos_.find(algo);
+  if (it == weighted_algos_.end()) {
+    if (algos_.count(algo) > 0)  // topology algorithm: weights are ignored
+      return run(algo, g.graph(), graph_name, cfg);
+    unknown_algorithm(algo, algorithms(), weighted_algorithms());
   }
   ScenarioResult r = it->second(g, cfg);
   r.graph = graph_name;
@@ -214,6 +327,10 @@ ScenarioResult ScenarioRunner::run_spec(const std::string& algo,
                                         const std::string& spec,
                                         const ScenarioConfig& cfg) const {
   const GraphSpec parsed = GraphSpec::parse(spec);
+  if (is_weighted(algo)) {
+    const WeightedGraph g = Registry::instance().build_weighted(parsed);
+    return run(algo, g, parsed.to_string(), cfg);
+  }
   const Graph g = Registry::instance().build(parsed);
   return run(algo, g, parsed.to_string(), cfg);
 }

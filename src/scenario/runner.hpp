@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
 #include "util/table.hpp"
 
 namespace fc::scenario {
@@ -22,6 +23,8 @@ struct ScenarioConfig {
   std::uint64_t k = 0;
   NodeId root = 0;
   std::uint64_t max_rounds = 10'000'000;
+  /// Stretch parameter for weighted-apsp: (2k-1)-approximation, Theorem 5.
+  std::uint32_t stretch_k = 3;
 };
 
 /// One algorithm run on one graph, in paper cost measures.
@@ -42,30 +45,50 @@ class ScenarioRunner {
  public:
   using AlgoFn = std::function<ScenarioResult(const Graph&,
                                               const ScenarioConfig&)>;
+  using WeightedAlgoFn =
+      std::function<ScenarioResult(const WeightedGraph&,
+                                   const ScenarioConfig&)>;
 
   /// Constructs with the built-in algorithms registered: bfs,
-  /// leader-election, broadcast, convergecast.
+  /// leader-election, broadcast, convergecast (topology) and weighted-apsp
+  /// (weighted).
   ScenarioRunner();
 
-  /// Registered algorithm names, sorted.
+  /// Registered topology algorithm names, sorted. Weighted algorithms are
+  /// listed separately so batch drivers ("--algo=all") can stay on the
+  /// cheap unweighted set by default.
   std::vector<std::string> algorithms() const;
-  bool has(const std::string& algo) const { return algos_.count(algo) > 0; }
+  std::vector<std::string> weighted_algorithms() const;
+  bool has(const std::string& algo) const {
+    return algos_.count(algo) > 0 || weighted_algos_.count(algo) > 0;
+  }
+  bool is_weighted(const std::string& algo) const {
+    return weighted_algos_.count(algo) > 0;
+  }
 
   /// Register (or replace) an algorithm.
   void add(const std::string& name, AlgoFn fn);
+  void add_weighted(const std::string& name, WeightedAlgoFn fn);
 
   /// Run one algorithm on one graph. Throws std::invalid_argument for an
-  /// unknown algorithm name (message lists the known ones).
+  /// unknown algorithm name (message lists the known ones). The Graph
+  /// overload runs weighted algorithms with unit weights; the WeightedGraph
+  /// overload runs topology algorithms on the underlying graph.
   ScenarioResult run(const std::string& algo, const Graph& g,
                      const std::string& graph_name,
                      const ScenarioConfig& cfg = {}) const;
+  ScenarioResult run(const std::string& algo, const WeightedGraph& g,
+                     const std::string& graph_name,
+                     const ScenarioConfig& cfg = {}) const;
 
-  /// Convenience: parse + build the spec, then run.
+  /// Convenience: parse + build the spec, then run. A weighted algorithm
+  /// gets the spec's `weights=lo..hi` weights (unit weights when absent).
   ScenarioResult run_spec(const std::string& algo, const std::string& spec,
                           const ScenarioConfig& cfg = {}) const;
 
  private:
   std::map<std::string, AlgoFn> algos_;
+  std::map<std::string, WeightedAlgoFn> weighted_algos_;
 };
 
 /// Render results as the standard metrics table.

@@ -56,6 +56,10 @@ std::uint32_t to_u32(std::uint64_t v, const std::string& key) {
 
 Rng spec_rng(const GraphSpec& s) { return Rng(s.get_uint("seed", 1)); }
 
+// Edge weights may be summed along paths of up to n-1 edges; capping each
+// at 2^32-1 keeps any path length far below the Weight (int64) range.
+constexpr std::uint64_t kMaxSpecWeight = 0xffffffffULL;
+
 }  // namespace
 
 GraphSpec GraphSpec::parse(const std::string& text) {
@@ -113,6 +117,39 @@ double GraphSpec::require_double(const std::string& key) const {
   return parse_double(key, it->second);
 }
 
+WeightRange GraphSpec::weight_range() const {
+  const auto it = params_.find("weights");
+  if (it == params_.end())
+    bad("spec '" + to_string() + "' has no weights= parameter");
+  const std::string& value = it->second;
+  const auto dots = value.find("..");
+  if (dots == std::string::npos || dots == 0 || dots + 2 >= value.size())
+    bad("parameter 'weights' expects the form lo..hi (e.g. weights=1..1000), "
+        "got '" + value + "'");
+  const std::uint64_t lo = parse_uint("weights", value.substr(0, dots));
+  const std::uint64_t hi = parse_uint("weights", value.substr(dots + 2));
+  if (hi < lo)
+    bad("parameter 'weights': lo " + std::to_string(lo) + " exceeds hi " +
+        std::to_string(hi));
+  if (hi > kMaxSpecWeight)
+    bad("parameter 'weights': hi " + std::to_string(hi) +
+        " exceeds the 2^32-1 cap");
+  return {static_cast<Weight>(lo), static_cast<Weight>(hi)};
+}
+
+GraphSpec GraphSpec::with(const std::string& key,
+                          const std::string& value) const {
+  auto params = params_;
+  params[key] = value;
+  return GraphSpec(family_, std::move(params));
+}
+
+GraphSpec GraphSpec::without(const std::string& key) const {
+  auto params = params_;
+  params.erase(key);
+  return GraphSpec(family_, std::move(params));
+}
+
 std::string GraphSpec::to_string() const {
   std::string out = family_;
   char sep = ':';
@@ -154,17 +191,40 @@ Graph Registry::build(const GraphSpec& spec) const {
     bad("unknown family '" + spec.family() + "'; known families: " + known);
   }
   for (const auto& [key, _] : spec.params()) {
+    if (key == "weights") continue;  // registry-level, valid for every family
     bool ok = false;
     for (const auto& k : info->keys) ok = ok || k == key;
     if (!ok)
       bad("family '" + spec.family() + "' does not take parameter '" + key +
-          "'; accepted: " + info->params_help);
+          "'; accepted: " + info->params_help + " (and weights=lo..hi)");
   }
+  // Fail fast on a malformed weights= even for topology-only builds.
+  if (spec.has_weights()) (void)spec.weight_range();
   return info->build(spec);
 }
 
 Graph Registry::build(const std::string& spec_text) const {
   return build(GraphSpec::parse(spec_text));
+}
+
+WeightedGraph Registry::build_weighted(const GraphSpec& spec) const {
+  return apply_spec_weights(build(spec), spec);
+}
+
+WeightedGraph Registry::build_weighted(const std::string& spec_text) const {
+  return build_weighted(GraphSpec::parse(spec_text));
+}
+
+GraphSpec Registry::canonical(const GraphSpec& spec) const {
+  const FamilyInfo* info = find(spec.family());
+  if (info == nullptr) return spec;
+  GraphSpec out = spec;
+  for (const auto& def : info->defaults) {
+    if (out.has(def.key)) continue;
+    if (!def.unless.empty() && out.has(def.unless)) continue;
+    out = out.with(def.key, def.value);
+  }
+  return out;
 }
 
 void Registry::add(FamilyInfo info) {
@@ -173,6 +233,17 @@ void Registry::add(FamilyInfo info) {
 
 Graph build_graph(const std::string& spec_text) {
   return Registry::instance().build(spec_text);
+}
+
+WeightedGraph build_weighted_graph(const std::string& spec_text) {
+  return Registry::instance().build_weighted(spec_text);
+}
+
+WeightedGraph apply_spec_weights(Graph g, const GraphSpec& spec) {
+  if (!spec.has_weights()) return gen::with_unit_weights(std::move(g));
+  const WeightRange range = spec.weight_range();
+  return gen::with_hashed_weights(std::move(g), range.lo, range.hi,
+                                  spec.get_uint("seed", 1));
 }
 
 Registry::Registry() {
@@ -236,7 +307,8 @@ Registry::Registry() {
          Rng rng = spec_rng(s);
          return gen::erdos_renyi(to_node(s.require_uint("n"), "n"),
                                  s.require_double("p"), rng);
-       }});
+       },
+       {{"seed", "1", ""}}});
   reg({"random_regular", "n, d, seed", "d-regular, lambda = delta = d whp: "
        "the high-connectivity regime where fast broadcast wins",
        "random_regular:n=64,d=6,seed=1",
@@ -245,7 +317,8 @@ Registry::Registry() {
          Rng rng = spec_rng(s);
          return gen::random_regular(to_node(s.require_uint("n"), "n"),
                                     to_u32(s.require_uint("d"), "d"), rng);
-       }});
+       },
+       {{"seed", "1", ""}}});
   reg({"thick_path", "groups, width", "lambda = width bottleneck chain "
        "(E9/E12 family)",
        "thick_path:groups=5,width=4",
@@ -316,7 +389,13 @@ Registry::Registry() {
          return gen::rmat(n, attempts, s.get_double("a", 0.57),
                           s.get_double("b", 0.19), s.get_double("c", 0.19),
                           rng);
-       }});
+       },
+       // deg only defaults while no explicit edge budget is given.
+       {{"a", "0.57", ""},
+        {"b", "0.19", ""},
+        {"c", "0.19", ""},
+        {"deg", "8", "edges"},
+        {"seed", "1", ""}}});
   reg({"barabasi_albert", "n, m, seed", "preferential attachment; power-law "
        "degrees, lambda ~ m << delta_max",
        "barabasi_albert:n=256,m=3,seed=1",
@@ -325,7 +404,8 @@ Registry::Registry() {
          Rng rng = spec_rng(s);
          return gen::barabasi_albert(to_node(s.require_uint("n"), "n"),
                                      to_u32(s.get_uint("m", 2), "m"), rng);
-       }});
+       },
+       {{"m", "2", ""}, {"seed", "1", ""}}});
   reg({"watts_strogatz", "n, k, p, seed", "small world: circulant lambda = k "
        "at p=0, ER-like mixing at p=1",
        "watts_strogatz:n=256,k=6,p=0.1,seed=1",
@@ -335,7 +415,8 @@ Registry::Registry() {
          return gen::watts_strogatz(to_node(s.require_uint("n"), "n"),
                                     to_u32(s.get_uint("k", 4), "k"),
                                     s.get_double("p", 0.1), rng);
-       }});
+       },
+       {{"k", "4", ""}, {"p", "0.1", ""}, {"seed", "1", ""}}});
   reg({"random_geometric", "n, radius, seed", "unit-square proximity graph; "
        "lambda set by the sparsest neighbourhood, D ~ 1/radius",
        "random_geometric:n=256,radius=0.125,seed=1",
@@ -344,7 +425,8 @@ Registry::Registry() {
          Rng rng = spec_rng(s);
          return gen::random_geometric(to_node(s.require_uint("n"), "n"),
                                       s.require_double("radius"), rng);
-       }});
+       },
+       {{"seed", "1", ""}}});
 }
 
 }  // namespace fc::scenario

@@ -7,13 +7,31 @@
 //   "rmat:n=16384,deg=8,seed=7"
 //   "dumbbell:s=512,bridges=4"
 //   "hypercube:dim=10"
+//   "random_regular:n=256,d=32,seed=1,weights=1..1000"   (weighted)
 //
 // Parsing is strict: unknown families, unknown parameter keys, and
 // malformed values all throw std::invalid_argument with an actionable
 // message, so a typo in an experiment grid fails fast instead of silently
-// running the wrong workload. to_string() renders the canonical form
-// (parameters sorted by key), which doubles as the cache-file identity in
-// graph_io.
+// running the wrong workload.
+//
+// `weights=lo..hi` is a registry-level parameter accepted by EVERY family:
+// it attaches uniform integer edge weights in [lo, hi], derived per edge as
+// a pure hash of (seed, EdgeId) (see gen::with_hashed_weights), so a
+// weighted workload is reproducible from the topology alone — weights are
+// never stored in the corpus files.
+//
+// Two renderings exist:
+//  * GraphSpec::to_string() — exactly the parameters given, keys sorted.
+//  * Registry::canonical(spec) — additionally bakes in every
+//    registry-defaulted parameter (e.g. rmat's a/b/c and seed). This is the
+//    cache/manifest identity in graph_io: changing a family default in this
+//    file changes the canonical string, so stale cached graphs can never be
+//    silently reloaded.
+//
+// Thread-safety: GraphSpec is an immutable value type after construction.
+// The Registry singleton is safe for concurrent build()/find() calls;
+// add() (registration) must not race with readers — register families at
+// startup or in test SetUp, not concurrently with builds.
 
 #include <cstdint>
 #include <functional>
@@ -22,8 +40,15 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
 
 namespace fc::scenario {
+
+/// Inclusive edge-weight range of a `weights=lo..hi` parameter.
+struct WeightRange {
+  Weight lo = 1;
+  Weight hi = 1;
+};
 
 /// A parsed spec: family name + key=value parameters.
 class GraphSpec {
@@ -49,13 +74,36 @@ class GraphSpec {
   double get_double(const std::string& key, double fallback) const;
   double require_double(const std::string& key) const;
 
+  /// True when the spec carries a `weights=lo..hi` parameter.
+  bool has_weights() const { return has("weights"); }
+
+  /// Parse the `weights=lo..hi` parameter (0 <= lo <= hi, each at most
+  /// 2^32-1 so per-path sums stay far from Weight overflow). Throws
+  /// std::invalid_argument when absent or malformed.
+  WeightRange weight_range() const;
+
+  /// Copy of this spec with one parameter added/replaced or removed.
+  GraphSpec with(const std::string& key, const std::string& value) const;
+  GraphSpec without(const std::string& key) const;
+
   /// Canonical rendering: "family:k1=v1,k2=v2" with keys sorted. Stable
   /// under reparsing: parse(s).to_string() == parse(to_string()).to_string().
+  /// NOTE: renders only the parameters present — registry defaults are NOT
+  /// baked in here; use Registry::canonical() for cache identities.
   std::string to_string() const;
 
  private:
   std::string family_;
   std::map<std::string, std::string> params_;  // map => sorted, canonical
+};
+
+/// A parameter the registry fills in when a spec omits it. `unless`
+/// (optional) names a key whose presence suppresses the default — e.g.
+/// rmat's deg=8 is only the default while no explicit edge count is given.
+struct DefaultParam {
+  std::string key;
+  std::string value;
+  std::string unless;
 };
 
 /// One registered generator family.
@@ -68,9 +116,13 @@ struct FamilyInfo {
   /// A small, valid example spec (used by --list and the smoke tests).
   std::string example;
   /// Exact set of parameter keys build() understands; anything else in a
-  /// spec is rejected as a probable typo.
+  /// spec is rejected as a probable typo (`weights` is always accepted at
+  /// the registry level and never listed here).
   std::vector<std::string> keys;
   std::function<Graph(const GraphSpec&)> build;
+  /// Registry defaults baked into Registry::canonical() renderings, so the
+  /// cache identity captures them (ROADMAP: cache-identity item).
+  std::vector<DefaultParam> defaults = {};
 };
 
 /// Registry of every family, seed and new. Process-wide singleton;
@@ -85,11 +137,25 @@ class Registry {
   /// All families sorted by name.
   std::vector<const FamilyInfo*> families() const;
 
-  /// Build the graph a spec describes. Throws std::invalid_argument for an
-  /// unknown family or unknown parameter keys, and propagates the
-  /// generator's own precondition errors.
+  /// Build the graph a spec describes (ignoring any `weights=` parameter —
+  /// this is the topology). Throws std::invalid_argument for an unknown
+  /// family or unknown parameter keys, and propagates the generator's own
+  /// precondition errors.
   Graph build(const GraphSpec& spec) const;
   Graph build(const std::string& spec_text) const;
+
+  /// Build the weighted graph a spec describes: the topology of build()
+  /// plus hash-derived weights from `weights=lo..hi` (unit weights when the
+  /// parameter is absent). Deterministic in the spec alone.
+  WeightedGraph build_weighted(const GraphSpec& spec) const;
+  WeightedGraph build_weighted(const std::string& spec_text) const;
+
+  /// The spec with this family's registry defaults baked in (parameters the
+  /// build would use anyway). canonical(spec).to_string() is the stable
+  /// cache/manifest identity: it changes when a default changes. Unknown
+  /// families pass through unchanged (callers without registry knowledge,
+  /// e.g. cache_file_name on a foreign spec, stay usable).
+  GraphSpec canonical(const GraphSpec& spec) const;
 
   /// Register (or replace) a family.
   void add(FamilyInfo info);
@@ -101,5 +167,14 @@ class Registry {
 
 /// Convenience: Registry::instance().build(spec_text).
 Graph build_graph(const std::string& spec_text);
+
+/// Convenience: Registry::instance().build_weighted(spec_text).
+WeightedGraph build_weighted_graph(const std::string& spec_text);
+
+/// Attach a spec's `weights=lo..hi` to an already-built topology (unit
+/// weights when absent). This is THE weighting rule: every weighted-spec
+/// path (direct build, corpus reload, bench overrides) goes through it, so
+/// a weighted workload is identical no matter where its topology came from.
+WeightedGraph apply_spec_weights(Graph g, const GraphSpec& spec);
 
 }  // namespace fc::scenario

@@ -56,6 +56,9 @@ void ThreadPool::parallel_chunks(std::size_t n, const ChunkFn& fn) {
     fn(0, 0, n);
     return;
   }
+  // One job at a time: concurrent callers (e.g. two corpus loads sharing
+  // the global pool) serialize instead of clobbering each other's job.
+  std::lock_guard submit_lock(submit_mutex_);
   {
     std::lock_guard lock(mutex_);
     job_.n = n;

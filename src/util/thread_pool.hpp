@@ -38,6 +38,9 @@ class ThreadPool {
 
   /// Chunked variant: each worker w handles indices [begin, end) exactly
   /// once via fn(w, begin, end). Chunk boundaries are deterministic in n.
+  /// Concurrent calls from different threads serialize on an internal
+  /// mutex (each job runs to completion before the next starts). NOT
+  /// reentrant: calling parallel_chunks from inside fn deadlocks.
   void parallel_chunks(std::size_t n, const ChunkFn& fn);
 
   /// Process-wide default pool (lazily constructed).
@@ -54,6 +57,7 @@ class ThreadPool {
   void run_chunk(std::size_t worker_index, std::size_t n, const ChunkFn& fn);
 
   std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;  // serializes whole parallel_chunks calls
   std::mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

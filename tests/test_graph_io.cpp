@@ -167,5 +167,104 @@ TEST(Corpus, DistinctSpecsGetDistinctFiles) {
             cache_file_name(GraphSpec::parse("rmat:n=256,deg=8,seed=1")));
 }
 
+TEST(Corpus, CacheIdentityBakesDefaultsAndStripsWeights) {
+  // A spec relying on defaults and one spelling them out share one file.
+  EXPECT_EQ(cache_file_name(GraphSpec::parse("rmat:n=256")),
+            cache_file_name(GraphSpec::parse(
+                "rmat:a=0.57,b=0.19,c=0.19,deg=8,n=256,seed=1")));
+  // Changing a defaulted value changes the identity.
+  EXPECT_NE(cache_file_name(GraphSpec::parse("rmat:n=256")),
+            cache_file_name(GraphSpec::parse("rmat:n=256,a=0.6")));
+  // Weighted specs share the topology file with their unweighted sibling.
+  EXPECT_EQ(cache_file_name(GraphSpec::parse("rmat:n=256,weights=1..9")),
+            cache_file_name(GraphSpec::parse("rmat:n=256")));
+}
+
+TEST(Manifest, RecordsCanonicalSpecFileAndChecksum) {
+  const auto dir = temp_path("corpus_manifest");
+  fs::remove_all(dir);
+  const auto spec = GraphSpec::parse("rmat:n=256,deg=8,seed=3");
+  const Graph g = load_or_generate(spec, dir, nullptr);
+
+  const auto entries = read_manifest(dir);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].spec,
+            "rmat:a=0.57,b=0.19,c=0.19,deg=8,n=256,seed=3");
+  EXPECT_EQ(entries[0].file, cache_file_name(spec));
+  EXPECT_EQ(entries[0].checksum, graph_checksum(g));
+
+  // A second spec appends; regenerating the first upserts, not duplicates.
+  load_or_generate(GraphSpec::parse("cycle:n=12"), dir, nullptr);
+  load_or_generate(spec, dir, nullptr);
+  EXPECT_EQ(read_manifest(dir).size(), 2u);
+}
+
+TEST(Manifest, ChecksumMismatchForcesRegeneration) {
+  const auto dir = temp_path("corpus_stale");
+  fs::remove_all(dir);
+  const auto spec = GraphSpec::parse("dumbbell:s=16,bridges=2");
+  const Graph first = load_or_generate(spec, dir, nullptr);
+
+  // Simulate a stale ledger: the manifest claims a different graph for this
+  // spec (as if the family's generator changed without a version bump).
+  auto entries = read_manifest(dir);
+  ASSERT_EQ(entries.size(), 1u);
+  upsert_manifest(dir, {entries[0].spec, entries[0].file,
+                        entries[0].checksum ^ 0xdeadbeefULL});
+
+  bool from_cache = true;
+  const Graph second = load_or_generate(spec, dir, &from_cache);
+  EXPECT_FALSE(from_cache);  // mismatch detected -> regenerated
+  expect_identical(first, second);
+  // And the ledger is repaired.
+  const auto repaired = read_manifest(dir);
+  ASSERT_EQ(repaired.size(), 1u);
+  EXPECT_EQ(repaired[0].checksum, graph_checksum(second));
+}
+
+TEST(Manifest, MalformedLinesAreSkipped) {
+  const auto dir = temp_path("corpus_malformed");
+  fs::remove_all(dir);
+  load_or_generate(GraphSpec::parse("cycle:n=10"), dir, nullptr);
+  {
+    std::ofstream out(fs::path(dir) / "manifest.txt", std::ios::app);
+    out << "not a manifest line\n\tweird\t\n";
+  }
+  const auto entries = read_manifest(dir);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].spec, "cycle:n=10");
+}
+
+TEST(Corpus, WeightedLoadSharesTopologyAndRederivesWeights) {
+  const auto dir = temp_path("corpus_weighted");
+  fs::remove_all(dir);
+  const auto weighted_spec =
+      GraphSpec::parse("erdos_renyi:n=80,p=0.1,seed=2,weights=3..30");
+
+  bool from_cache = true;
+  const WeightedGraph generated =
+      load_or_generate_weighted(weighted_spec, dir, &from_cache);
+  EXPECT_FALSE(from_cache);
+  for (EdgeId e = 0; e < generated.graph().edge_count(); ++e) {
+    EXPECT_GE(generated.weight(e), 3);
+    EXPECT_LE(generated.weight(e), 30);
+  }
+
+  // Reload: topology comes from cache, weights re-derive bit-identically.
+  const WeightedGraph reloaded =
+      load_or_generate_weighted(weighted_spec, dir, &from_cache);
+  EXPECT_TRUE(from_cache);
+  expect_identical(generated.graph(), reloaded.graph());
+  for (EdgeId e = 0; e < generated.graph().edge_count(); ++e)
+    ASSERT_EQ(generated.weight(e), reloaded.weight(e));
+
+  // The unweighted sibling hits the same cached topology file.
+  const auto unweighted_spec = weighted_spec.without("weights");
+  const Graph topo = load_or_generate(unweighted_spec, dir, &from_cache);
+  EXPECT_TRUE(from_cache);
+  expect_identical(topo, generated.graph());
+  EXPECT_EQ(read_manifest(dir).size(), 1u);
+}
+
 }  // namespace
 }  // namespace fc::scenario

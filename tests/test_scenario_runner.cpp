@@ -108,6 +108,56 @@ TEST(ScenarioRunner, DeterministicAcrossRuns) {
   EXPECT_EQ(a.max_edge_congestion, b.max_edge_congestion);
 }
 
+TEST(ScenarioRunner, WeightedApspOnWeightedSpec) {
+  const ScenarioRunner runner;
+  EXPECT_TRUE(runner.is_weighted("weighted-apsp"));
+  EXPECT_FALSE(runner.is_weighted("bfs"));
+  ScenarioConfig cfg;
+  cfg.stretch_k = 2;
+  const auto r = runner.run_spec(
+      "weighted-apsp", "random_regular:n=64,d=6,seed=1,weights=1..100", cfg);
+  EXPECT_TRUE(r.finished);
+  EXPECT_EQ(r.nodes, 64u);
+  EXPECT_GT(r.rounds, 0u);
+  EXPECT_NE(r.note.find("stretch<=3"), std::string::npos);
+  EXPECT_NE(r.note.find("lambda=6"), std::string::npos);
+}
+
+TEST(ScenarioRunner, WeightedApspRestrictsToRootComponent) {
+  const ScenarioRunner runner;
+  // rmat:n=64 is typically disconnected; the run must restrict and note it.
+  const auto r = runner.run_spec("weighted-apsp",
+                                 "rmat:n=64,deg=4,seed=2,weights=1..9");
+  EXPECT_LE(r.nodes, 64u);
+  if (r.nodes < 64u)
+    EXPECT_NE(r.note.find("cc="), std::string::npos);
+}
+
+TEST(ScenarioRunner, TopologyAlgorithmAcceptsWeightedGraphAndViceVersa) {
+  const ScenarioRunner runner;
+  // bfs on a weighted spec runs on the topology.
+  const auto bfs = runner.run_spec("bfs", "cycle:n=16,weights=2..5");
+  EXPECT_TRUE(bfs.finished);
+  EXPECT_EQ(bfs.nodes, 16u);
+  // weighted-apsp through the Graph overload sees unit weights.
+  const Graph g = build_graph("cycle:n=16");
+  const auto apsp = runner.run("weighted-apsp", g, "cycle:n=16");
+  EXPECT_TRUE(apsp.finished);
+  EXPECT_EQ(apsp.nodes, 16u);
+}
+
+TEST(ScenarioRunner, UnknownAlgorithmListsWeightedNames) {
+  const ScenarioRunner runner;
+  try {
+    runner.run_spec("frobnicate", "cycle:n=8");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("weighted-apsp"), std::string::npos);
+    EXPECT_NE(what.find("bfs"), std::string::npos);
+  }
+}
+
 TEST(ScenarioReport, OneRowPerResult) {
   const ScenarioRunner runner;
   std::vector<ScenarioResult> results;

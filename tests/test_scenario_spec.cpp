@@ -115,5 +115,94 @@ TEST(RegistryBuild, SeedChangesGraph) {
             build_graph("rmat:n=256,deg=8,seed=2").edge_list());
 }
 
+TEST(WeightsParam, ParsesAndRoundTrips) {
+  const auto spec =
+      GraphSpec::parse("random_regular:n=64,d=6,seed=1,weights=1..1000");
+  ASSERT_TRUE(spec.has_weights());
+  const WeightRange range = spec.weight_range();
+  EXPECT_EQ(range.lo, 1);
+  EXPECT_EQ(range.hi, 1000);
+  // weights= participates in the canonical string like any parameter.
+  const auto once = spec.to_string();
+  EXPECT_EQ(GraphSpec::parse(once).to_string(), once);
+  EXPECT_NE(once.find("weights=1..1000"), std::string::npos);
+  // Degenerate range lo == hi is valid (fixed-weight workloads).
+  EXPECT_EQ(GraphSpec::parse("path:n=4,weights=7..7").weight_range().lo, 7);
+}
+
+TEST(WeightsParam, MalformedRangesAreRejected) {
+  for (const std::string bad :
+       {"path:n=4,weights=10", "path:n=4,weights=..5", "path:n=4,weights=5..",
+        "path:n=4,weights=9..2", "path:n=4,weights=a..b",
+        "path:n=4,weights=-1..5", "path:n=4,weights=1..5000000000000"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_THROW(GraphSpec::parse(bad).weight_range(), std::invalid_argument);
+    // And the registry refuses to build the workload at all.
+    EXPECT_THROW(build_graph(bad), std::invalid_argument);
+  }
+}
+
+TEST(WeightsParam, EveryFamilyAcceptsWeights) {
+  for (const auto* info : Registry::instance().families()) {
+    SCOPED_TRACE(info->name);
+    const auto spec =
+        GraphSpec::parse(info->example + ",weights=1..9");
+    const WeightedGraph wg = Registry::instance().build_weighted(spec);
+    EXPECT_EQ(wg.graph().edge_list(),
+              Registry::instance().build(spec).edge_list());
+    for (EdgeId e = 0; e < wg.graph().edge_count(); ++e) {
+      EXPECT_GE(wg.weight(e), 1);
+      EXPECT_LE(wg.weight(e), 9);
+    }
+  }
+}
+
+TEST(WeightsParam, WeightsAreDeterministicAndSeedKeyed) {
+  const std::string text = "erdos_renyi:n=100,p=0.2,seed=3,weights=1..50";
+  const auto a = build_weighted_graph(text);
+  const auto b = build_weighted_graph(text);
+  ASSERT_EQ(a.graph().edge_count(), b.graph().edge_count());
+  for (EdgeId e = 0; e < a.graph().edge_count(); ++e)
+    ASSERT_EQ(a.weight(e), b.weight(e));
+  // Unit weights when the parameter is absent.
+  const auto unit = build_weighted_graph("erdos_renyi:n=100,p=0.2,seed=3");
+  for (EdgeId e = 0; e < unit.graph().edge_count(); ++e)
+    ASSERT_EQ(unit.weight(e), 1);
+}
+
+TEST(CanonicalSpec, BakesRegistryDefaults) {
+  const auto& reg = Registry::instance();
+  EXPECT_EQ(reg.canonical(GraphSpec::parse("rmat:n=256")).to_string(),
+            "rmat:a=0.57,b=0.19,c=0.19,deg=8,n=256,seed=1");
+  // Explicit parameters win over defaults.
+  EXPECT_EQ(reg.canonical(GraphSpec::parse("rmat:n=256,deg=4,seed=9"))
+                .to_string(),
+            "rmat:a=0.57,b=0.19,c=0.19,deg=4,n=256,seed=9");
+  // An explicit edge budget suppresses the deg default entirely.
+  EXPECT_EQ(reg.canonical(GraphSpec::parse("rmat:n=256,edges=1000"))
+                .to_string(),
+            "rmat:a=0.57,b=0.19,c=0.19,edges=1000,n=256,seed=1");
+  // Families without randomness canonicalize to themselves.
+  EXPECT_EQ(reg.canonical(GraphSpec::parse("hypercube:dim=5")).to_string(),
+            "hypercube:dim=5");
+  // Unknown families pass through untouched (lenient for foreign specs).
+  EXPECT_EQ(reg.canonical(GraphSpec::parse("mystery:n=3")).to_string(),
+            "mystery:n=3");
+}
+
+TEST(CanonicalSpec, CanonicalFormIsIdempotentAndBuildsIdentically) {
+  const auto& reg = Registry::instance();
+  for (const std::string text :
+       {"rmat:n=256", "barabasi_albert:n=200", "watts_strogatz:n=128",
+        "random_geometric:n=200,radius=0.15"}) {
+    SCOPED_TRACE(text);
+    const GraphSpec spec = GraphSpec::parse(text);
+    const GraphSpec canon = reg.canonical(spec);
+    EXPECT_EQ(reg.canonical(canon).to_string(), canon.to_string());
+    // Baking the defaults must not change what gets built.
+    EXPECT_EQ(reg.build(spec).edge_list(), reg.build(canon).edge_list());
+  }
+}
+
 }  // namespace
 }  // namespace fc::scenario
