@@ -148,16 +148,11 @@ void experiment_specs(const std::vector<NamedGraph>& graphs,
 }  // namespace fc::bench
 
 int main(int argc, char** argv) {
-  try {
-    const auto custom = fc::bench::spec_graphs(argc, argv);
-    if (!custom.empty()) {
-      fc::bench::experiment_specs(custom, fc::Options(argc, argv));
-      return 0;
-    }
-  } catch (const std::exception& err) {
-    std::cerr << "bench_apsp_unweighted: " << err.what() << "\n";
-    return 2;
-  }
+  if (const auto rc = fc::bench::spec_mode(
+          "bench_apsp_unweighted", argc, argv, [&](const auto& graphs) {
+            fc::bench::experiment_specs(graphs, fc::Options(argc, argv));
+          }))
+    return *rc;
   fc::bench::experiment_e4();
   fc::bench::experiment_e4_phases();
   fc::bench::experiment_e4_vs_exact();

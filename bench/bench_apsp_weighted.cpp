@@ -122,16 +122,11 @@ void experiment_specs(const std::vector<NamedWeightedGraph>& graphs,
 }  // namespace fc::bench
 
 int main(int argc, char** argv) {
-  try {
-    const auto custom = fc::bench::spec_weighted_graphs(argc, argv);
-    if (!custom.empty()) {
-      fc::bench::experiment_specs(custom, fc::Options(argc, argv));
-      return 0;
-    }
-  } catch (const std::exception& err) {
-    std::cerr << "bench_apsp_weighted: " << err.what() << "\n";
-    return 2;
-  }
+  if (const auto rc = fc::bench::weighted_spec_mode(
+          "bench_apsp_weighted", argc, argv, [&](const auto& graphs) {
+            fc::bench::experiment_specs(graphs, fc::Options(argc, argv));
+          }))
+    return *rc;
   fc::bench::experiment_e5();
   fc::bench::experiment_e5_scaling();
   return 0;

@@ -143,18 +143,13 @@ void experiment_e11() {
 }  // namespace fc::bench
 
 int main(int argc, char** argv) {
-  try {
-    const auto custom = fc::bench::spec_graphs(argc, argv);
-    if (!custom.empty()) {
-      const fc::Options opts(argc, argv);
-      fc::bench::experiment_specs(
-          custom, static_cast<std::uint64_t>(opts.get_int("k", 0)));
-      return 0;
-    }
-  } catch (const std::exception& err) {
-    std::cerr << "bench_broadcast: " << err.what() << "\n";
-    return 2;
-  }
+  if (const auto rc = fc::bench::spec_mode(
+          "bench_broadcast", argc, argv, [&](const auto& graphs) {
+            const fc::Options opts(argc, argv);
+            fc::bench::experiment_specs(
+                graphs, static_cast<std::uint64_t>(opts.get_int("k", 0)));
+          }))
+    return *rc;
   fc::bench::experiment_e1a();
   fc::bench::experiment_e1b();
   fc::bench::experiment_e11();

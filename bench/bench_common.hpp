@@ -19,6 +19,7 @@
 // binaries that opt into it. All helpers are plain functions without
 // shared state — safe to call from any single thread, not synchronized.
 
+#include <functional>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -86,6 +87,50 @@ inline std::vector<NamedWeightedGraph> spec_weighted_graphs(int argc,
     out.push_back({spec.to_string(), std::move(g)});
   }
   return out;
+}
+
+/// The shared spec-mode front door, hoisted from the (formerly verbatim)
+/// harness mains. When the command line carries --graph=<spec> overrides,
+/// build them and hand them to `experiments`, returning the process exit
+/// code: 0 on success, 2 after printing "<harness>: <error>" for a spec,
+/// build, or experiment failure. Returns std::nullopt when no specs were
+/// given — the caller then runs its built-in paper grid:
+///
+///   int main(int argc, char** argv) {
+///     if (const auto rc = fc::bench::spec_mode("bench_x", argc, argv,
+///             [&](const auto& graphs) { experiment_specs(graphs, ...); }))
+///       return *rc;
+///     experiment_e1(); ...
+///   }
+inline std::optional<int> spec_mode(
+    const char* harness, int argc, char** argv,
+    const std::function<void(const std::vector<NamedGraph>&)>& experiments) {
+  try {
+    const auto custom = spec_graphs(argc, argv);
+    if (custom.empty()) return std::nullopt;
+    experiments(custom);
+    return 0;
+  } catch (const std::exception& err) {
+    std::cerr << harness << ": " << err.what() << "\n";
+    return 2;
+  }
+}
+
+/// Weighted twin of spec_mode for the harnesses whose spec experiments take
+/// `weights=lo..hi` workloads (bench_apsp_weighted, bench_mst, bench_sssp).
+inline std::optional<int> weighted_spec_mode(
+    const char* harness, int argc, char** argv,
+    const std::function<void(const std::vector<NamedWeightedGraph>&)>&
+        experiments) {
+  try {
+    const auto custom = spec_weighted_graphs(argc, argv);
+    if (custom.empty()) return std::nullopt;
+    experiments(custom);
+    return 0;
+  } catch (const std::exception& err) {
+    std::cerr << harness << ": " << err.what() << "\n";
+    return 2;
+  }
 }
 
 /// λ for a spec-mode workload: --lambda=<l> when given, otherwise the

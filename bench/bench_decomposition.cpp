@@ -139,16 +139,11 @@ void experiment_specs(const std::vector<NamedGraph>& graphs,
 }  // namespace fc::bench
 
 int main(int argc, char** argv) {
-  try {
-    const auto custom = fc::bench::spec_graphs(argc, argv);
-    if (!custom.empty()) {
-      fc::bench::experiment_specs(custom, fc::Options(argc, argv));
-      return 0;
-    }
-  } catch (const std::exception& err) {
-    std::cerr << "bench_decomposition: " << err.what() << "\n";
-    return 2;
-  }
+  if (const auto rc = fc::bench::spec_mode(
+          "bench_decomposition", argc, argv, [&](const auto& graphs) {
+            fc::bench::experiment_specs(graphs, fc::Options(argc, argv));
+          }))
+    return *rc;
   fc::bench::sweep_constant();
   fc::bench::sweep_lambda();
   fc::bench::lemma5_sampling();

@@ -10,10 +10,11 @@
 //
 // Options:
 //   --graph=<spec>   graph spec, repeatable ("family:k=v,k=v"; see --list).
-//                    weights=lo..hi makes the spec weighted (weighted-apsp).
+//                    weights=lo..hi makes the spec weighted; largest_cc=1
+//                    restricts it to its largest connected component.
 //   --algo=<name>    algorithm, repeatable; "all" for every TOPOLOGY
-//                    algorithm (default bfs). Weighted algorithms (e.g.
-//                    weighted-apsp) run when named explicitly.
+//                    algorithm (default bfs). Weighted algorithms
+//                    (weighted-apsp, mst, sssp) run when named explicitly.
 //   --k=<count>      messages for broadcast-style workloads (default: n)
 //   --seed=<seed>    seed for message placement (default 1)
 //   --root=<node>    root node for bfs/broadcast/convergecast (default 0)

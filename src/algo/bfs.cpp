@@ -20,13 +20,12 @@ void DistributedBfs::start(congest::Context& ctx) {
   if (ctx.id() != root_) return;
   dist_[root_] = 0;
   reached_.fetch_add(1, std::memory_order_relaxed);
-  last_activity_.store(0, std::memory_order_relaxed);
   for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
     ctx.send(a, {kTagJoin, 0, 0});
 }
 
 void DistributedBfs::step(congest::Context& ctx) {
-  current_round_.store(ctx.round(), std::memory_order_relaxed);
+  quiescence_.note_round(ctx.round());
   const NodeId v = ctx.id();
   if (dist_[v] != kUnreached || ctx.inbox().empty()) return;
   // Adopt the first announcement (inbox is sorted by arc id).
@@ -34,18 +33,16 @@ void DistributedBfs::step(congest::Context& ctx) {
   dist_[v] = static_cast<std::uint32_t>(first.msg.a) + 1;
   parent_arc_[v] = first.via;
   reached_.fetch_add(1, std::memory_order_relaxed);
-  last_activity_.store(ctx.round(), std::memory_order_relaxed);
+  quiescence_.note_activity(ctx.round());
   for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
     if (a != first.via) ctx.send(a, {kTagJoin, dist_[v], 0});
 }
 
 bool DistributedBfs::done() const {
-  // Quiescent: everyone reached, or one full round passed with no adoption
-  // (flood died out in a disconnected part).
+  // Everyone reached, or the flood died out in a disconnected part.
   if (reached_.load(std::memory_order_relaxed) == graph_->node_count())
     return true;
-  const std::uint64_t round = current_round_.load(std::memory_order_relaxed);
-  return round >= 2 && round > last_activity_.load(std::memory_order_relaxed) + 1;
+  return quiescence_.quiescent();
 }
 
 NodeId DistributedBfs::parent(NodeId v) const {

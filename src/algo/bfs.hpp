@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "congest/network.hpp"
+#include "congest/quiescence.hpp"
 #include "graph/properties.hpp"
 
 namespace fc::algo {
@@ -49,8 +50,7 @@ class DistributedBfs : public congest::Algorithm {
   std::vector<std::uint32_t> dist_;
   std::vector<ArcId> parent_arc_;
   std::atomic<NodeId> reached_{0};
-  std::atomic<std::uint64_t> last_activity_{0};
-  std::atomic<std::uint64_t> current_round_{0};
+  congest::QuiescenceDetector quiescence_;
 };
 
 /// A rooted spanning tree extracted from parent arcs, with child lists;

@@ -1,0 +1,234 @@
+#include "apps/mst.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "congest/network.hpp"
+#include "congest/quiescence.hpp"
+
+namespace fc::apps {
+
+namespace {
+
+constexpr std::uint32_t kTagFrag = 1;     // a = sender's fragment id
+constexpr std::uint32_t kTagMoe = 2;      // a = key weight, b = key EdgeId
+constexpr std::uint32_t kTagConnect = 3;  // a = sender's fragment id, b = edge
+constexpr std::uint32_t kTagMerge = 4;    // a = candidate fragment id
+
+/// MOE key: total order on edges, so fragment minima are unique.
+using MoeKey = std::pair<Weight, EdgeId>;
+constexpr MoeKey kNoMoe{kInfWeight, kInvalidEdge};
+
+/// Phase step 1: learn neighbours' fragment ids (one announce round), then
+/// min-flood the local MOE candidates over the fragment's tree arcs until
+/// quiescence. Terminates like DistributedBfs: one full round without a
+/// send means every fragment has converged.
+class MoePhase : public congest::Algorithm {
+ public:
+  MoePhase(const WeightedGraph& g, const std::vector<NodeId>& frag,
+           const std::vector<std::uint8_t>& tree_arc)
+      : g_(&g), frag_(&frag), tree_arc_(&tree_arc) {
+    const NodeId n = g.graph().node_count();
+    best_.assign(n, kNoMoe);
+    local_.assign(n, kNoMoe);
+    candidate_arc_.assign(n, kInvalidArc);
+  }
+
+  std::string name() const override { return "mst/moe"; }
+
+  void start(congest::Context& ctx) override {
+    const NodeId v = ctx.id();
+    for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
+      ctx.send(a, {kTagFrag, (*frag_)[v], 0});
+  }
+
+  void step(congest::Context& ctx) override {
+    quiescence_.note_round(ctx.round());
+    const NodeId v = ctx.id();
+    bool improved = false;
+    if (ctx.round() == 1) {
+      // Announce answers: the local MOE candidate is the cheapest incident
+      // edge whose far endpoint sits in a different fragment.
+      for (const auto& in : ctx.inbox()) {
+        if (static_cast<NodeId>(in.msg.a) == (*frag_)[v]) continue;
+        const EdgeId e = ctx.graph().arc_edge(in.via);
+        const MoeKey key{g_->weight(e), e};
+        if (key < local_[v]) {
+          local_[v] = key;
+          candidate_arc_[v] = in.via;
+        }
+      }
+      best_[v] = local_[v];
+      improved = best_[v] != kNoMoe;
+      if (improved) any_candidate_.store(true, std::memory_order_relaxed);
+    } else {
+      for (const auto& in : ctx.inbox()) {
+        const MoeKey key{static_cast<Weight>(in.msg.a),
+                         static_cast<EdgeId>(in.msg.b)};
+        if (key < best_[v]) {
+          best_[v] = key;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) return;
+    quiescence_.note_activity(ctx.round());
+    for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
+      if ((*tree_arc_)[a])
+        ctx.send(a, {kTagMoe, static_cast<std::uint64_t>(best_[v].first),
+                     best_[v].second});
+  }
+
+  bool done() const override { return quiescence_.quiescent(); }
+
+  /// True when any fragment still has an outgoing edge (more merges due).
+  bool any_candidate() const {
+    return any_candidate_.load(std::memory_order_relaxed);
+  }
+  /// v's converged fragment minimum.
+  const MoeKey& best(NodeId v) const { return best_[v]; }
+  /// v is its fragment's winner iff its local candidate IS the fragment
+  /// minimum (unique: an outgoing edge is the candidate of one node per
+  /// fragment, and keys are distinct).
+  ArcId winner_arc(NodeId v) const {
+    return local_[v] != kNoMoe && local_[v] == best_[v] ? candidate_arc_[v]
+                                                        : kInvalidArc;
+  }
+
+ private:
+  const WeightedGraph* g_;
+  const std::vector<NodeId>* frag_;
+  const std::vector<std::uint8_t>* tree_arc_;
+  std::vector<MoeKey> best_;
+  std::vector<MoeKey> local_;
+  std::vector<ArcId> candidate_arc_;
+  std::atomic<bool> any_candidate_{false};
+  congest::QuiescenceDetector quiescence_;
+};
+
+/// Phase step 2: winners send CONNECT over their MOE arc (both endpoints
+/// mark it a tree arc), then the merged component floods the minimum member
+/// fragment id over tree arcs until quiescence. Nodes write only their own
+/// per-node state and their own outgoing-arc flags, so parallel rounds stay
+/// race-free.
+class MergePhase : public congest::Algorithm {
+ public:
+  MergePhase(const std::vector<NodeId>& frag,
+             const std::vector<ArcId>& winner_arc,
+             std::vector<std::uint8_t>& tree_arc)
+      : winner_arc_(&winner_arc), tree_arc_(&tree_arc), frag_(frag) {}
+
+  std::string name() const override { return "mst/merge"; }
+
+  void start(congest::Context& ctx) override {
+    const NodeId v = ctx.id();
+    const ArcId moe = (*winner_arc_)[v];
+    if (moe == kInvalidArc) return;
+    (*tree_arc_)[moe] = 1;
+    ctx.send(moe, {kTagConnect, frag_[v], ctx.graph().arc_edge(moe)});
+  }
+
+  void step(congest::Context& ctx) override {
+    quiescence_.note_round(ctx.round());
+    const NodeId v = ctx.id();
+    bool changed = false;
+    for (const auto& in : ctx.inbox()) {
+      if (in.msg.tag == kTagConnect && !(*tree_arc_)[in.via]) {
+        (*tree_arc_)[in.via] = 1;
+        changed = true;  // tell the new neighbour our fragment id
+      }
+      if (static_cast<NodeId>(in.msg.a) < frag_[v]) {
+        frag_[v] = static_cast<NodeId>(in.msg.a);
+        changed = true;
+      }
+    }
+    if (!changed) return;
+    quiescence_.note_activity(ctx.round());
+    for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
+      if ((*tree_arc_)[a]) ctx.send(a, {kTagMerge, frag_[v], 0});
+  }
+
+  bool done() const override { return quiescence_.quiescent(); }
+
+  std::vector<NodeId> take_fragments() { return std::move(frag_); }
+
+ private:
+  const std::vector<ArcId>* winner_arc_;
+  std::vector<std::uint8_t>* tree_arc_;
+  std::vector<NodeId> frag_;
+  congest::QuiescenceDetector quiescence_;
+};
+
+void accumulate(MstReport& r, const congest::RunResult& cost) {
+  r.rounds += cost.rounds;
+  r.messages += cost.messages;
+  r.finished = r.finished && cost.finished;
+  if (r.arc_sends.empty()) r.arc_sends.assign(cost.arc_sends.size(), 0);
+  for (std::size_t a = 0; a < cost.arc_sends.size(); ++a)
+    r.arc_sends[a] += cost.arc_sends[a];
+}
+
+}  // namespace
+
+std::uint64_t MstReport::max_arc_congestion() const {
+  return congest::max_arc_congestion(arc_sends);
+}
+
+std::uint64_t MstReport::max_edge_congestion(const Graph& g) const {
+  return congest::max_edge_congestion(g, arc_sends);
+}
+
+MstReport distributed_mst(const WeightedGraph& g, const MstOptions& opts) {
+  const Graph& graph = g.graph();
+  const NodeId n = graph.node_count();
+  MstReport r;
+  r.finished = true;
+  if (n == 0) return r;  // no node ever steps, so the quiescence oracle
+                         // would never fire
+  r.fragment.resize(n);
+  for (NodeId v = 0; v < n; ++v) r.fragment[v] = v;
+  r.arc_sends.assign(graph.arc_count(), 0);
+  std::vector<std::uint8_t> tree_arc(graph.arc_count(), 0);
+  std::vector<std::uint8_t> in_msf(graph.edge_count(), 0);
+  congest::RunOptions ropts;
+  ropts.max_rounds = opts.max_rounds;
+  ropts.parallel = opts.parallel;
+
+  // Fragment count at least halves per phase, so 2^40 nodes would be needed
+  // to exceed this cap legitimately; hitting it means non-termination.
+  constexpr std::uint32_t kPhaseCap = 40;
+  while (true) {
+    MoePhase moe(g, r.fragment, tree_arc);
+    congest::Network net(graph);
+    accumulate(r, net.run(moe, ropts));
+    if (!moe.any_candidate() || !r.finished) break;  // forest complete
+    if (++r.phases > kPhaseCap) {
+      r.finished = false;
+      break;
+    }
+
+    std::vector<ArcId> winner_arc(n, kInvalidArc);
+    for (NodeId v = 0; v < n; ++v) {
+      const ArcId a = moe.winner_arc(v);
+      winner_arc[v] = a;
+      if (a == kInvalidArc) continue;
+      const EdgeId e = graph.arc_edge(a);
+      if (!in_msf[e]) {
+        in_msf[e] = 1;
+        r.tree_edges.push_back(e);
+      }
+    }
+    MergePhase merge(r.fragment, winner_arc, tree_arc);
+    congest::Network net2(graph);
+    accumulate(r, net2.run(merge, ropts));
+    r.fragment = merge.take_fragments();
+    if (!r.finished) break;  // a run hit max_rounds
+  }
+
+  std::sort(r.tree_edges.begin(), r.tree_edges.end());
+  r.total_weight = edge_set_weight(g, r.tree_edges);
+  return r;
+}
+
+}  // namespace fc::apps

@@ -1,0 +1,69 @@
+#pragma once
+// Distributed minimum spanning tree in the Borůvka/GHS fragment-merging
+// style, on the CONGEST engine.
+//
+// Fragments start as single nodes and merge along minimum outgoing edges
+// (MOEs). Edge keys are (weight, EdgeId) — a total order, so every fragment
+// has a UNIQUE MOE and the resulting forest is the unique minimum spanning
+// forest under the perturbed weights: the distributed edge set matches the
+// serial Kruskal reference (fc::kruskal_msf) exactly, not just by weight.
+//
+// Each Borůvka phase is two engine executions whose costs accumulate into
+// one report (the same idiom ScenarioRunner uses for BFS + broadcast):
+//
+//  1. MOE phase. One announce round — every node sends its fragment id over
+//     every arc (2m messages) and derives its local MOE candidate from the
+//     answers — then a min-flood of (weight, EdgeId) keys over the
+//     fragment's tree arcs until quiescence. Afterwards every node knows
+//     its fragment's MOE; the unique node owning it is the "winner".
+//  2. Merge phase. Winners send CONNECT over their MOE arc (marking it a
+//     tree arc on both sides), and the merged component floods the minimum
+//     member fragment id over tree arcs until quiescence: that id is the
+//     merged fragment's new name.
+//
+// O(log n) phases (fragment count at least halves per phase); each flood
+// runs in O(fragment diameter) rounds, so the total is O(n log n) rounds
+// worst case and O((m + n·D) log n) messages — the textbook synchronous
+// Borůvka accounting. On a disconnected graph every component ends as one
+// fragment and the result is the minimum spanning forest.
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/metrics.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace fc::apps {
+
+struct MstOptions {
+  /// Cap per engine execution (each phase runs two).
+  std::uint64_t max_rounds = 10'000'000;
+  bool parallel = true;
+};
+
+struct MstReport {
+  /// Minimum-spanning-forest edges, EdgeIds sorted ascending.
+  std::vector<EdgeId> tree_edges;
+  Weight total_weight = 0;
+  /// Borůvka phases executed (merges happened); the final verification
+  /// sweep that finds no outgoing edge is not counted.
+  std::uint32_t phases = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  /// Per-arc sends summed over every phase (whole-execution congestion).
+  std::vector<std::uint64_t> arc_sends;
+  bool finished = false;
+  /// Final fragment id per node: the minimum NodeId of its component.
+  std::vector<NodeId> fragment;
+
+  /// Max sends over any directed arc / both directions of any edge.
+  std::uint64_t max_arc_congestion() const;
+  std::uint64_t max_edge_congestion(const Graph& g) const;
+};
+
+/// Run distributed Borůvka on `g` (connected or not; weights nonnegative by
+/// WeightedGraph's invariant). Deterministic: the report is bit-identical
+/// for every thread count.
+MstReport distributed_mst(const WeightedGraph& g, const MstOptions& opts = {});
+
+}  // namespace fc::apps

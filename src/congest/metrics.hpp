@@ -3,12 +3,34 @@
 // per-edge congestion (the max number of messages that crossed any single
 // edge over the whole run — the quantity Lemma 1 and Theorem 12 bound).
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
 
 namespace fc::congest {
+
+/// Max sends over any directed arc. The single definition behind every
+/// report (RunResult, ScenarioResult, the MST/SSSP app reports).
+inline std::uint64_t max_arc_congestion(
+    std::span<const std::uint64_t> arc_sends) {
+  std::uint64_t best = 0;
+  for (const auto s : arc_sends) best = std::max(best, s);
+  return best;
+}
+
+/// Max over edges of the sends in both directions of one edge.
+inline std::uint64_t max_edge_congestion(
+    const Graph& g, std::span<const std::uint64_t> arc_sends) {
+  std::uint64_t best = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [a, b] = g.edge_arcs(e);
+    best = std::max(best, arc_sends[a] + arc_sends[b]);
+  }
+  return best;
+}
 
 struct RunResult {
   std::uint64_t rounds = 0;         // rounds executed (including round 0)
@@ -24,10 +46,7 @@ struct RunResult {
 
   /// Max over edges of edge_congestion.
   std::uint64_t max_edge_congestion(const Graph& g) const {
-    std::uint64_t best = 0;
-    for (EdgeId e = 0; e < g.edge_count(); ++e)
-      best = std::max(best, edge_congestion(g, e));
-    return best;
+    return congest::max_edge_congestion(g, arc_sends);
   }
 };
 

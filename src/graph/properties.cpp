@@ -113,6 +113,46 @@ std::vector<std::uint32_t> components(const Graph& g) {
 
 bool is_connected(const Graph& g) { return component_count(g) <= 1; }
 
+ComponentRestriction restrict_to_component(const Graph& g, NodeId member) {
+  ComponentRestriction out;
+  const auto dist = bfs_distances(g, member);
+  std::vector<NodeId> new_id(g.node_count(), kInvalidNode);
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    if (dist[v] != kUnreached) new_id[v] = out.reached++;
+  if (out.reached == g.node_count()) {  // identity: skip the copy
+    out.root = member;
+    return out;
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const NodeId u = g.edge_u(e), v = g.edge_v(e);
+    if (new_id[u] != kInvalidNode && new_id[v] != kInvalidNode) {
+      edges.emplace_back(new_id[u], new_id[v]);
+      out.kept_edges.push_back(e);
+    }
+  }
+  out.root = new_id[member];
+  out.new_id = std::move(new_id);
+  out.graph = Graph::from_edges(out.reached, edges);
+  return out;
+}
+
+NodeId largest_component_member(const Graph& g) {
+  if (g.node_count() == 0) return kInvalidNode;
+  const auto label = components(g);
+  std::uint32_t count = 0;
+  for (const auto l : label) count = std::max(count, l + 1);
+  std::vector<NodeId> size(count, 0);
+  for (const auto l : label) ++size[l];
+  // Labels are assigned in increasing order of their lowest member, so the
+  // first maximal label belongs to the component with the smallest ids.
+  std::uint32_t best = 0;
+  for (std::uint32_t l = 1; l < size.size(); ++l)
+    if (size[l] > size[best]) best = l;
+  for (NodeId v = 0;; ++v)
+    if (label[v] == best) return v;
+}
+
 std::uint32_t component_count(const Graph& g) {
   const auto label = components(g);
   std::uint32_t max_label = 0;

@@ -44,6 +44,32 @@ std::vector<std::uint32_t> components(const Graph& g);
 bool is_connected(const Graph& g);
 std::uint32_t component_count(const Graph& g);
 
+/// The induced subgraph of one connected component, nodes relabelled
+/// densely in increasing old-id order. The single relabelling rule shared
+/// by the scenario runner's root-component restriction (weighted and
+/// unweighted) and the registry's `largest_cc=1` spec flag.
+struct ComponentRestriction {
+  NodeId reached = 0;          // component size
+  NodeId root = kInvalidNode;  // new id of the requested member
+  /// old node id -> new id (kInvalidNode outside the component). EMPTY when
+  /// the component is the whole graph: the restriction is the identity and
+  /// `graph`/`kept_edges` are left empty too — keep using the original.
+  std::vector<NodeId> new_id;
+  std::vector<EdgeId> kept_edges;  // new EdgeId -> old EdgeId
+  Graph graph;
+  bool is_identity(const Graph& g) const { return reached == g.node_count(); }
+};
+
+/// Restrict `g` to the component containing `member`. Edges keep their
+/// relative order, so `kept_edges[e]` maps each new EdgeId to its parent
+/// edge (e.g. for carrying weights across).
+ComponentRestriction restrict_to_component(const Graph& g, NodeId member);
+
+/// Lowest-id node of a largest connected component (ties go to the
+/// component discovered first, i.e. the one with the smallest member id).
+/// kInvalidNode on the empty graph.
+NodeId largest_component_member(const Graph& g);
+
 std::uint32_t min_degree(const Graph& g);
 std::uint32_t max_degree(const Graph& g);
 double average_degree(const Graph& g);

@@ -1,5 +1,7 @@
 #include "graph/weighted_graph.hpp"
 
+#include <algorithm>
+#include <numeric>
 #include <queue>
 #include <stdexcept>
 
@@ -81,6 +83,54 @@ std::vector<Weight> dijkstra(const WeightedGraph& g, NodeId source) {
     }
   }
   return dist;
+}
+
+namespace {
+
+// Union-find with path halving; small enough to keep local to Kruskal.
+struct DisjointSets {
+  std::vector<NodeId> parent;
+  explicit DisjointSets(NodeId n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), NodeId{0});
+  }
+  NodeId find(NodeId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  }
+  bool unite(NodeId a, NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent[std::max(a, b)] = std::min(a, b);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::vector<EdgeId> kruskal_msf(const WeightedGraph& g) {
+  const Graph& graph = g.graph();
+  std::vector<EdgeId> order(graph.edge_count());
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return std::make_pair(g.weight(a), a) < std::make_pair(g.weight(b), b);
+  });
+  DisjointSets sets(graph.node_count());
+  std::vector<EdgeId> out;
+  out.reserve(graph.node_count() > 0 ? graph.node_count() - 1 : 0);
+  for (const EdgeId e : order)
+    if (sets.unite(graph.edge_u(e), graph.edge_v(e))) out.push_back(e);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Weight edge_set_weight(const WeightedGraph& g, std::span<const EdgeId> edges) {
+  Weight sum = 0;
+  for (const EdgeId e : edges) sum += g.weight(e);
+  return sum;
 }
 
 std::vector<std::vector<Weight>> weighted_apsp_exact(const WeightedGraph& g) {

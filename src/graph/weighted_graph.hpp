@@ -51,6 +51,15 @@ class WeightedGraph {
 /// Dijkstra). Unreachable nodes get kInfWeight.
 std::vector<Weight> dijkstra(const WeightedGraph& g, NodeId source);
 
+/// Minimum spanning forest by Kruskal, EdgeIds sorted ascending. Ties break
+/// on the lower EdgeId, which makes the key (weight, EdgeId) a total order:
+/// the forest is the UNIQUE minimum under it, so the distributed Borůvka in
+/// apps/mst must reproduce this exact edge set (not just its weight).
+std::vector<EdgeId> kruskal_msf(const WeightedGraph& g);
+
+/// Sum of the weights of the listed edges.
+Weight edge_set_weight(const WeightedGraph& g, std::span<const EdgeId> edges);
+
 /// Exact weighted APSP by running Dijkstra from every node. O(n m log n);
 /// intended as ground truth for tests and small benchmark instances.
 std::vector<std::vector<Weight>> weighted_apsp_exact(const WeightedGraph& g);

@@ -7,6 +7,8 @@
 #include "algo/convergecast.hpp"
 #include "algo/leader_election.hpp"
 #include "algo/pipeline_broadcast.hpp"
+#include "apps/mst.hpp"
+#include "apps/sssp.hpp"
 #include "apps/weighted_apsp.hpp"
 #include "congest/network.hpp"
 #include "graph/mincut.hpp"
@@ -48,13 +50,8 @@ void finish(ScenarioResult& r, const Graph& g,
             const std::vector<std::uint64_t>& arc_sends) {
   r.nodes = g.node_count();
   r.edges = g.edge_count();
-  for (const auto s : arc_sends)
-    r.max_arc_congestion = std::max(r.max_arc_congestion, s);
-  for (EdgeId e = 0; e < g.edge_count(); ++e) {
-    const auto [a, b] = g.edge_arcs(e);
-    r.max_edge_congestion =
-        std::max(r.max_edge_congestion, arc_sends[a] + arc_sends[b]);
-  }
+  r.max_arc_congestion = congest::max_arc_congestion(arc_sends);
+  r.max_edge_congestion = congest::max_edge_congestion(g, arc_sends);
 }
 
 ScenarioResult run_bfs_scenario(const Graph& g, const ScenarioConfig& cfg) {
@@ -84,9 +81,10 @@ ScenarioResult run_leader_scenario(const Graph& g, const ScenarioConfig& cfg) {
   return r;
 }
 
-/// Tree workloads (broadcast, convergecast) need a spanning tree, but
-/// scenario families like R-MAT are naturally disconnected. Restrict such
-/// runs to the root's component (relabelled to dense ids) and record the
+/// Tree and single-source workloads (broadcast, convergecast, mst, sssp)
+/// need a connected graph, but scenario families like R-MAT are naturally
+/// disconnected. Restrict such runs to the root's component (relabelled to
+/// dense ids via the shared fc::restrict_to_component rule) and record the
 /// restriction in the note, instead of refusing the workload. `induced` is
 /// engaged only when restricted; resolve the graph to run on via get() so
 /// the struct stays safely movable (no pointer into itself).
@@ -99,22 +97,17 @@ struct Workload {
   }
 };
 
+std::string restriction_note(const ComponentRestriction& r, NodeId n) {
+  return " cc=" + std::to_string(r.reached) + "/" + std::to_string(n);
+}
+
 Workload root_component(const Graph& g, NodeId root) {
   Workload w{root, std::nullopt, ""};
-  const auto dist = bfs_distances(g, root);
-  std::vector<NodeId> newid(g.node_count(), kInvalidNode);
-  NodeId reached = 0;
-  for (NodeId v = 0; v < g.node_count(); ++v)
-    if (dist[v] != kUnreached) newid[v] = reached++;
-  if (reached == g.node_count()) return w;
-  std::vector<std::pair<NodeId, NodeId>> edges;
-  for (const auto& [u, v] : g.edge_list())
-    if (newid[u] != kInvalidNode && newid[v] != kInvalidNode)
-      edges.emplace_back(newid[u], newid[v]);
-  w.induced = Graph::from_edges(reached, edges);
-  w.root = newid[root];
-  w.note = " cc=" + std::to_string(reached) + "/" +
-           std::to_string(g.node_count());
+  ComponentRestriction r = restrict_to_component(g, root);
+  if (r.is_identity(g)) return w;
+  w.root = r.root;
+  w.note = restriction_note(r, g.node_count());
+  w.induced = std::move(r.graph);
   return w;
 }
 
@@ -176,9 +169,10 @@ ScenarioResult run_convergecast_scenario(const Graph& full,
   return r;
 }
 
-/// Weighted counterpart of Workload/root_component: restrict to the root's
-/// component, carrying edge weights over to the re-labelled subgraph.
+/// Weighted counterpart of Workload/root_component: the same shared
+/// restriction, carrying edge weights over via kept_edges.
 struct WeightedWorkload {
+  NodeId root;
   std::optional<WeightedGraph> induced;  // engaged only when restricted
   std::string note;
   const WeightedGraph& get(const WeightedGraph& full) const {
@@ -189,25 +183,15 @@ struct WeightedWorkload {
 WeightedWorkload weighted_root_component(const WeightedGraph& wg,
                                          NodeId root) {
   const Graph& g = wg.graph();
-  WeightedWorkload w{std::nullopt, ""};
-  const auto dist = bfs_distances(g, root);
-  std::vector<NodeId> newid(g.node_count(), kInvalidNode);
-  NodeId reached = 0;
-  for (NodeId v = 0; v < g.node_count(); ++v)
-    if (dist[v] != kUnreached) newid[v] = reached++;
-  if (reached == g.node_count()) return w;
-  std::vector<std::pair<NodeId, NodeId>> edges;
+  WeightedWorkload w{root, std::nullopt, ""};
+  ComponentRestriction r = restrict_to_component(g, root);
+  if (r.is_identity(g)) return w;
   std::vector<Weight> weights;
-  for (EdgeId e = 0; e < g.edge_count(); ++e) {
-    const NodeId u = g.edge_u(e), v = g.edge_v(e);
-    if (newid[u] != kInvalidNode && newid[v] != kInvalidNode) {
-      edges.emplace_back(newid[u], newid[v]);
-      weights.push_back(wg.weight(e));
-    }
-  }
-  w.induced = WeightedGraph::from_edges(reached, edges, std::move(weights));
-  w.note = " cc=" + std::to_string(reached) + "/" +
-           std::to_string(g.node_count());
+  weights.reserve(r.kept_edges.size());
+  for (const EdgeId e : r.kept_edges) weights.push_back(wg.weight(e));
+  w.root = r.root;
+  w.note = restriction_note(r, g.node_count());
+  w.induced = WeightedGraph(std::move(r.graph), std::move(weights));
   return w;
 }
 
@@ -240,6 +224,49 @@ ScenarioResult run_weighted_apsp_scenario(const WeightedGraph& full,
   return r;
 }
 
+ScenarioResult run_mst_scenario(const WeightedGraph& full,
+                                const ScenarioConfig& cfg) {
+  ScenarioResult r;
+  const WeightedWorkload w =
+      weighted_root_component(full, checked_root(full.graph(), cfg));
+  const WeightedGraph& g = w.get(full);
+  apps::MstOptions opts;
+  opts.max_rounds = cfg.max_rounds;
+  const auto rep = apps::distributed_mst(g, opts);
+  r.rounds = rep.rounds;
+  r.messages = rep.messages;
+  r.finished = rep.finished;
+  finish(r, g.graph(), rep.arc_sends);
+  r.note = "mst_weight=" + std::to_string(rep.total_weight) +
+           " edges=" + std::to_string(rep.tree_edges.size()) +
+           " phases=" + std::to_string(rep.phases) + w.note;
+  return r;
+}
+
+ScenarioResult run_sssp_scenario(const WeightedGraph& full,
+                                 const ScenarioConfig& cfg) {
+  ScenarioResult r;
+  const WeightedWorkload w =
+      weighted_root_component(full, checked_root(full.graph(), cfg));
+  const WeightedGraph& g = w.get(full);
+  if (g.graph().node_count() < 2) {
+    r.nodes = g.graph().node_count();
+    r.finished = true;
+    r.note = "trivial component" + w.note;
+    return r;
+  }
+  apps::SsspOptions opts;
+  opts.max_rounds = cfg.max_rounds;
+  const auto rep = apps::distributed_sssp(g, w.root, opts);
+  r.rounds = rep.rounds;
+  r.messages = rep.messages;
+  r.finished = rep.finished;
+  finish(r, g.graph(), rep.arc_sends);
+  r.note = "reached=" + std::to_string(rep.reached) +
+           " max_dist=" + std::to_string(rep.max_dist) + w.note;
+  return r;
+}
+
 }  // namespace
 
 ScenarioRunner::ScenarioRunner() {
@@ -248,6 +275,8 @@ ScenarioRunner::ScenarioRunner() {
   add("broadcast", run_broadcast_scenario);
   add("convergecast", run_convergecast_scenario);
   add_weighted("weighted-apsp", run_weighted_apsp_scenario);
+  add_weighted("mst", run_mst_scenario);
+  add_weighted("sssp", run_sssp_scenario);
 }
 
 std::vector<std::string> ScenarioRunner::algorithms() const {

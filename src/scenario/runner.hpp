@@ -50,8 +50,8 @@ class ScenarioRunner {
                                    const ScenarioConfig&)>;
 
   /// Constructs with the built-in algorithms registered: bfs,
-  /// leader-election, broadcast, convergecast (topology) and weighted-apsp
-  /// (weighted).
+  /// leader-election, broadcast, convergecast (topology) and weighted-apsp,
+  /// mst, sssp (weighted).
   ScenarioRunner();
 
   /// Registered topology algorithm names, sorted. Weighted algorithms are

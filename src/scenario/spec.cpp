@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "graph/generators.hpp"
+#include "graph/properties.hpp"
 #include "util/rng.hpp"
 
 namespace fc::scenario {
@@ -191,16 +192,28 @@ Graph Registry::build(const GraphSpec& spec) const {
     bad("unknown family '" + spec.family() + "'; known families: " + known);
   }
   for (const auto& [key, _] : spec.params()) {
-    if (key == "weights") continue;  // registry-level, valid for every family
+    // Registry-level parameters, valid for every family.
+    if (key == "weights" || key == "largest_cc") continue;
     bool ok = false;
     for (const auto& k : info->keys) ok = ok || k == key;
     if (!ok)
       bad("family '" + spec.family() + "' does not take parameter '" + key +
-          "'; accepted: " + info->params_help + " (and weights=lo..hi)");
+          "'; accepted: " + info->params_help +
+          " (and weights=lo..hi, largest_cc=1)");
   }
-  // Fail fast on a malformed weights= even for topology-only builds.
+  // Fail fast on malformed registry-level parameters even for builds that
+  // would not use them.
   if (spec.has_weights()) (void)spec.weight_range();
-  return info->build(spec);
+  const std::uint64_t largest_cc = spec.get_uint("largest_cc", 0);
+  if (largest_cc > 1)
+    bad("parameter 'largest_cc' is a 0/1 flag, got " +
+        std::to_string(largest_cc));
+  Graph g = info->build(spec);
+  if (largest_cc == 1 && g.node_count() > 0) {
+    auto restricted = restrict_to_component(g, largest_component_member(g));
+    if (!restricted.is_identity(g)) g = std::move(restricted.graph);
+  }
+  return g;
 }
 
 Graph Registry::build(const std::string& spec_text) const {

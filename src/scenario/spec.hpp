@@ -14,11 +14,19 @@
 // message, so a typo in an experiment grid fails fast instead of silently
 // running the wrong workload.
 //
-// `weights=lo..hi` is a registry-level parameter accepted by EVERY family:
-// it attaches uniform integer edge weights in [lo, hi], derived per edge as
-// a pure hash of (seed, EdgeId) (see gen::with_hashed_weights), so a
-// weighted workload is reproducible from the topology alone — weights are
-// never stored in the corpus files.
+// Two registry-level parameters are accepted by EVERY family:
+//  * `weights=lo..hi` attaches uniform integer edge weights in [lo, hi],
+//    derived per edge as a pure hash of (seed, EdgeId) (see
+//    gen::with_hashed_weights), so a weighted workload is reproducible from
+//    the topology alone — weights are never stored in the corpus files.
+//  * `largest_cc=1` post-processes the generated topology down to its
+//    largest connected component (relabelled to dense ids; ties go to the
+//    component with the smallest member id). Tree and MST/SSSP workloads on
+//    naturally disconnected families (e.g. rmat) can opt into a connected
+//    graph in the spec itself instead of relying on the runner's internal
+//    root-component restriction. The flag is part of the canonical spec, so
+//    restricted and unrestricted corpora never collide; `weights=` hashes
+//    over the RESTRICTED EdgeIds (the restriction happens first).
 //
 // Two renderings exist:
 //  * GraphSpec::to_string() — exactly the parameters given, keys sorted.

@@ -6,6 +6,7 @@
 
 #include "graph/mincut.hpp"
 #include "graph/properties.hpp"
+#include "scenario/spec.hpp"
 
 namespace fc {
 namespace {
@@ -85,6 +86,44 @@ TEST(Harary, OddK) {
 
 TEST(Harary, OddKOddNRejected) {
   EXPECT_THROW(gen::harary(15, 5), std::invalid_argument);
+}
+
+TEST(Harary, OddKEvenNSweep) {
+  // Odd k on even n: circulant C_n(1..(k-1)/2) plus diametric chords. The
+  // Harary guarantees hold at every combination: k-regular, exactly nk/2
+  // edges (nk is even here), and edge connectivity exactly k.
+  const std::vector<std::pair<NodeId, std::uint32_t>> cases = {
+      {6, 3}, {8, 3}, {12, 5}, {16, 5}, {10, 7}, {16, 9}};
+  for (const auto& [n, k] : cases) {
+    SCOPED_TRACE("n=" + std::to_string(n) + " k=" + std::to_string(k));
+    const Graph g = gen::harary(n, k);
+    EXPECT_EQ(g.node_count(), n);
+    EXPECT_EQ(g.edge_count(), n * k / 2);
+    EXPECT_EQ(min_degree(g), k);
+    EXPECT_EQ(max_degree(g), k);
+    EXPECT_EQ(edge_connectivity(g), k);
+  }
+}
+
+TEST(Harary, OddKCompleteBoundary) {
+  // k = n-1 (odd, n even) degenerates to the complete graph.
+  const Graph g = gen::harary(6, 5);
+  EXPECT_EQ(g.edge_count(), 15u);
+  EXPECT_EQ(edge_connectivity(g), 5u);
+}
+
+TEST(Harary, ParameterRangeRejected) {
+  EXPECT_THROW(gen::harary(8, 1), std::invalid_argument);   // k < 2
+  EXPECT_THROW(gen::harary(8, 8), std::invalid_argument);   // k >= n
+  EXPECT_THROW(gen::harary(8, 9), std::invalid_argument);   // k > n
+}
+
+TEST(Harary, SpecRegistryRoundTrip) {
+  // The registry path hits the same edge cases (odd k needs even n).
+  const Graph g = fc::scenario::build_graph("harary:n=12,k=5");
+  EXPECT_EQ(min_degree(g), 5u);
+  EXPECT_THROW(fc::scenario::build_graph("harary:n=13,k=5"),
+               std::invalid_argument);
 }
 
 TEST(ErdosRenyi, EdgeCountConcentrates) {

@@ -14,6 +14,12 @@ TEST(ScenarioRunner, RegistersBuiltInAlgorithms) {
        {"bfs", "broadcast", "convergecast", "leader-election"})
     EXPECT_TRUE(runner.has(expected)) << expected;
   EXPECT_EQ(algos.size(), 4u);
+  const auto weighted = runner.weighted_algorithms();
+  for (const std::string expected : {"weighted-apsp", "mst", "sssp"}) {
+    EXPECT_TRUE(runner.has(expected)) << expected;
+    EXPECT_TRUE(runner.is_weighted(expected)) << expected;
+  }
+  EXPECT_EQ(weighted.size(), 3u);
 }
 
 TEST(ScenarioRunner, UnknownAlgorithmIsActionable) {

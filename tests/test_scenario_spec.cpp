@@ -170,6 +170,75 @@ TEST(WeightsParam, WeightsAreDeterministicAndSeedKeyed) {
     ASSERT_EQ(unit.weight(e), 1);
 }
 
+TEST(LargestCcParam, RestrictsToLargestComponent) {
+  // rmat:n=64,deg=3 is disconnected at this seed; the flag yields exactly
+  // the largest component, relabelled to dense ids.
+  const std::string base = "rmat:n=64,deg=3,seed=11";
+  const Graph full = Registry::instance().build(base);
+  ASSERT_GT(component_count(full), 1u);
+  const Graph cc = Registry::instance().build(base + ",largest_cc=1");
+  EXPECT_TRUE(is_connected(cc));
+  EXPECT_LT(cc.node_count(), full.node_count());
+  // Size equals the largest component of the unrestricted build.
+  const auto label = components(full);
+  std::vector<NodeId> size(component_count(full), 0);
+  for (const auto l : label) ++size[l];
+  NodeId largest = 0;
+  for (const auto s : size) largest = std::max(largest, s);
+  EXPECT_EQ(cc.node_count(), largest);
+}
+
+TEST(LargestCcParam, ZeroIsANoOpAndConnectedFamiliesAreUntouched) {
+  const Graph off = Registry::instance().build("rmat:n=64,deg=3,seed=11");
+  const Graph zero =
+      Registry::instance().build("rmat:n=64,deg=3,seed=11,largest_cc=0");
+  EXPECT_EQ(off.edge_list(), zero.edge_list());
+  // Already-connected graph: identity, full size preserved.
+  const Graph cyc = Registry::instance().build("cycle:n=16,largest_cc=1");
+  EXPECT_EQ(cyc.node_count(), 16u);
+  EXPECT_EQ(cyc.edge_count(), 16u);
+}
+
+TEST(LargestCcParam, EveryFamilyAcceptsIt) {
+  for (const auto* info : Registry::instance().families()) {
+    SCOPED_TRACE(info->name);
+    const GraphSpec spec =
+        GraphSpec::parse(info->example).with("largest_cc", "1");
+    EXPECT_TRUE(is_connected(Registry::instance().build(spec)));
+  }
+}
+
+TEST(LargestCcParam, MalformedValuesAreRejected) {
+  for (const std::string bad :
+       {"cycle:n=8,largest_cc=2", "cycle:n=8,largest_cc=x",
+        "cycle:n=8,largest_cc=-1"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_THROW(Registry::instance().build(bad), std::invalid_argument);
+  }
+}
+
+TEST(LargestCcParam, WeightsHashOverRestrictedEdgeIds) {
+  // The restriction happens before weighting: the weighted build is the
+  // unweighted restricted topology plus spec weights, deterministically.
+  const std::string spec = "rmat:n=64,deg=3,seed=11,largest_cc=1,weights=1..9";
+  const WeightedGraph a = Registry::instance().build_weighted(spec);
+  const WeightedGraph b = Registry::instance().build_weighted(spec);
+  ASSERT_EQ(a.graph().edge_list(), b.graph().edge_list());
+  for (EdgeId e = 0; e < a.graph().edge_count(); ++e) {
+    EXPECT_EQ(a.weight(e), b.weight(e));
+    EXPECT_GE(a.weight(e), 1);
+    EXPECT_LE(a.weight(e), 9);
+  }
+  EXPECT_TRUE(is_connected(a.graph()));
+}
+
+TEST(LargestCcParam, PartOfTheCanonicalIdentity) {
+  const auto& reg = Registry::instance();
+  EXPECT_EQ(reg.canonical(GraphSpec::parse("cycle:n=8,largest_cc=1"))
+                .to_string(),
+            "cycle:largest_cc=1,n=8");
+}
+
 TEST(CanonicalSpec, BakesRegistryDefaults) {
   const auto& reg = Registry::instance();
   EXPECT_EQ(reg.canonical(GraphSpec::parse("rmat:n=256")).to_string(),
