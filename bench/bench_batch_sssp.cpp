@@ -1,0 +1,118 @@
+// Batch k-source SSSP (pipelined Bellman-Ford, apps/batch_sssp): one engine
+// execution answers k queries in O(depth + k)-style pipelined rounds. Every
+// row prints the batch run NEXT TO the k-independent-runs baseline (sums of
+// apps::distributed_sssp costs), so the pipelining saving is the measured
+// quantity: the "round x" column is baseline rounds / batch rounds. Distance
+// vectors are checked per query against serial Dijkstra.
+
+#include "bench_common.hpp"
+
+#include "apps/batch_sssp.hpp"
+#include "apps/sssp.hpp"
+
+namespace fc::bench {
+namespace {
+
+Table batch_table() {
+  return Table({"graph", "n", "m", "k", "rounds", "messages", "max edge",
+                "k-run rounds", "k-run msgs", "round x", "dijkstra"});
+}
+
+void batch_row(Table& table, const std::string& name, const WeightedGraph& g,
+               std::uint64_t k) {
+  const auto sources = apps::default_sources(g.graph(), k);
+  const auto batch = apps::batch_sssp(g, sources);
+  // Baseline: the same k queries as k separate engine executions.
+  std::uint64_t base_rounds = 0, base_messages = 0;
+  bool match = batch.finished;
+  for (std::uint32_t s = 0; s < sources.size(); ++s) {
+    const auto single = apps::distributed_sssp(g, sources[s]);
+    base_rounds += single.rounds;
+    base_messages += single.messages;
+    match = match && batch.dist[s] == dijkstra(g, sources[s]);
+  }
+  const double speedup =
+      batch.rounds == 0 ? 0.0
+                        : static_cast<double>(base_rounds) /
+                              static_cast<double>(batch.rounds);
+  table.add_row({name, Table::num(std::size_t{g.graph().node_count()}),
+                 Table::num(std::size_t{g.graph().edge_count()}),
+                 Table::num(std::size_t{k}),
+                 Table::num(std::size_t{batch.rounds}),
+                 Table::num(std::size_t{batch.messages}),
+                 Table::num(std::size_t{batch.max_edge_congestion(g.graph())}),
+                 Table::num(std::size_t{base_rounds}),
+                 Table::num(std::size_t{base_messages}),
+                 Table::num(speedup, 1) + "x",
+                 match ? "match" : "MISMATCH"});
+}
+
+void experiment_b1() {
+  banner("B1 / pipelining versus query count",
+         "one batched execution takes ~depth + k rounds where k independent "
+         "runs pay k * depth: the round ratio grows with k.");
+  Table table = batch_table();
+  Rng rng(81);
+  const WeightedGraph g = gen::with_hashed_weights(
+      gen::random_regular(512, 8, rng), 1, 100, 81);
+  for (const std::uint64_t k : {1u, 4u, 16u, 64u})
+    batch_row(table, "random_regular:n=512,d=8", g, k);
+  table.print(std::cout);
+}
+
+void experiment_b2() {
+  banner("B2 / pipelining across connectivity regimes",
+         "k=16 sources: deep bottleneck families amortize their depth over "
+         "the batch; expanders are round-cheap either way but save the "
+         "per-run startup.");
+  Table table = batch_table();
+  const std::uint64_t k = 16;
+  batch_row(table, "thick_path:groups=64,width=4",
+            gen::with_hashed_weights(gen::thick_path(64, 4), 1, 100, 9), k);
+  batch_row(table, "torus:rows=16,cols=16",
+            gen::with_hashed_weights(gen::torus(16, 16), 1, 100, 9), k);
+  batch_row(table, "margulis:side=16",
+            gen::with_hashed_weights(gen::margulis_expander(16), 1, 100, 9),
+            k);
+  batch_row(table, "dumbbell:s=64,bridges=2",
+            gen::with_hashed_weights(gen::dumbbell(64, 2), 1, 100, 9), k);
+  table.print(std::cout);
+}
+
+// --graph=<spec> override: batch SSSP on caller-chosen WEIGHTED scenarios.
+// The query count comes from --sources (default 8), or from a spec-level
+// sources= parameter when --sources is absent.
+void experiment_specs(const std::vector<NamedWeightedGraph>& graphs,
+                      const Options& opts) {
+  banner("Batch SSSP on custom scenarios",
+         "pipelined k-source Bellman-Ford on --graph=<spec> workloads "
+         "versus k independent runs; per-query distances checked against "
+         "serial Dijkstra.");
+  Table table = batch_table();
+  for (const auto& [name, wg] : graphs) {
+    std::uint64_t k = static_cast<std::uint64_t>(opts.get_int("sources", 0));
+    if (k == 0)
+      k = scenario::GraphSpec::parse(name).get_uint("sources", 8);
+    if (k > wg.graph().node_count()) {
+      std::cout << "skipping " << name << ": --sources=" << k
+                << " exceeds n=" << wg.graph().node_count() << "\n";
+      continue;
+    }
+    batch_row(table, name, wg, k);
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace fc::bench
+
+int main(int argc, char** argv) {
+  if (const auto rc = fc::bench::weighted_spec_mode(
+          "bench_batch_sssp", argc, argv, [&](const auto& graphs) {
+            fc::bench::experiment_specs(graphs, fc::Options(argc, argv));
+          }))
+    return *rc;
+  fc::bench::experiment_b1();
+  fc::bench::experiment_b2();
+  return 0;
+}

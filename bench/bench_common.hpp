@@ -117,7 +117,8 @@ inline std::optional<int> spec_mode(
 }
 
 /// Weighted twin of spec_mode for the harnesses whose spec experiments take
-/// `weights=lo..hi` workloads (bench_apsp_weighted, bench_mst, bench_sssp).
+/// `weights=lo..hi` workloads (bench_apsp_weighted, bench_mst, bench_sssp,
+/// bench_batch_sssp).
 inline std::optional<int> weighted_spec_mode(
     const char* harness, int argc, char** argv,
     const std::function<void(const std::vector<NamedWeightedGraph>&)>&

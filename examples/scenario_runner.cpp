@@ -2,6 +2,9 @@
 //
 //   ./scenario_runner --graph=rmat:n=4096,deg=8,seed=1 --algo=bfs
 //   ./scenario_runner --graph=dumbbell:s=512,bridges=4 --algo=all --k=1024
+//   ./scenario_runner --graph=torus:rows=32,cols=32,weights=1..100 \
+//       --algo=batch-sssp --sources=8       # 8 SSSP queries, one execution
+//   ./scenario_runner --cache=corpus --cache-gc   # evict stale cache files
 //   ./scenario_runner --list                 # catalog of families and algos
 //
 // Both --graph and --algo repeat: every (graph, algo) combination becomes
@@ -11,15 +14,24 @@
 // Options:
 //   --graph=<spec>   graph spec, repeatable ("family:k=v,k=v"; see --list).
 //                    weights=lo..hi makes the spec weighted; largest_cc=1
-//                    restricts it to its largest connected component.
+//                    restricts it to its largest connected component;
+//                    sources=k sets the batch query count in the spec.
 //   --algo=<name>    algorithm, repeatable; "all" for every TOPOLOGY
 //                    algorithm (default bfs). Weighted algorithms
-//                    (weighted-apsp, mst, sssp) run when named explicitly.
+//                    (weighted-apsp, mst, sssp, batch-sssp) run when named
+//                    explicitly.
 //   --k=<count>      messages for broadcast-style workloads (default: n)
+//   --sources=<k>    batch query count for batch-bfs / batch-sssp: queries
+//                    run from nodes 0..k-1 in ONE pipelined execution
+//                    (default 1; overrides a spec's sources= parameter)
 //   --seed=<seed>    seed for message placement (default 1)
 //   --root=<node>    root node for bfs/broadcast/convergecast (default 0)
 //   --stretch=<k>    weighted-apsp stretch parameter (default 3: 5-approx)
 //   --cache=<dir>    binary graph corpus + manifest: generate once, reload
+//   --cache-gc       garbage-collect --cache first: evict .fcg files the
+//                    manifest does not vouch for (missing entry or checksum
+//                    mismatch) and drop dangling manifest entries; exits
+//                    after the sweep when no --graph is given
 //   --markdown       emit a GitHub-flavoured markdown table
 
 #include <algorithm>
@@ -62,14 +74,14 @@ int main(int argc, char** argv) {
   // Same fail-fast contract as the specs themselves: a typo'd flag must not
   // silently change the experiment.
   static const std::vector<std::string> known_flags = {
-      "graph", "algo", "k",        "seed", "root",
-      "cache", "list", "markdown", "stretch"};
+      "graph", "algo",     "k",        "seed",    "root",
+      "cache", "cache-gc", "list",     "markdown", "stretch", "sources"};
   for (const auto& key : opts.keys()) {
     if (std::find(known_flags.begin(), known_flags.end(), key) ==
         known_flags.end()) {
       std::cerr << "scenario_runner: unknown option '--" << key
-                << "'; known options: --graph --algo --k --seed --root "
-                   "--stretch --cache --markdown --list\n";
+                << "'; known options: --graph --algo --k --sources --seed "
+                   "--root --stretch --cache --cache-gc --markdown --list\n";
       return 2;
     }
   }
@@ -79,10 +91,30 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  const std::string cache_dir = opts.get("cache", "");
+  if (opts.get_bool("cache-gc")) {
+    if (cache_dir.empty()) {
+      std::cerr << "scenario_runner: --cache-gc needs --cache=<dir>\n";
+      return 2;
+    }
+    try {
+      const auto gc = scenario::gc_corpus(cache_dir);
+      std::cout << "cache-gc " << cache_dir << ": kept " << gc.kept
+                << " entries, evicted " << gc.evicted_files
+                << " files, dropped " << gc.dropped_entries
+                << " manifest entries\n";
+    } catch (const std::exception& err) {
+      std::cerr << "scenario_runner: " << err.what() << "\n";
+      return 2;
+    }
+    if (opts.get_all("graph").empty()) return 0;
+  }
+
   const auto graph_specs = opts.get_all("graph");
   if (graph_specs.empty()) {
     std::cerr << "usage: scenario_runner --graph=<spec> [--algo=<name>] ...\n"
-                 "       scenario_runner --list\n";
+                 "       scenario_runner --list\n"
+                 "       scenario_runner --cache=<dir> --cache-gc\n";
     return 2;
   }
   std::vector<std::string> algos = opts.get_all("algo");
@@ -94,8 +126,8 @@ int main(int argc, char** argv) {
   cfg.k = static_cast<std::uint64_t>(opts.get_int("k", 0));
   cfg.root = static_cast<NodeId>(opts.get_int("root", 0));
   cfg.stretch_k = static_cast<std::uint32_t>(opts.get_int("stretch", 3));
+  cfg.sources = static_cast<std::uint64_t>(opts.get_int("sources", 0));
 
-  const std::string cache_dir = opts.get("cache", "");
   std::vector<scenario::ScenarioResult> results;
   try {
     for (const auto& spec_text : graph_specs) {
@@ -109,6 +141,8 @@ int main(int argc, char** argv) {
       } else {
         g = scenario::Registry::instance().build(spec);
       }
+      const scenario::ScenarioConfig run_cfg =
+          scenario::apply_spec_config(cfg, spec);
       // One weighted build shared by every weighted algo on this spec.
       std::optional<WeightedGraph> weighted;
       for (const auto& algo : algos) {
@@ -116,9 +150,9 @@ int main(int argc, char** argv) {
           if (!weighted)
             weighted = scenario::apply_spec_weights(g, spec);
           results.push_back(runner.run(algo, *weighted, spec.to_string(),
-                                       cfg));
+                                       run_cfg));
         } else {
-          results.push_back(runner.run(algo, g, spec.to_string(), cfg));
+          results.push_back(runner.run(algo, g, spec.to_string(), run_cfg));
         }
       }
     }

@@ -10,9 +10,14 @@
 // Terminates by quiescence in depth+O(1) rounds; on a disconnected graph it
 // spans only the root's component (callers check `reached_count`), which is
 // exactly the behaviour the Theorem 2 validity check needs.
+//
+// BatchBfs below is the k-source batch sibling: one engine run answers k
+// BFS queries by pipelining per-source frontier announcements (see the
+// class note).
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "congest/network.hpp"
@@ -50,6 +55,60 @@ class DistributedBfs : public congest::Algorithm {
   std::vector<std::uint32_t> dist_;
   std::vector<ArcId> parent_arc_;
   std::atomic<NodeId> reached_{0};
+  congest::QuiescenceDetector quiescence_;
+};
+
+/// k-source batch BFS: one engine run answers k BFS queries by pipelining
+/// per-source frontier announcements, the Theorem 1 / Lemma 1 discipline
+/// (one message per arc per round, FIFO relays) applied to k concurrent
+/// BFS waves instead of k broadcast items.
+///
+/// Every node keeps a per-source hop distance and a FIFO of sources whose
+/// distance improved but has not been re-announced yet; each round it
+/// re-announces ONE queued source (carrying the CURRENT distance, so a
+/// superseded improvement is never sent) over every arc except that
+/// source's parent arc. k waves therefore share each edge round-robin:
+/// the run takes O(depth + k) pipelined rounds instead of the k·O(depth)
+/// of k independent executions, with per-edge congestion O(k).
+///
+/// Because a wave can be delayed behind other waves, the FIRST announcement
+/// a node hears for a source is not necessarily the shortest — so unlike
+/// DistributedBfs, adoption is label-correcting (strictly smaller hop
+/// counts win; ties keep the incumbent, lowest arc first within a round).
+/// The final distances are exact BFS distances for every source —
+/// identical to k independent DistributedBfs runs — and deterministic at
+/// every thread count. Terminates by quiescence.
+class BatchBfs : public congest::Algorithm {
+ public:
+  /// `sources[i]` is the root of query i. Throws std::invalid_argument when
+  /// empty or any source is out of range. Duplicate sources are allowed
+  /// (the queries are answered independently).
+  BatchBfs(const Graph& g, std::vector<NodeId> sources);
+
+  std::string name() const override { return "batch-bfs"; }
+  void start(congest::Context& ctx) override;
+  void step(congest::Context& ctx) override;
+  bool done() const override;
+
+  std::uint32_t k() const { return static_cast<std::uint32_t>(sources_.size()); }
+  const std::vector<NodeId>& sources() const { return sources_; }
+  /// Hop distance of v from sources()[s]; kUnreached when unreachable.
+  std::uint32_t dist(std::uint32_t s, NodeId v) const {
+    return dist_[std::size_t{v} * sources_.size() + s];
+  }
+  /// The full distance vector of query s (n entries).
+  std::vector<std::uint32_t> source_distances(std::uint32_t s) const;
+  /// Nodes reached by query s / its BFS depth (valid once done).
+  NodeId reached_count(std::uint32_t s) const;
+  std::uint32_t depth(std::uint32_t s) const;
+
+ private:
+  const Graph* graph_;
+  std::vector<NodeId> sources_;
+  std::vector<std::uint32_t> dist_;      // [v * k + s]
+  std::vector<ArcId> parent_arc_;        // [v * k + s]
+  std::vector<std::uint8_t> queued_;     // [v * k + s]: s in v's FIFO
+  std::vector<std::deque<std::uint32_t>> queue_;  // per node: sources to announce
   congest::QuiescenceDetector quiescence_;
 };
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <utility>
 
+#include "algo/convergecast.hpp"
 #include "congest/network.hpp"
 #include "congest/quiescence.hpp"
 
@@ -20,106 +21,170 @@ constexpr std::uint32_t kTagMerge = 4;    // a = candidate fragment id
 using MoeKey = std::pair<Weight, EdgeId>;
 constexpr MoeKey kNoMoe{kInfWeight, kInvalidEdge};
 
-/// Phase step 1: learn neighbours' fragment ids (one announce round), then
-/// min-flood the local MOE candidates over the fragment's tree arcs until
-/// quiescence. Terminates like DistributedBfs: one full round without a
-/// send means every fragment has converged.
-class MoePhase : public congest::Algorithm {
+/// Phase step 1: every node announces its fragment id over every arc (one
+/// round), and derives its local MOE candidate — the cheapest incident edge
+/// whose far endpoint answered with a different fragment id. Exactly two
+/// rounds; `silenced` nodes (finished fragments, kConvergecast mode only)
+/// skip the announce, and since a finished fragment has no outgoing edges,
+/// their neighbours are silenced too — the component costs nothing.
+class AnnouncePhase : public congest::Algorithm {
  public:
-  MoePhase(const WeightedGraph& g, const std::vector<NodeId>& frag,
-           const std::vector<std::uint8_t>& tree_arc)
-      : g_(&g), frag_(&frag), tree_arc_(&tree_arc) {
+  AnnouncePhase(const WeightedGraph& g, const std::vector<NodeId>& frag,
+                const std::vector<std::uint8_t>& silenced)
+      : g_(&g), frag_(&frag), silenced_(&silenced) {
     const NodeId n = g.graph().node_count();
-    best_.assign(n, kNoMoe);
     local_.assign(n, kNoMoe);
     candidate_arc_.assign(n, kInvalidArc);
   }
 
-  std::string name() const override { return "mst/moe"; }
+  std::string name() const override { return "mst/announce"; }
 
   void start(congest::Context& ctx) override {
     const NodeId v = ctx.id();
+    if ((*silenced_)[v]) return;
     for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
       ctx.send(a, {kTagFrag, (*frag_)[v], 0});
+  }
+
+  void step(congest::Context& ctx) override {
+    const NodeId v = ctx.id();
+    for (const auto& in : ctx.inbox()) {
+      if (static_cast<NodeId>(in.msg.a) == (*frag_)[v]) continue;
+      const EdgeId e = ctx.graph().arc_edge(in.via);
+      const MoeKey key{g_->weight(e), e};
+      if (key < local_[v]) {
+        local_[v] = key;
+        candidate_arc_[v] = in.via;
+      }
+    }
+    if (local_[v] != kNoMoe)
+      any_candidate_.store(true, std::memory_order_relaxed);
+    last_round_.store(ctx.round(), std::memory_order_relaxed);
+  }
+
+  bool done() const override {
+    return last_round_.load(std::memory_order_relaxed) >= 1;
+  }
+
+  /// True when any fragment still has an outgoing edge (more merges due).
+  bool any_candidate() const {
+    return any_candidate_.load(std::memory_order_relaxed);
+  }
+  const MoeKey& local(NodeId v) const { return local_[v]; }
+  ArcId candidate_arc(NodeId v) const { return candidate_arc_[v]; }
+
+ private:
+  const WeightedGraph* g_;
+  const std::vector<NodeId>* frag_;
+  const std::vector<std::uint8_t>* silenced_;
+  std::vector<MoeKey> local_;
+  std::vector<ArcId> candidate_arc_;
+  std::atomic<bool> any_candidate_{false};
+  std::atomic<std::uint64_t> last_round_{0};
+};
+
+/// Flood-baseline MOE aggregation: min-flood the local candidate keys over
+/// the fragment's tree arcs until quiescence (every improvement re-announced
+/// over every tree arc — the cost profile ForestEcho replaces).
+class MoeFloodPhase : public congest::Algorithm {
+ public:
+  MoeFloodPhase(const std::vector<std::uint8_t>& tree_arc,
+                std::vector<MoeKey> local)
+      : tree_arc_(&tree_arc), best_(std::move(local)) {}
+
+  std::string name() const override { return "mst/moe-flood"; }
+
+  void start(congest::Context& ctx) override {
+    const NodeId v = ctx.id();
+    if (best_[v] == kNoMoe) return;
+    send_best(ctx, v);
   }
 
   void step(congest::Context& ctx) override {
     quiescence_.note_round(ctx.round());
     const NodeId v = ctx.id();
     bool improved = false;
-    if (ctx.round() == 1) {
-      // Announce answers: the local MOE candidate is the cheapest incident
-      // edge whose far endpoint sits in a different fragment.
-      for (const auto& in : ctx.inbox()) {
-        if (static_cast<NodeId>(in.msg.a) == (*frag_)[v]) continue;
-        const EdgeId e = ctx.graph().arc_edge(in.via);
-        const MoeKey key{g_->weight(e), e};
-        if (key < local_[v]) {
-          local_[v] = key;
-          candidate_arc_[v] = in.via;
-        }
-      }
-      best_[v] = local_[v];
-      improved = best_[v] != kNoMoe;
-      if (improved) any_candidate_.store(true, std::memory_order_relaxed);
-    } else {
-      for (const auto& in : ctx.inbox()) {
-        const MoeKey key{static_cast<Weight>(in.msg.a),
-                         static_cast<EdgeId>(in.msg.b)};
-        if (key < best_[v]) {
-          best_[v] = key;
-          improved = true;
-        }
+    for (const auto& in : ctx.inbox()) {
+      const MoeKey key{static_cast<Weight>(in.msg.a),
+                       static_cast<EdgeId>(in.msg.b)};
+      if (key < best_[v]) {
+        best_[v] = key;
+        improved = true;
       }
     }
     if (!improved) return;
     quiescence_.note_activity(ctx.round());
+    send_best(ctx, v);
+  }
+
+  bool done() const override { return quiescence_.quiescent(); }
+
+  /// v's converged fragment minimum.
+  const MoeKey& best(NodeId v) const { return best_[v]; }
+
+ private:
+  void send_best(congest::Context& ctx, NodeId v) {
     for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
       if ((*tree_arc_)[a])
         ctx.send(a, {kTagMoe, static_cast<std::uint64_t>(best_[v].first),
                      best_[v].second});
   }
 
-  bool done() const override { return quiescence_.quiescent(); }
-
-  /// True when any fragment still has an outgoing edge (more merges due).
-  bool any_candidate() const {
-    return any_candidate_.load(std::memory_order_relaxed);
-  }
-  /// v's converged fragment minimum.
-  const MoeKey& best(NodeId v) const { return best_[v]; }
-  /// v is its fragment's winner iff its local candidate IS the fragment
-  /// minimum (unique: an outgoing edge is the candidate of one node per
-  /// fragment, and keys are distinct).
-  ArcId winner_arc(NodeId v) const {
-    return local_[v] != kNoMoe && local_[v] == best_[v] ? candidate_arc_[v]
-                                                        : kInvalidArc;
-  }
-
- private:
-  const WeightedGraph* g_;
-  const std::vector<NodeId>* frag_;
   const std::vector<std::uint8_t>* tree_arc_;
   std::vector<MoeKey> best_;
-  std::vector<MoeKey> local_;
-  std::vector<ArcId> candidate_arc_;
-  std::atomic<bool> any_candidate_{false};
   congest::QuiescenceDetector quiescence_;
 };
 
-/// Phase step 2: winners send CONNECT over their MOE arc (both endpoints
-/// mark it a tree arc), then the merged component floods the minimum member
-/// fragment id over tree arcs until quiescence. Nodes write only their own
-/// per-node state and their own outgoing-arc flags, so parallel rounds stay
-/// race-free.
-class MergePhase : public congest::Algorithm {
+/// kConvergecast merge, step 1 of 2: winners send CONNECT over their MOE
+/// arc; both endpoints mark it a tree arc. Exactly two rounds. The naming
+/// itself is a ForestEcho over the merged tree (run by the host).
+class ConnectPhase : public congest::Algorithm {
  public:
-  MergePhase(const std::vector<NodeId>& frag,
-             const std::vector<ArcId>& winner_arc,
-             std::vector<std::uint8_t>& tree_arc)
+  ConnectPhase(const std::vector<NodeId>& frag,
+               const std::vector<ArcId>& winner_arc,
+               std::vector<std::uint8_t>& tree_arc)
+      : frag_(&frag), winner_arc_(&winner_arc), tree_arc_(&tree_arc) {}
+
+  std::string name() const override { return "mst/connect"; }
+
+  void start(congest::Context& ctx) override {
+    const NodeId v = ctx.id();
+    const ArcId moe = (*winner_arc_)[v];
+    if (moe == kInvalidArc) return;
+    (*tree_arc_)[moe] = 1;
+    ctx.send(moe, {kTagConnect, (*frag_)[v], ctx.graph().arc_edge(moe)});
+  }
+
+  void step(congest::Context& ctx) override {
+    for (const auto& in : ctx.inbox())
+      if (in.msg.tag == kTagConnect) (*tree_arc_)[in.via] = 1;
+    last_round_.store(ctx.round(), std::memory_order_relaxed);
+  }
+
+  bool done() const override {
+    return last_round_.load(std::memory_order_relaxed) >= 1;
+  }
+
+ private:
+  const std::vector<NodeId>* frag_;
+  const std::vector<ArcId>* winner_arc_;
+  std::vector<std::uint8_t>* tree_arc_;
+  std::atomic<std::uint64_t> last_round_{0};
+};
+
+/// Flood-baseline merge: winners send CONNECT over their MOE arc (both
+/// endpoints mark it a tree arc), then the merged component floods the
+/// minimum member fragment id over tree arcs until quiescence. Nodes write
+/// only their own per-node state and their own outgoing-arc flags, so
+/// parallel rounds stay race-free.
+class MergeFloodPhase : public congest::Algorithm {
+ public:
+  MergeFloodPhase(const std::vector<NodeId>& frag,
+                  const std::vector<ArcId>& winner_arc,
+                  std::vector<std::uint8_t>& tree_arc)
       : winner_arc_(&winner_arc), tree_arc_(&tree_arc), frag_(frag) {}
 
-  std::string name() const override { return "mst/merge"; }
+  std::string name() const override { return "mst/merge-flood"; }
 
   void start(congest::Context& ctx) override {
     const NodeId v = ctx.id();
@@ -182,15 +247,19 @@ std::uint64_t MstReport::max_edge_congestion(const Graph& g) const {
 MstReport distributed_mst(const WeightedGraph& g, const MstOptions& opts) {
   const Graph& graph = g.graph();
   const NodeId n = graph.node_count();
+  const bool echo = opts.merge == MstMerge::kConvergecast;
   MstReport r;
   r.finished = true;
-  if (n == 0) return r;  // no node ever steps, so the quiescence oracle
-                         // would never fire
+  if (n == 0) return r;  // no node ever steps, so no phase would terminate
   r.fragment.resize(n);
   for (NodeId v = 0; v < n; ++v) r.fragment[v] = v;
   r.arc_sends.assign(graph.arc_count(), 0);
   std::vector<std::uint8_t> tree_arc(graph.arc_count(), 0);
   std::vector<std::uint8_t> in_msf(graph.edge_count(), 0);
+  // Nodes of fragments proven complete (no outgoing edge). Only the
+  // kConvergecast mode silences them; the flood baseline keeps the original
+  // keep-announcing behaviour for a faithful comparison.
+  std::vector<std::uint8_t> complete(n, 0);
   congest::RunOptions ropts;
   ropts.max_rounds = opts.max_rounds;
   ropts.parallel = opts.parallel;
@@ -199,30 +268,89 @@ MstReport distributed_mst(const WeightedGraph& g, const MstOptions& opts) {
   // to exceed this cap legitimately; hitting it means non-termination.
   constexpr std::uint32_t kPhaseCap = 40;
   while (true) {
-    MoePhase moe(g, r.fragment, tree_arc);
-    congest::Network net(graph);
-    accumulate(r, net.run(moe, ropts));
-    if (!moe.any_candidate() || !r.finished) break;  // forest complete
+    AnnouncePhase announce(g, r.fragment, complete);
+    {
+      congest::Network net(graph);
+      const auto cost = net.run(announce, ropts);
+      accumulate(r, cost);
+      r.announce_messages += cost.messages;
+    }
+    if (!announce.any_candidate() || !r.finished) break;  // forest complete
     if (++r.phases > kPhaseCap) {
       r.finished = false;
       break;
     }
 
+    std::vector<MoeKey> local(n);
+    for (NodeId v = 0; v < n; ++v) local[v] = announce.local(v);
+
+    // Fragment minimum per node: echo (≤ 2 messages per tree edge) or the
+    // baseline min-flood.
+    std::vector<MoeKey> best(n);
+    if (echo) {
+      std::vector<algo::EchoValue> vals(n);
+      for (NodeId v = 0; v < n; ++v)
+        vals[v] = {static_cast<std::uint64_t>(local[v].first),
+                   local[v].second};
+      algo::ForestEcho agg(graph, tree_arc, std::move(vals), &complete);
+      congest::Network net(graph);
+      const auto cost = net.run(agg, ropts);
+      accumulate(r, cost);
+      r.merge_messages += cost.messages;
+      for (NodeId v = 0; v < n; ++v)
+        best[v] = {static_cast<Weight>(agg.result(v).first),
+                   static_cast<EdgeId>(agg.result(v).second)};
+    } else {
+      MoeFloodPhase agg(tree_arc, local);
+      congest::Network net(graph);
+      const auto cost = net.run(agg, ropts);
+      accumulate(r, cost);
+      r.merge_messages += cost.messages;
+      for (NodeId v = 0; v < n; ++v) best[v] = agg.best(v);
+    }
+    if (!r.finished) break;
+
+    // Winners: the unique node per fragment whose local candidate IS the
+    // fragment minimum (keys are distinct across edges).
     std::vector<ArcId> winner_arc(n, kInvalidArc);
     for (NodeId v = 0; v < n; ++v) {
-      const ArcId a = moe.winner_arc(v);
-      winner_arc[v] = a;
-      if (a == kInvalidArc) continue;
-      const EdgeId e = graph.arc_edge(a);
+      if (local[v] == kNoMoe || local[v] != best[v]) continue;
+      winner_arc[v] = announce.candidate_arc(v);
+      const EdgeId e = graph.arc_edge(winner_arc[v]);
       if (!in_msf[e]) {
         in_msf[e] = 1;
         r.tree_edges.push_back(e);
       }
     }
-    MergePhase merge(r.fragment, winner_arc, tree_arc);
-    congest::Network net2(graph);
-    accumulate(r, net2.run(merge, ropts));
-    r.fragment = merge.take_fragments();
+    if (echo) {
+      // Fragments without an outgoing edge are done for good (an MSF never
+      // regrows one): silence them from here on.
+      for (NodeId v = 0; v < n; ++v)
+        if (best[v] == kNoMoe) complete[v] = 1;
+      ConnectPhase connect(r.fragment, winner_arc, tree_arc);
+      {
+        congest::Network net(graph);
+        const auto cost = net.run(connect, ropts);
+        accumulate(r, cost);
+        r.merge_messages += cost.messages;
+      }
+      std::vector<algo::EchoValue> vals(n);
+      for (NodeId v = 0; v < n; ++v) vals[v] = {r.fragment[v], 0};
+      algo::ForestEcho naming(graph, tree_arc, std::move(vals), &complete);
+      congest::Network net(graph);
+      const auto cost = net.run(naming, ropts);
+      accumulate(r, cost);
+      r.merge_messages += cost.messages;
+      for (NodeId v = 0; v < n; ++v)
+        r.fragment[v] = static_cast<NodeId>(naming.result(v).first);
+    } else {
+      MergeFloodPhase merge(r.fragment, winner_arc, tree_arc);
+      congest::Network net(graph);
+      const auto cost = net.run(merge, ropts);
+      accumulate(r, cost);
+      r.merge_messages += cost.messages;
+      r.fragment = merge.take_fragments();
+    }
     if (!r.finished) break;  // a run hit max_rounds
   }
 

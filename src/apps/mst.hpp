@@ -8,24 +8,44 @@
 // forest under the perturbed weights: the distributed edge set matches the
 // serial Kruskal reference (fc::kruskal_msf) exactly, not just by weight.
 //
-// Each Borůvka phase is two engine executions whose costs accumulate into
-// one report (the same idiom ScenarioRunner uses for BFS + broadcast):
+// Each Borůvka phase is a short sequence of engine executions whose costs
+// accumulate into one report (the same idiom ScenarioRunner uses for BFS +
+// broadcast):
 //
-//  1. MOE phase. One announce round — every node sends its fragment id over
-//     every arc (2m messages) and derives its local MOE candidate from the
-//     answers — then a min-flood of (weight, EdgeId) keys over the
-//     fragment's tree arcs until quiescence. Afterwards every node knows
-//     its fragment's MOE; the unique node owning it is the "winner".
-//  2. Merge phase. Winners send CONNECT over their MOE arc (marking it a
-//     tree arc on both sides), and the merged component floods the minimum
-//     member fragment id over tree arcs until quiescence: that id is the
-//     merged fragment's new name.
+//  1. Announce. One round — every node sends its fragment id over every arc
+//     (≤ 2m messages) and derives its local MOE candidate (cheapest incident
+//     edge leaving the fragment) from the answers.
+//  2. MOE aggregation. Every node learns its fragment's minimum candidate
+//     key over the fragment's tree arcs. Two interchangeable engines:
+//       * kConvergecast (default): algo::ForestEcho — saturation +
+//         resolution up and down the unrooted fragment tree, at most TWO
+//         messages per tree edge and no quiescence tail.
+//       * kFlood (baseline): min-flood until quiescence — every improvement
+//         re-announced over every tree arc, the PR3 behaviour kept as the
+//         measured baseline (bench_mst prints both).
+//     The unique node whose local candidate IS the fragment minimum is the
+//     "winner".
+//  3. Merge. Winners send CONNECT over their MOE arc (marking it a tree arc
+//     on both sides), then the merged fragment adopts the minimum member
+//     fragment id as its new name — again either by ForestEcho over the
+//     merged tree (kConvergecast; a separate 2-round connect execution
+//     precedes the echo) or by min-flood until quiescence (kFlood, connect
+//     and flood in one execution).
 //
-// O(log n) phases (fragment count at least halves per phase); each flood
-// runs in O(fragment diameter) rounds, so the total is O(n log n) rounds
-// worst case and O((m + n·D) log n) messages — the textbook synchronous
-// Borůvka accounting. On a disconnected graph every component ends as one
-// fragment and the result is the minimum spanning forest.
+// In kConvergecast mode, fragments that have no outgoing edge (their
+// component's forest is complete) go fully silent: they are masked out of
+// the announce and both echoes, so a finished component stops paying the
+// per-phase announce constant. The flood baseline keeps announcing, as the
+// original code did.
+//
+// O(log n) phases (fragment count at least halves per phase); each
+// aggregation runs in O(fragment diameter) rounds, so the total is
+// O(n log n) rounds worst case. Messages: the announce costs ≤ 2m per
+// phase in both modes; the aggregation costs O(tree edges) per phase under
+// kConvergecast versus O(improvements · tree degree) under kFlood —
+// `announce_messages` / `merge_messages` in the report split the two so the
+// saving is directly measurable. On a disconnected graph every component
+// ends as one fragment and the result is the minimum spanning forest.
 
 #include <cstdint>
 #include <vector>
@@ -35,10 +55,17 @@
 
 namespace fc::apps {
 
+/// Engine for the per-phase fragment aggregations (MOE minimum + merged
+/// fragment naming). kConvergecast is the default; kFlood is the measured
+/// baseline. Both produce the identical forest, phase count, and fragment
+/// labels — only the cost profile differs.
+enum class MstMerge { kConvergecast, kFlood };
+
 struct MstOptions {
-  /// Cap per engine execution (each phase runs two).
+  /// Cap per engine execution (each phase runs several).
   std::uint64_t max_rounds = 10'000'000;
   bool parallel = true;
+  MstMerge merge = MstMerge::kConvergecast;
 };
 
 struct MstReport {
@@ -50,6 +77,12 @@ struct MstReport {
   std::uint32_t phases = 0;
   std::uint64_t rounds = 0;
   std::uint64_t messages = 0;
+  /// Messages spent announcing fragment ids (≤ 2m per phase; the part both
+  /// merge modes share).
+  std::uint64_t announce_messages = 0;
+  /// Messages spent aggregating MOE minima, connecting, and renaming merged
+  /// fragments — the part MstMerge::kConvergecast cuts versus kFlood.
+  std::uint64_t merge_messages = 0;
   /// Per-arc sends summed over every phase (whole-execution congestion).
   std::vector<std::uint64_t> arc_sends;
   bool finished = false;
@@ -63,7 +96,8 @@ struct MstReport {
 
 /// Run distributed Borůvka on `g` (connected or not; weights nonnegative by
 /// WeightedGraph's invariant). Deterministic: the report is bit-identical
-/// for every thread count.
+/// for every thread count, and the forest is bit-identical across both
+/// MstMerge modes.
 MstReport distributed_mst(const WeightedGraph& g, const MstOptions& opts = {});
 
 }  // namespace fc::apps

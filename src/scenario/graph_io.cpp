@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -180,14 +182,39 @@ Graph load_binary(const std::string& path) {
 
 namespace {
 
-/// The corpus identity of a spec: registry defaults baked in, weights
-/// stripped (cache files store topology only; weights re-derive from the
-/// spec seed).
+/// The corpus identity of a spec: registry defaults baked in, weights and
+/// batch source counts stripped (cache files store topology only; weights
+/// re-derive from the spec seed, and `sources=` never affects the graph).
 GraphSpec corpus_spec(const GraphSpec& spec) {
-  return Registry::instance().canonical(spec).without("weights");
+  return Registry::instance().canonical(spec).without("weights").without(
+      "sources");
 }
 
 constexpr const char* kManifestName = "manifest.txt";
+
+/// Rewrite the whole manifest via write-then-rename, so a crash mid-write
+/// can never leave a truncated ledger (a missing one only disables the
+/// staleness cross-check, but a half-written one would shadow every entry
+/// after the cut).
+void write_manifest(const std::string& cache_dir,
+                    const std::vector<ManifestEntry>& entries) {
+  namespace fs = std::filesystem;
+  fs::create_directories(cache_dir);
+  const fs::path path = fs::path(cache_dir) / kManifestName;
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) io_fail(tmp.string(), "cannot open for writing");
+    for (const auto& e : entries) {
+      char hex[24];
+      std::snprintf(hex, sizeof hex, "%016llx",
+                    static_cast<unsigned long long>(e.checksum));
+      out << e.spec << '\t' << e.file << '\t' << hex << '\n';
+    }
+    if (!out) io_fail(tmp.string(), "write failed");
+  }
+  fs::rename(tmp, path);
+}
 
 }  // namespace
 
@@ -216,7 +243,6 @@ std::vector<ManifestEntry> read_manifest(const std::string& cache_dir) {
 
 void upsert_manifest(const std::string& cache_dir,
                      const ManifestEntry& entry) {
-  namespace fs = std::filesystem;
   auto entries = read_manifest(cache_dir);
   bool replaced = false;
   for (auto& e : entries)
@@ -225,24 +251,54 @@ void upsert_manifest(const std::string& cache_dir,
       replaced = true;
     }
   if (!replaced) entries.push_back(entry);
-  fs::create_directories(cache_dir);
-  // Write-then-rename so a crash mid-write can never leave a truncated
-  // manifest (a missing ledger only disables the staleness cross-check,
-  // but a half-written one would shadow every entry after the cut).
-  const fs::path path = fs::path(cache_dir) / kManifestName;
-  const fs::path tmp = path.string() + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) io_fail(tmp.string(), "cannot open for writing");
-    for (const auto& e : entries) {
-      char hex[24];
-      std::snprintf(hex, sizeof hex, "%016llx",
-                    static_cast<unsigned long long>(e.checksum));
-      out << e.spec << '\t' << e.file << '\t' << hex << '\n';
+  write_manifest(cache_dir, entries);
+}
+
+GcResult gc_corpus(const std::string& cache_dir) {
+  namespace fs = std::filesystem;
+  GcResult out;
+  if (!fs::is_directory(cache_dir)) return out;
+  const auto entries = read_manifest(cache_dir);
+  std::map<std::string, const ManifestEntry*> by_file;
+  for (const auto& e : entries) by_file[e.file] = &e;
+  // Pass 1 over the files: a cache file survives only if the manifest
+  // vouches for it AND its content still hashes to the vouched checksum.
+  std::set<std::string> verified;
+  for (const auto& dir_entry : fs::directory_iterator(cache_dir)) {
+    if (!dir_entry.is_regular_file()) continue;
+    const fs::path& path = dir_entry.path();
+    if (path.extension() != ".fcg") continue;  // never touch foreign files
+    const std::string file = path.filename().string();
+    bool clean = false;
+    const auto it = by_file.find(file);
+    if (it != by_file.end()) {
+      try {
+        clean = graph_checksum(load_binary(path.string())) ==
+                it->second->checksum;
+      } catch (const std::exception&) {
+        clean = false;  // truncated/corrupt: evict
+      }
     }
-    if (!out) io_fail(tmp.string(), "write failed");
+    if (clean) {
+      verified.insert(file);
+    } else {
+      fs::remove(path);
+      ++out.evicted_files;
+    }
   }
-  fs::rename(tmp, path);
+  // Pass 2 over the ledger: drop entries whose file is gone (missing on
+  // disk, or evicted above).
+  std::vector<ManifestEntry> kept;
+  kept.reserve(entries.size());
+  for (const auto& e : entries) {
+    if (verified.count(e.file) > 0)
+      kept.push_back(e);
+    else
+      ++out.dropped_entries;
+  }
+  out.kept = kept.size();
+  write_manifest(cache_dir, kept);
+  return out;
 }
 
 std::string cache_file_name(const GraphSpec& spec) {

@@ -59,8 +59,8 @@ void save_binary(const Graph& g, const std::string& path);
 Graph load_binary(const std::string& path);
 
 /// Cache-file name a spec maps to inside a corpus directory: the sanitized
-/// CANONICAL spec (registry defaults baked in, `weights=` stripped — the
-/// file stores topology only) plus a hash suffix, e.g.
+/// CANONICAL spec (registry defaults baked in, `weights=` and `sources=`
+/// stripped — the file stores topology only) plus a hash suffix, e.g.
 /// "rmat_a=0.57_b=0.19_c=0.19_deg=8_n=4096_seed=1-1a2b3c.fcg". Because
 /// defaults are part of the identity, changing a family default in spec.cpp
 /// changes the file name and stale corpora can never be silently reloaded.
@@ -81,6 +81,21 @@ std::vector<ManifestEntry> read_manifest(const std::string& cache_dir);
 /// Rewrite the manifest with `entry` inserted (or replaced, matching on
 /// spec). Creates the directory when needed.
 void upsert_manifest(const std::string& cache_dir, const ManifestEntry& entry);
+
+/// Outcome of a corpus garbage collection (scenario_runner --cache-gc).
+struct GcResult {
+  std::size_t kept = 0;             // manifest entries whose file verified
+  std::size_t evicted_files = 0;    // .fcg files deleted
+  std::size_t dropped_entries = 0;  // manifest entries removed
+};
+
+/// Garbage-collect `cache_dir` against its manifest: delete every `.fcg`
+/// file the manifest does not vouch for — no entry, or the file's content no
+/// longer hashes to the entry's checksum (swapped, truncated, corrupt) —
+/// and drop manifest entries whose file is missing or was just evicted.
+/// Only `.fcg` files are touched; the manifest is rewritten atomically
+/// (write + rename). A missing directory is a no-op (all-zero result).
+GcResult gc_corpus(const std::string& cache_dir);
 
 /// Load the spec's graph from `cache_dir` if a valid cache file exists;
 /// otherwise generate it via the Registry and write the cache + manifest

@@ -7,6 +7,7 @@
 #include "algo/convergecast.hpp"
 #include "algo/leader_election.hpp"
 #include "algo/pipeline_broadcast.hpp"
+#include "apps/batch_sssp.hpp"
 #include "apps/mst.hpp"
 #include "apps/sssp.hpp"
 #include "apps/weighted_apsp.hpp"
@@ -65,6 +66,59 @@ ScenarioResult run_bfs_scenario(const Graph& g, const ScenarioConfig& cfg) {
   finish(r, g, sends);
   r.note = "depth=" + std::to_string(bfs.depth()) +
            " reached=" + std::to_string(bfs.reached_count());
+  return r;
+}
+
+/// k-source batch workloads answer queries from nodes 0..k-1 in one
+/// pipelined execution (the documented `sources=k` convention). Unlike the
+/// single-source tree workloads there is no root-component restriction:
+/// each query naturally covers its own source's component.
+ScenarioResult run_batch_bfs_scenario(const Graph& g,
+                                      const ScenarioConfig& cfg) {
+  ScenarioResult r;
+  r.finished = true;
+  const std::uint64_t k = cfg.sources != 0 ? cfg.sources : 1;
+  congest::Network net(g);
+  algo::BatchBfs alg(g, apps::default_sources(g, k));
+  std::vector<std::uint64_t> sends;
+  accumulate(r, net.run(alg, run_options(cfg)), sends);
+  finish(r, g, sends);
+  NodeId reached_lo = g.node_count(), reached_hi = 0;
+  std::uint32_t depth = 0;
+  for (std::uint32_t s = 0; s < alg.k(); ++s) {
+    const NodeId reached = alg.reached_count(s);
+    reached_lo = std::min(reached_lo, reached);
+    reached_hi = std::max(reached_hi, reached);
+    depth = std::max(depth, alg.depth(s));
+  }
+  r.note = "k=" + std::to_string(k) + " depth_max=" + std::to_string(depth) +
+           " reached=" + std::to_string(reached_lo) + ".." +
+           std::to_string(reached_hi);
+  return r;
+}
+
+ScenarioResult run_batch_sssp_scenario(const WeightedGraph& g,
+                                       const ScenarioConfig& cfg) {
+  ScenarioResult r;
+  const std::uint64_t k = cfg.sources != 0 ? cfg.sources : 1;
+  apps::BatchSsspOptions opts;
+  opts.max_rounds = cfg.max_rounds;
+  const auto rep =
+      apps::batch_sssp(g, apps::default_sources(g.graph(), k), opts);
+  r.rounds = rep.rounds;
+  r.messages = rep.messages;
+  r.finished = rep.finished;
+  finish(r, g.graph(), rep.arc_sends);
+  NodeId reached_lo = g.graph().node_count(), reached_hi = 0;
+  Weight dist_hi = 0;
+  for (std::uint32_t s = 0; s < rep.sources.size(); ++s) {
+    reached_lo = std::min(reached_lo, rep.reached[s]);
+    reached_hi = std::max(reached_hi, rep.reached[s]);
+    dist_hi = std::max(dist_hi, rep.max_dist[s]);
+  }
+  r.note = "k=" + std::to_string(k) + " reached=" +
+           std::to_string(reached_lo) + ".." + std::to_string(reached_hi) +
+           " max_dist=" + std::to_string(dist_hi);
   return r;
 }
 
@@ -271,12 +325,14 @@ ScenarioResult run_sssp_scenario(const WeightedGraph& full,
 
 ScenarioRunner::ScenarioRunner() {
   add("bfs", run_bfs_scenario);
+  add("batch-bfs", run_batch_bfs_scenario);
   add("leader-election", run_leader_scenario);
   add("broadcast", run_broadcast_scenario);
   add("convergecast", run_convergecast_scenario);
   add_weighted("weighted-apsp", run_weighted_apsp_scenario);
   add_weighted("mst", run_mst_scenario);
   add_weighted("sssp", run_sssp_scenario);
+  add_weighted("batch-sssp", run_batch_sssp_scenario);
 }
 
 std::vector<std::string> ScenarioRunner::algorithms() const {
@@ -352,16 +408,23 @@ ScenarioResult ScenarioRunner::run(const std::string& algo,
   return r;
 }
 
+ScenarioConfig apply_spec_config(ScenarioConfig cfg, const GraphSpec& spec) {
+  if (cfg.sources == 0 && spec.has("sources"))
+    cfg.sources = spec.require_uint("sources");
+  return cfg;
+}
+
 ScenarioResult ScenarioRunner::run_spec(const std::string& algo,
                                         const std::string& spec,
                                         const ScenarioConfig& cfg) const {
   const GraphSpec parsed = GraphSpec::parse(spec);
+  const ScenarioConfig effective = apply_spec_config(cfg, parsed);
   if (is_weighted(algo)) {
     const WeightedGraph g = Registry::instance().build_weighted(parsed);
-    return run(algo, g, parsed.to_string(), cfg);
+    return run(algo, g, parsed.to_string(), effective);
   }
   const Graph g = Registry::instance().build(parsed);
-  return run(algo, g, parsed.to_string(), cfg);
+  return run(algo, g, parsed.to_string(), effective);
 }
 
 Table make_report(const std::vector<ScenarioResult>& results) {

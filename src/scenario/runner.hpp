@@ -16,6 +16,8 @@
 
 namespace fc::scenario {
 
+class GraphSpec;
+
 /// Knobs shared by all scenario algorithms.
 struct ScenarioConfig {
   std::uint64_t seed = 1;
@@ -25,6 +27,11 @@ struct ScenarioConfig {
   std::uint64_t max_rounds = 10'000'000;
   /// Stretch parameter for weighted-apsp: (2k-1)-approximation, Theorem 5.
   std::uint32_t stretch_k = 3;
+  /// Source count for the batch workloads (batch-bfs, batch-sssp): queries
+  /// run from nodes 0..sources-1 in ONE pipelined execution. 0 means 1.
+  /// run_spec() fills this from a spec's `sources=k` parameter when the
+  /// caller left it at 0.
+  std::uint64_t sources = 0;
 };
 
 /// One algorithm run on one graph, in paper cost measures.
@@ -49,9 +56,9 @@ class ScenarioRunner {
       std::function<ScenarioResult(const WeightedGraph&,
                                    const ScenarioConfig&)>;
 
-  /// Constructs with the built-in algorithms registered: bfs,
+  /// Constructs with the built-in algorithms registered: bfs, batch-bfs,
   /// leader-election, broadcast, convergecast (topology) and weighted-apsp,
-  /// mst, sssp (weighted).
+  /// mst, sssp, batch-sssp (weighted).
   ScenarioRunner();
 
   /// Registered topology algorithm names, sorted. Weighted algorithms are
@@ -93,5 +100,11 @@ class ScenarioRunner {
 
 /// Render results as the standard metrics table.
 Table make_report(const std::vector<ScenarioResult>& results);
+
+/// THE precedence rule for spec-level config parameters (today: sources=k):
+/// an explicit caller value wins, otherwise the spec's value applies. Used
+/// by ScenarioRunner::run_spec and by drivers that build graphs themselves
+/// (scenario_runner's --cache path).
+ScenarioConfig apply_spec_config(ScenarioConfig cfg, const GraphSpec& spec);
 
 }  // namespace fc::scenario

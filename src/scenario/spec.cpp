@@ -193,13 +193,13 @@ Graph Registry::build(const GraphSpec& spec) const {
   }
   for (const auto& [key, _] : spec.params()) {
     // Registry-level parameters, valid for every family.
-    if (key == "weights" || key == "largest_cc") continue;
+    if (key == "weights" || key == "largest_cc" || key == "sources") continue;
     bool ok = false;
     for (const auto& k : info->keys) ok = ok || k == key;
     if (!ok)
       bad("family '" + spec.family() + "' does not take parameter '" + key +
           "'; accepted: " + info->params_help +
-          " (and weights=lo..hi, largest_cc=1)");
+          " (and weights=lo..hi, largest_cc=1, sources=k)");
   }
   // Fail fast on malformed registry-level parameters even for builds that
   // would not use them.
@@ -208,11 +208,18 @@ Graph Registry::build(const GraphSpec& spec) const {
   if (largest_cc > 1)
     bad("parameter 'largest_cc' is a 0/1 flag, got " +
         std::to_string(largest_cc));
+  if (spec.has("sources") && spec.require_uint("sources") == 0)
+    bad("parameter 'sources' expects a positive query count");
   Graph g = info->build(spec);
   if (largest_cc == 1 && g.node_count() > 0) {
     auto restricted = restrict_to_component(g, largest_component_member(g));
     if (!restricted.is_identity(g)) g = std::move(restricted.graph);
   }
+  // `sources=k` (batch workloads query from nodes 0..k-1) must fit the
+  // graph the spec actually produces — after any largest_cc restriction.
+  if (spec.has("sources") && spec.require_uint("sources") > g.node_count())
+    bad("parameter 'sources' = " + std::to_string(spec.require_uint("sources")) +
+        " exceeds the spec's node count " + std::to_string(g.node_count()));
   return g;
 }
 

@@ -14,7 +14,7 @@
 // message, so a typo in an experiment grid fails fast instead of silently
 // running the wrong workload.
 //
-// Two registry-level parameters are accepted by EVERY family:
+// Three registry-level parameters are accepted by EVERY family:
 //  * `weights=lo..hi` attaches uniform integer edge weights in [lo, hi],
 //    derived per edge as a pure hash of (seed, EdgeId) (see
 //    gen::with_hashed_weights), so a weighted workload is reproducible from
@@ -27,6 +27,12 @@
 //    root-component restriction. The flag is part of the canonical spec, so
 //    restricted and unrestricted corpora never collide; `weights=` hashes
 //    over the RESTRICTED EdgeIds (the restriction happens first).
+//  * `sources=k` declares the batch query count for the k-source workloads
+//    (batch-bfs, batch-sssp): queries run from nodes 0..k-1 in one
+//    pipelined execution. Validated here (k >= 1 and at most the built
+//    graph's node count, after any largest_cc restriction) but consumed by
+//    ScenarioRunner::run_spec — it does not change the topology, so like
+//    `weights=` it is stripped from the corpus cache identity.
 //
 // Two renderings exist:
 //  * GraphSpec::to_string() — exactly the parameters given, keys sorted.

@@ -116,5 +116,62 @@ TEST(DistributedBfs, BadRootThrows) {
   EXPECT_THROW(DistributedBfs(g, 7), std::invalid_argument);
 }
 
+congest::RunResult run_batch(const Graph& g, BatchBfs& alg) {
+  congest::Network net(g);
+  return net.run(alg);
+}
+
+TEST(BatchBfs, DistancesMatchSequentialBfsPerSource) {
+  for (const auto& fc_case : families()) {
+    SCOPED_TRACE(fc_case.name);
+    const Graph& g = fc_case.graph;
+    std::vector<NodeId> sources;
+    for (NodeId s = 0; s < std::min<NodeId>(5, g.node_count()); ++s)
+      sources.push_back(s);
+    BatchBfs alg(g, sources);
+    EXPECT_TRUE(run_batch(g, alg).finished);
+    for (std::uint32_t s = 0; s < sources.size(); ++s)
+      EXPECT_EQ(alg.source_distances(s), bfs_distances(g, sources[s]))
+          << "source index " << s;
+  }
+}
+
+TEST(BatchBfs, PipelinedRoundsBeatIndependentRuns) {
+  // Deep graph, many sources: k independent floods pay ~k * depth rounds,
+  // the pipelined batch ~depth + k.
+  const Graph g = gen::path(128);
+  const std::uint64_t k = 16;
+  std::vector<NodeId> sources(k);
+  for (std::uint32_t s = 0; s < k; ++s) sources[s] = s;
+  BatchBfs alg(g, sources);
+  const auto batch = run_batch(g, alg);
+  ASSERT_TRUE(batch.finished);
+  std::uint64_t independent = 0;
+  for (const NodeId s : sources) independent += run_bfs(g, s).cost.rounds;
+  EXPECT_LT(batch.rounds * 2, independent)
+      << "batch=" << batch.rounds << " independent=" << independent;
+  for (std::uint32_t s = 0; s < k; ++s) {
+    EXPECT_EQ(alg.reached_count(s), 128u);
+    EXPECT_EQ(alg.depth(s), eccentricity(g, sources[s]));
+  }
+}
+
+TEST(BatchBfs, DisconnectedAndDuplicateSources) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}});
+  BatchBfs alg(g, {0, 3, 0});
+  EXPECT_TRUE(run_batch(g, alg).finished);
+  EXPECT_EQ(alg.reached_count(0), 3u);
+  EXPECT_EQ(alg.reached_count(1), 2u);
+  EXPECT_EQ(alg.source_distances(2), alg.source_distances(0));
+  EXPECT_EQ(alg.dist(0, 5), kUnreached);
+  EXPECT_EQ(alg.dist(1, 4), 1u);
+}
+
+TEST(BatchBfs, BadSourcesThrow) {
+  const Graph g = gen::path(3);
+  EXPECT_THROW(BatchBfs(g, {}), std::invalid_argument);
+  EXPECT_THROW(BatchBfs(g, {0, 3}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace fc::algo

@@ -99,6 +99,104 @@ TEST(AggregateOverTree, WrapperReturnsRootValue) {
   EXPECT_GT(out.rounds, 0u);
 }
 
+/// Mark both arcs of every listed edge as forest arcs.
+std::vector<std::uint8_t> tree_flags(const Graph& g,
+                                     const std::vector<EdgeId>& edges) {
+  std::vector<std::uint8_t> flags(g.arc_count(), 0);
+  for (const EdgeId e : edges) {
+    const auto [a, b] = g.edge_arcs(e);
+    flags[a] = flags[b] = 1;
+  }
+  return flags;
+}
+
+congest::RunResult run_echo(const Graph& g, ForestEcho& alg) {
+  congest::Network net(g);
+  return net.run(alg);
+}
+
+TEST(ForestEcho, EveryNodeLearnsTheMinOverASpanningTree) {
+  Rng rng(9);
+  const Graph g = gen::random_regular(60, 4, rng);
+  const auto t = tree_of(g, 0);
+  std::vector<EchoValue> vals(60);
+  for (NodeId v = 0; v < 60; ++v) vals[v] = {rng.below(1000) + 1, v};
+  const EchoValue lo = *std::min_element(vals.begin(), vals.end());
+  const auto flags = tree_flags(g, t.tree_edges(g));
+  ForestEcho alg(g, flags, vals);
+  const auto res = run_echo(g, alg);
+  EXPECT_TRUE(res.finished);
+  for (NodeId v = 0; v < 60; ++v) {
+    EXPECT_TRUE(alg.decided(v));
+    EXPECT_EQ(alg.result(v), lo);
+  }
+  // The defining economy: at most two messages per tree edge.
+  EXPECT_LE(res.messages, 2ull * t.tree_edges(g).size());
+}
+
+TEST(ForestEcho, PerComponentMinimaOnAForest) {
+  // Two path components 0-1-2 and 3-4; node 5 isolated in the forest.
+  const Graph g =
+      Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  std::vector<EchoValue> vals = {{7, 0}, {3, 1}, {9, 2},
+                                 {4, 3}, {6, 4}, {1, 5}};
+  const auto flags = tree_flags(g, {0, 1, 2});
+  ForestEcho alg(g, flags, vals);
+  EXPECT_TRUE(run_echo(g, alg).finished);
+  const EchoValue a{3, 1}, b{4, 3};
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(alg.result(v), a);
+  EXPECT_EQ(alg.result(3), b);
+  EXPECT_EQ(alg.result(4), b);
+  // Node 5's edge {4,5} is not a forest arc: it keeps its own value.
+  EXPECT_EQ(alg.result(5), (EchoValue{1, 5}));
+}
+
+TEST(ForestEcho, InactiveComponentsStaySilent) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  std::vector<EchoValue> vals = {{5, 0}, {2, 1}, {8, 2}, {4, 3}};
+  const std::vector<std::uint8_t> inactive = {0, 0, 1, 1};
+  const auto flags = tree_flags(g, {0, 1});
+  ForestEcho alg(g, flags, vals, &inactive);
+  const auto res = run_echo(g, alg);
+  EXPECT_TRUE(res.finished);
+  EXPECT_EQ(alg.result(0), (EchoValue{2, 1}));
+  EXPECT_EQ(alg.result(1), (EchoValue{2, 1}));
+  // Inactive nodes decide on their OWN value without exchanging anything.
+  EXPECT_EQ(alg.result(2), (EchoValue{8, 2}));
+  EXPECT_EQ(alg.result(3), (EchoValue{4, 3}));
+  EXPECT_LE(res.messages, 2u);  // only the active pair talked
+}
+
+TEST(ForestEcho, RoundsTrackComponentDiameterWithoutAQuiescenceTail) {
+  const Graph g = gen::path(64);
+  std::vector<EdgeId> all_edges(g.edge_count());
+  std::iota(all_edges.begin(), all_edges.end(), 0);
+  std::vector<EchoValue> vals(64);
+  for (NodeId v = 0; v < 64; ++v) vals[v] = {100 + v, v};
+  const auto flags = tree_flags(g, all_edges);
+  ForestEcho alg(g, flags, vals);
+  const auto res = run_echo(g, alg);
+  EXPECT_TRUE(res.finished);
+  // Saturation meets in the middle (~n/2), resolution returns (~n/2):
+  // about one diameter total, and no idle tail beyond the final round.
+  EXPECT_LE(res.rounds, 64u + 3);
+  EXPECT_EQ(alg.result(63), (EchoValue{100, 0}));
+}
+
+TEST(ForestEcho, RejectsMismatchedInputs) {
+  const Graph g = gen::path(4);
+  EXPECT_THROW(ForestEcho(g, std::vector<std::uint8_t>(g.arc_count(), 0),
+                          std::vector<EchoValue>(3)),
+               std::invalid_argument);
+  EXPECT_THROW(ForestEcho(g, std::vector<std::uint8_t>(2, 0),
+                          std::vector<EchoValue>(4)),
+               std::invalid_argument);
+  const std::vector<std::uint8_t> short_mask(2, 0);
+  EXPECT_THROW(ForestEcho(g, std::vector<std::uint8_t>(g.arc_count(), 0),
+                          std::vector<EchoValue>(4), &short_mask),
+               std::invalid_argument);
+}
+
 TEST(LearnParameters, MatchesDirectComputation) {
   Rng rng(6);
   const Graph g = gen::random_regular(60, 6, rng);

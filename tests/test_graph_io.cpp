@@ -235,6 +235,105 @@ TEST(Manifest, MalformedLinesAreSkipped) {
   EXPECT_EQ(entries[0].spec, "cycle:n=10");
 }
 
+TEST(Corpus, CacheIdentityStripsSources) {
+  // sources= never affects the topology, so batch specs share the file (and
+  // manifest entry) with their plain sibling.
+  EXPECT_EQ(cache_file_name(GraphSpec::parse("rmat:n=256,sources=8")),
+            cache_file_name(GraphSpec::parse("rmat:n=256")));
+  EXPECT_EQ(
+      cache_file_name(GraphSpec::parse("rmat:n=256,sources=8,weights=1..9")),
+      cache_file_name(GraphSpec::parse("rmat:n=256")));
+}
+
+TEST(CorpusGc, MissingDirectoryIsANoOp) {
+  const auto gc = gc_corpus(temp_path("gc_no_such_dir"));
+  EXPECT_EQ(gc.kept, 0u);
+  EXPECT_EQ(gc.evicted_files, 0u);
+  EXPECT_EQ(gc.dropped_entries, 0u);
+}
+
+TEST(CorpusGc, KeepsVerifiedEntriesUntouched) {
+  const auto dir = temp_path("gc_clean");
+  fs::remove_all(dir);
+  const auto spec_a = GraphSpec::parse("cycle:n=12");
+  const auto spec_b = GraphSpec::parse("dumbbell:s=16,bridges=2");
+  const Graph a = load_or_generate(spec_a, dir, nullptr);
+  load_or_generate(spec_b, dir, nullptr);
+
+  const auto gc = gc_corpus(dir);
+  EXPECT_EQ(gc.kept, 2u);
+  EXPECT_EQ(gc.evicted_files, 0u);
+  EXPECT_EQ(gc.dropped_entries, 0u);
+  EXPECT_EQ(read_manifest(dir).size(), 2u);
+  // The survivors still load from cache.
+  bool from_cache = false;
+  expect_identical(a, load_or_generate(spec_a, dir, &from_cache));
+  EXPECT_TRUE(from_cache);
+}
+
+TEST(CorpusGc, EvictsOrphanAndCorruptFilesButNotForeignOnes) {
+  const auto dir = temp_path("gc_evict");
+  fs::remove_all(dir);
+  const auto spec = GraphSpec::parse("cycle:n=12");
+  load_or_generate(spec, dir, nullptr);
+
+  // An orphan cache file (no manifest entry) and a corrupt vouched one.
+  { std::ofstream out(fs::path(dir) / "orphan.fcg"); out << "junk"; }
+  const auto vouched = fs::path(dir) / cache_file_name(spec);
+  fs::resize_file(vouched, 3);
+  // A non-.fcg bystander must survive any sweep.
+  { std::ofstream out(fs::path(dir) / "notes.txt"); out << "keep me"; }
+
+  const auto gc = gc_corpus(dir);
+  EXPECT_EQ(gc.kept, 0u);
+  EXPECT_EQ(gc.evicted_files, 2u);
+  EXPECT_EQ(gc.dropped_entries, 1u);
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "orphan.fcg"));
+  EXPECT_FALSE(fs::exists(vouched));
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "notes.txt"));
+  EXPECT_TRUE(read_manifest(dir).empty());
+}
+
+TEST(CorpusGc, EvictsFilesFailingTheManifestChecksum) {
+  const auto dir = temp_path("gc_mismatch");
+  fs::remove_all(dir);
+  const auto spec = GraphSpec::parse("cycle:n=12");
+  load_or_generate(spec, dir, nullptr);
+  // Swap in a VALID binary of a different graph: the file alone looks fine,
+  // only the manifest cross-check can catch it.
+  const auto file = fs::path(dir) / cache_file_name(spec);
+  save_binary(gen::path(5), file.string());
+
+  const auto gc = gc_corpus(dir);
+  EXPECT_EQ(gc.kept, 0u);
+  EXPECT_EQ(gc.evicted_files, 1u);
+  EXPECT_EQ(gc.dropped_entries, 1u);
+  EXPECT_FALSE(fs::exists(file));
+
+  // The next load_or_generate rebuilds a clean corpus.
+  bool from_cache = true;
+  load_or_generate(spec, dir, &from_cache);
+  EXPECT_FALSE(from_cache);
+  EXPECT_EQ(gc_corpus(dir).kept, 1u);
+}
+
+TEST(CorpusGc, DropsDanglingManifestEntries) {
+  const auto dir = temp_path("gc_dangling");
+  fs::remove_all(dir);
+  const auto spec = GraphSpec::parse("cycle:n=12");
+  load_or_generate(spec, dir, nullptr);
+  load_or_generate(GraphSpec::parse("path:n=9"), dir, nullptr);
+  fs::remove(fs::path(dir) / cache_file_name(spec));  // file gone, entry stays
+
+  const auto gc = gc_corpus(dir);
+  EXPECT_EQ(gc.kept, 1u);
+  EXPECT_EQ(gc.evicted_files, 0u);
+  EXPECT_EQ(gc.dropped_entries, 1u);
+  const auto entries = read_manifest(dir);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].spec, "path:n=9");
+}
+
 TEST(Corpus, WeightedLoadSharesTopologyAndRederivesWeights) {
   const auto dir = temp_path("corpus_weighted");
   fs::remove_all(dir);

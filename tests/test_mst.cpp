@@ -63,6 +63,70 @@ TEST(DistributedMst, MatchesKruskalAcrossFamiliesAndThreadCounts) {
   }
 }
 
+TEST(DistributedMst, FloodBaselineProducesTheIdenticalForest) {
+  // Both merge engines must agree on everything semantic: edges, weight,
+  // phase count, and final fragment labels. Only the cost profile differs.
+  for (const std::string spec : kSpecs) {
+    SCOPED_TRACE(spec);
+    const WeightedGraph g = scenario::build_weighted_graph(spec);
+    MstOptions flood;
+    flood.merge = MstMerge::kFlood;
+    const auto cc = distributed_mst(g);
+    const auto fl = distributed_mst(g, flood);
+    ASSERT_TRUE(cc.finished);
+    ASSERT_TRUE(fl.finished);
+    EXPECT_EQ(cc.tree_edges, fl.tree_edges);
+    EXPECT_EQ(cc.tree_edges, kruskal_msf(g));
+    EXPECT_EQ(cc.total_weight, fl.total_weight);
+    EXPECT_EQ(cc.phases, fl.phases);
+    EXPECT_EQ(cc.fragment, fl.fragment);
+    // The messages split into announce + merge buckets in both modes.
+    EXPECT_EQ(cc.messages, cc.announce_messages + cc.merge_messages);
+    EXPECT_EQ(fl.messages, fl.announce_messages + fl.merge_messages);
+  }
+}
+
+TEST(DistributedMst, ConvergecastCutsMergeMessagesVersusFloodBaseline) {
+  // The regression bar for the ROADMAP item "a convergecast up the fragment
+  // tree would cut the per-phase message constant": on a deep bottleneck
+  // family the echo must spend at most 70% of the flood's merge-bucket
+  // messages (measured ~55%; the margin absorbs generator drift), and it
+  // must never spend more on any differential spec.
+  MstOptions flood;
+  flood.merge = MstMerge::kFlood;
+  {
+    const WeightedGraph g = scenario::build_weighted_graph(
+        "thick_path:groups=32,width=8,weights=1..100");
+    const auto cc = distributed_mst(g);
+    const auto fl = distributed_mst(g, flood);
+    EXPECT_LE(cc.merge_messages * 10, fl.merge_messages * 7)
+        << "echo=" << cc.merge_messages << " flood=" << fl.merge_messages;
+    EXPECT_LT(cc.messages, fl.messages);
+  }
+  for (const std::string spec : kSpecs) {
+    SCOPED_TRACE(spec);
+    const WeightedGraph g = scenario::build_weighted_graph(spec);
+    const auto cc = distributed_mst(g);
+    const auto fl = distributed_mst(g, flood);
+    EXPECT_LE(cc.merge_messages, fl.merge_messages);
+    EXPECT_LE(cc.announce_messages, fl.announce_messages);
+  }
+}
+
+TEST(DistributedMst, FinishedFragmentsGoSilentOnDisconnectedGraphs) {
+  // rmat:n=64 is disconnected: small components finish in early phases.
+  // The convergecast mode silences them, so it also announces less.
+  const WeightedGraph g = scenario::build_weighted_graph(
+      "rmat:n=64,deg=3,seed=11,weights=1..9");
+  ASSERT_GT(component_count(g.graph()), 1u);
+  MstOptions flood;
+  flood.merge = MstMerge::kFlood;
+  const auto cc = distributed_mst(g);
+  const auto fl = distributed_mst(g, flood);
+  EXPECT_EQ(cc.tree_edges, fl.tree_edges);
+  EXPECT_LT(cc.announce_messages, fl.announce_messages);
+}
+
 TEST(DistributedMst, LargeGraphExercisesParallelRounds) {
   // n >= 512 crosses the engine's parallel-round threshold, so this run
   // (and the TSAN CI job re-running it) covers the concurrent handlers.

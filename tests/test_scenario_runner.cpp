@@ -11,15 +11,57 @@ TEST(ScenarioRunner, RegistersBuiltInAlgorithms) {
   const ScenarioRunner runner;
   const auto algos = runner.algorithms();
   for (const std::string expected :
-       {"bfs", "broadcast", "convergecast", "leader-election"})
+       {"bfs", "batch-bfs", "broadcast", "convergecast", "leader-election"})
     EXPECT_TRUE(runner.has(expected)) << expected;
-  EXPECT_EQ(algos.size(), 4u);
+  EXPECT_EQ(algos.size(), 5u);
   const auto weighted = runner.weighted_algorithms();
-  for (const std::string expected : {"weighted-apsp", "mst", "sssp"}) {
+  for (const std::string expected :
+       {"weighted-apsp", "mst", "sssp", "batch-sssp"}) {
     EXPECT_TRUE(runner.has(expected)) << expected;
     EXPECT_TRUE(runner.is_weighted(expected)) << expected;
   }
-  EXPECT_EQ(weighted.size(), 3u);
+  EXPECT_EQ(weighted.size(), 4u);
+}
+
+TEST(ScenarioRunner, BatchBfsReportsPerQueryRange) {
+  const ScenarioRunner runner;
+  ScenarioConfig cfg;
+  cfg.sources = 4;
+  const auto r = runner.run_spec("batch-bfs", "grid:rows=6,cols=6", cfg);
+  ASSERT_TRUE(r.finished);
+  EXPECT_NE(r.note.find("k=4"), std::string::npos) << r.note;
+  EXPECT_NE(r.note.find("reached=36..36"), std::string::npos) << r.note;
+  // Spec-level sources= is picked up when the config leaves it unset.
+  const auto r2 = runner.run_spec("batch-bfs", "grid:rows=6,cols=6,sources=9");
+  EXPECT_NE(r2.note.find("k=9"), std::string::npos) << r2.note;
+  // Default is a single query.
+  const auto r3 = runner.run_spec("batch-bfs", "grid:rows=6,cols=6");
+  EXPECT_NE(r3.note.find("k=1"), std::string::npos) << r3.note;
+}
+
+TEST(ScenarioRunner, BatchSsspMatchesSingleSourceForOneQuery) {
+  const ScenarioRunner runner;
+  const std::string spec = "circulant:n=40,k=3,weights=1..100";
+  const auto batch = runner.run_spec("batch-sssp", spec);
+  const auto single = runner.run_spec("sssp", spec);
+  ASSERT_TRUE(batch.finished);
+  // Same query (source 0): the reach and max distance agree.
+  EXPECT_NE(batch.note.find("reached=40..40"), std::string::npos)
+      << batch.note;
+  const auto pos = single.note.find("max_dist=");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_NE(batch.note.find(single.note.substr(pos)), std::string::npos)
+      << batch.note << " vs " << single.note;
+}
+
+TEST(ScenarioRunner, BatchSourcesBeyondNodeCountThrow) {
+  const ScenarioRunner runner;
+  ScenarioConfig cfg;
+  cfg.sources = 99;
+  EXPECT_THROW(runner.run_spec("batch-bfs", "cycle:n=8", cfg),
+               std::invalid_argument);
+  EXPECT_THROW(runner.run_spec("batch-sssp", "cycle:n=8", cfg),
+               std::invalid_argument);
 }
 
 TEST(ScenarioRunner, UnknownAlgorithmIsActionable) {

@@ -239,6 +239,43 @@ TEST(LargestCcParam, PartOfTheCanonicalIdentity) {
             "cycle:largest_cc=1,n=8");
 }
 
+TEST(SourcesParam, EveryFamilyAcceptsIt) {
+  for (const auto* info : Registry::instance().families()) {
+    SCOPED_TRACE(info->name);
+    const GraphSpec spec = GraphSpec::parse(info->example).with("sources", "1");
+    // sources= never changes the topology.
+    EXPECT_EQ(Registry::instance().build(spec).edge_list(),
+              Registry::instance().build(spec.without("sources")).edge_list());
+  }
+}
+
+TEST(SourcesParam, MalformedAndOversizedCountsAreRejected) {
+  for (const std::string bad :
+       {"cycle:n=8,sources=0", "cycle:n=8,sources=x", "cycle:n=8,sources=-1",
+        "cycle:n=8,sources=9"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_THROW(Registry::instance().build(bad), std::invalid_argument);
+  }
+  // The bound applies AFTER largest_cc shrinks the graph.
+  const Graph cc =
+      Registry::instance().build("rmat:n=64,deg=3,seed=11,largest_cc=1");
+  const std::string base = "rmat:n=64,deg=3,seed=11,largest_cc=1,sources=";
+  EXPECT_NO_THROW(
+      Registry::instance().build(base + std::to_string(cc.node_count())));
+  EXPECT_THROW(
+      Registry::instance().build(base + std::to_string(cc.node_count() + 1)),
+      std::invalid_argument);
+}
+
+TEST(SourcesParam, RidesTheCanonicalRenderingButNotTheCorpusIdentity) {
+  const auto& reg = Registry::instance();
+  // canonical() keeps the parameter (it is part of the workload's name)...
+  EXPECT_EQ(reg.canonical(GraphSpec::parse("cycle:n=8,sources=4")).to_string(),
+            "cycle:n=8,sources=4");
+  // ...while the corpus identity strips it (see test_graph_io.cpp for the
+  // cache_file_name side of the same contract).
+}
+
 TEST(CanonicalSpec, BakesRegistryDefaults) {
   const auto& reg = Registry::instance();
   EXPECT_EQ(reg.canonical(GraphSpec::parse("rmat:n=256")).to_string(),

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# CI doc-sync check: every --algo name registered in ScenarioRunner must be
+# documented — as a `name` code literal — in BOTH docs/ARCHITECTURE.md
+# (scenario-algorithm table) and docs/SCENARIOS.md (the spec/algorithm
+# reference). Registering an algorithm without documenting it fails CI, so
+# the docs can't silently drift behind the registry again.
+#
+# Usage: check_doc_sync.sh <scenario_runner binary> <repo root>
+#
+# The algorithm list is read from the BINARY (`scenario_runner --list`), not
+# parsed out of the sources: whatever the registry actually exposes is what
+# the docs are held to.
+set -euo pipefail
+
+runner="$1"
+root="$2"
+
+list_output=$("$runner" --list)
+
+# --list prints the names space-separated after the last ": " of the two
+# catalog lines:
+#   Algorithms (--algo=<name>): bfs batch-bfs ...
+#   Weighted algorithms (...): batch-sssp mst ...
+algos=$(printf '%s\n' "$list_output" |
+  sed -n -e 's/^Algorithms.*: //p' -e 's/^Weighted algorithms.*: //p')
+
+if [ -z "$algos" ]; then
+  echo "doc-sync: could not parse any algorithm names from '$runner --list'" >&2
+  exit 1
+fi
+
+status=0
+checked=0
+for name in $algos; do
+  checked=$((checked + 1))
+  for doc in docs/ARCHITECTURE.md docs/SCENARIOS.md; do
+    if ! grep -q "\`$name\`" "$root/$doc"; then
+      echo "doc-sync: --algo=$name is registered but undocumented in $doc" >&2
+      status=1
+    fi
+  done
+done
+
+if [ "$checked" -lt 5 ]; then
+  echo "doc-sync: only $checked algorithms parsed — --list format changed?" >&2
+  exit 1
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "doc-sync: all $checked registered algorithms documented in" \
+       "ARCHITECTURE.md and SCENARIOS.md"
+fi
+exit $status
