@@ -19,10 +19,16 @@
 // binaries that opt into it. All helpers are plain functions without
 // shared state — safe to call from any single thread, not synchronized.
 
+#include <cstdint>
+#include <deque>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <optional>
+#include <sstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "algo/pipeline_broadcast.hpp"
@@ -157,5 +163,106 @@ inline std::vector<algo::PlacedMessage> random_messages(const Graph& g,
     msgs.push_back({static_cast<NodeId>(rng.below(g.node_count())), i, rng()});
   return msgs;
 }
+
+// ----------------------------------------------------------------- JSON
+// Machine-readable bench artifacts (BENCH_<harness>.json): the CI runs
+// `bench_engine --quick` (and future harnesses) every push, so the perf
+// trajectory is recorded PR-over-PR instead of living only in table
+// screenshots. The format is deliberately tiny: one top-level object with
+// harness metadata plus a flat "rows" array; every row value is a string
+// or a finite number. Emission order == insertion order, so diffs are
+// stable run-to-run.
+
+/// One JSON object rendered field-by-field in insertion order.
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, quote(value));
+    return *this;
+  }
+  JsonObject& add(const std::string& key, const char* value) {
+    return add(key, std::string(value));
+  }
+  JsonObject& add(const std::string& key, double value) {
+    std::ostringstream out;
+    out << value;
+    fields_.emplace_back(key, out.str());
+    return *this;
+  }
+  JsonObject& add(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonObject& add(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+    return *this;
+  }
+
+  std::string str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += quote(fields_[i].first) + ": " + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> literal
+};
+
+/// The whole artifact: metadata + rows, written as BENCH_<harness>.json.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string harness) : harness_(std::move(harness)) {}
+
+  /// Top-level metadata field (e.g. mode="quick").
+  template <typename V>
+  JsonReport& meta(const std::string& key, V value) {
+    meta_.add(key, value);
+    return *this;
+  }
+  /// Append a row; fill the returned object in place. References stay
+  /// valid across later row() calls (deque storage never reallocates).
+  JsonObject& row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  std::string str() const {
+    std::string out = "{\"harness\": \"" + harness_ + "\"";
+    const std::string meta = meta_.str();
+    if (meta != "{}") out += ", \"meta\": " + meta;
+    out += ", \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += rows_[i].str();
+    }
+    return out + "]}\n";
+  }
+
+  /// Write BENCH_<harness>.json into `dir` (default: the working directory,
+  /// i.e. the build tree under CI). Returns the path written.
+  std::string write(const std::string& dir = ".") const {
+    const std::string path = dir + "/BENCH_" + harness_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) throw std::runtime_error("bench: cannot write " + path);
+    out << str();
+    return path;
+  }
+
+ private:
+  std::string harness_;
+  JsonObject meta_;
+  std::deque<JsonObject> rows_;  // stable references for row()
+};
 
 }  // namespace fc::bench

@@ -1,0 +1,209 @@
+// Experiment N1: round-engine throughput, dense sweep vs event-driven
+// (sparse) activation.
+//
+// The engine promises O(active nodes + messages) work per round. This
+// harness quantifies what that buys across the three activation regimes:
+//
+//   * deep path    — BFS frontier of O(1) nodes for n rounds: the dense
+//                    sweep pays O(n) no-op handler calls per round (O(n^2)
+//                    total), the sparse engine pays O(1) per round. The
+//                    headline regime: speedups in the 100-1000x range.
+//   * expander     — few rounds, nearly everything active every round
+//                    (batch-bfs keeps per-node backlogs hot): sparse must
+//                    NOT regress here; activation bookkeeping is the only
+//                    delta.
+//   * star         — one hot hub, n leaves active for exactly one round.
+//
+// Both engines must produce bit-identical results (rounds, messages,
+// per-arc sends) — the harness checks and prints it. `--quick` shrinks n
+// for the CI smoke run; both modes emit BENCH_engine.json via the shared
+// bench_common JSON emitter so the perf trajectory is recorded PR-over-PR.
+//
+// Flags: --quick, --graph=<spec> (repeatable; replaces the built-in
+// regimes), --sources=<k> (batch-bfs backlog width, default 64).
+
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <memory>
+
+#include "algo/bfs.hpp"
+#include "algo/leader_election.hpp"
+#include "apps/batch_sssp.hpp"
+#include "congest/network.hpp"
+
+namespace fc::bench {
+namespace {
+
+using AlgFactory =
+    std::function<std::unique_ptr<congest::Algorithm>(const Graph&)>;
+
+struct EngineRun {
+  congest::RunResult result;
+  double ms_per_run = 0.0;
+  double rounds_per_sec = 0.0;
+};
+
+/// Run (fresh algorithm, fresh network) repeatedly until >= 0.2 s of
+/// engine time accumulates (50 reps cap), so the short expander/star runs
+/// are timed above clock noise while the long path runs cost one rep.
+EngineRun run_engine(const Graph& g, const AlgFactory& make,
+                     bool force_dense) {
+  EngineRun out;
+  congest::RunOptions opts;
+  opts.force_dense = force_dense;
+  double total_ms = 0.0;
+  std::uint64_t reps = 0;
+  while (reps < 50 && (reps == 0 || total_ms < 200.0)) {
+    const auto alg = make(g);
+    congest::Network net(g);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto res = net.run(*alg, opts);
+    const auto t1 = std::chrono::steady_clock::now();
+    total_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+    out.result = std::move(res);
+    ++reps;
+  }
+  out.ms_per_run = total_ms / static_cast<double>(reps);
+  out.rounds_per_sec = out.ms_per_run > 0.0
+                           ? static_cast<double>(out.result.rounds) * 1000.0 /
+                                 out.ms_per_run
+                           : 0.0;
+  return out;
+}
+
+struct Workload {
+  std::string regime;
+  std::string spec;
+  std::string algo;
+  AlgFactory make;
+};
+
+AlgFactory make_bfs() {
+  return [](const Graph& g) -> std::unique_ptr<congest::Algorithm> {
+    return std::make_unique<algo::DistributedBfs>(g, 0);
+  };
+}
+
+AlgFactory make_leader() {
+  return [](const Graph& g) -> std::unique_ptr<congest::Algorithm> {
+    return std::make_unique<algo::LeaderElection>(g);
+  };
+}
+
+AlgFactory make_batch_bfs(std::uint64_t sources) {
+  return [sources](const Graph& g) -> std::unique_ptr<congest::Algorithm> {
+    return std::make_unique<algo::BatchBfs>(
+        g, apps::default_sources(g, std::min<std::uint64_t>(
+                                        sources, g.node_count())));
+  };
+}
+
+/// The built-in regime grid. Quick mode shrinks n so the CI smoke stays
+/// in seconds; full mode is the README reference measurement.
+std::vector<Workload> builtin_workloads(bool quick, std::uint64_t sources) {
+  const std::string path_n = quick ? "20000" : "100000";
+  const std::string side = quick ? "40" : "70";
+  const std::string leaves = quick ? "8192" : "65536";
+  return {
+      {"deep path", "path:n=" + path_n, "bfs", make_bfs()},
+      {"expander", "margulis:side=" + side, "bfs", make_bfs()},
+      {"expander", "margulis:side=" + side, "leader-election", make_leader()},
+      {"expander", "margulis:side=" + side,
+       "batch-bfs k=" + std::to_string(sources), make_batch_bfs(sources)},
+      {"star", "complete_bipartite:a=1,b=" + leaves, "bfs", make_bfs()},
+  };
+}
+
+void run_comparison(const std::vector<Workload>& workloads, bool quick,
+                    const std::string& cache) {
+  banner("N1 / engine throughput",
+         "dense sweep vs event-driven activation: identical results, "
+         "rounds/sec measured per regime (deep path = sparse frontier, "
+         "expander = everything active, star = one hot round).");
+  Table table({"regime", "graph", "algo", "n", "m", "rounds", "messages",
+               "dense ms", "sparse ms", "dense rps", "sparse rps", "speedup",
+               "identical"});
+  JsonReport report("engine");
+  report.meta("mode", quick ? "quick" : "full");
+
+  for (const auto& w : workloads) {
+    const auto spec = scenario::GraphSpec::parse(w.spec);
+    const Graph g = cache.empty()
+                        ? scenario::Registry::instance().build(spec)
+                        : scenario::load_or_generate(spec, cache);
+    const auto dense = run_engine(g, w.make, /*force_dense=*/true);
+    const auto sparse = run_engine(g, w.make, /*force_dense=*/false);
+    const bool identical =
+        dense.result.rounds == sparse.result.rounds &&
+        dense.result.messages == sparse.result.messages &&
+        dense.result.finished == sparse.result.finished &&
+        dense.result.arc_sends == sparse.result.arc_sends;
+    const double speedup = sparse.ms_per_run > 0.0
+                               ? dense.ms_per_run / sparse.ms_per_run
+                               : 0.0;
+    table.add_row({w.regime, spec.to_string(), w.algo,
+                   Table::num(std::size_t{g.node_count()}),
+                   Table::num(std::size_t{g.edge_count()}),
+                   Table::num(std::size_t{sparse.result.rounds}),
+                   Table::num(std::size_t{sparse.result.messages}),
+                   Table::num(dense.ms_per_run, 2),
+                   Table::num(sparse.ms_per_run, 2),
+                   Table::num(dense.rounds_per_sec, 0),
+                   Table::num(sparse.rounds_per_sec, 0),
+                   Table::num(speedup, 1), identical ? "yes" : "NO"});
+    report.row()
+        .add("regime", w.regime)
+        .add("graph", spec.to_string())
+        .add("algo", w.algo)
+        .add("n", std::uint64_t{g.node_count()})
+        .add("m", std::uint64_t{g.edge_count()})
+        .add("rounds", sparse.result.rounds)
+        .add("messages", sparse.result.messages)
+        .add("dense_ms", dense.ms_per_run)
+        .add("sparse_ms", sparse.ms_per_run)
+        .add("dense_rounds_per_sec", dense.rounds_per_sec)
+        .add("sparse_rounds_per_sec", sparse.rounds_per_sec)
+        .add("speedup", speedup)
+        .add("identical", identical);
+    if (!identical)
+      throw std::runtime_error("bench_engine: dense and sparse runs "
+                               "disagree on " +
+                               spec.to_string() + " / " + w.algo);
+  }
+  table.print(std::cout);
+  std::cout << "wrote " << report.write() << "\n";
+}
+
+}  // namespace
+}  // namespace fc::bench
+
+int main(int argc, char** argv) {
+  using namespace fc;
+  const Options opts(argc, argv);
+  const bool quick = opts.get_bool("quick");
+  const auto sources =
+      static_cast<std::uint64_t>(opts.get_int("sources", 64));
+  const std::string cache = opts.get("cache", "");
+  try {
+    std::vector<bench::Workload> work;
+    const auto custom = opts.get_all("graph");
+    if (!custom.empty()) {
+      // Caller-chosen scenarios: compare both engines on bfs +
+      // batch-bfs (the sparse- and dense-activation extremes).
+      for (const auto& text : custom) {
+        work.push_back({"custom", text, "bfs", bench::make_bfs()});
+        work.push_back({"custom", text,
+                        "batch-bfs k=" + std::to_string(sources),
+                        bench::make_batch_bfs(sources)});
+      }
+    } else {
+      work = bench::builtin_workloads(quick, sources);
+    }
+    bench::run_comparison(work, quick, cache);
+  } catch (const std::exception& err) {
+    std::cerr << "bench_engine: " << err.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include "bench_common.hpp"
 
+#include <chrono>
 #include <cmath>
 
 #include "congest/scheduler.hpp"
@@ -12,6 +13,28 @@
 
 namespace fc::bench {
 namespace {
+
+/// Wall-time a schedule_tree_broadcasts call — the packet-queue throughput
+/// line (the flat arena queue replaced per-arc deques; compare this column
+/// across revisions to see the per-packet heap churn go away).
+struct TimedSchedule {
+  congest::ScheduleResult result;
+  double ms = 0.0;
+  double khops_per_sec() const {
+    return ms > 0.0
+               ? static_cast<double>(result.total_packet_hops) / ms
+               : 0.0;
+  }
+};
+
+TimedSchedule timed_schedule(const Graph& g,
+                             const std::vector<congest::TreeJob>& jobs) {
+  const auto t0 = std::chrono::steady_clock::now();
+  TimedSchedule out{congest::schedule_tree_broadcasts(g, jobs), 0.0};
+  const auto t1 = std::chrono::steady_clock::now();
+  out.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return out;
+}
 
 void experiment_e10() {
   banner("E10 / Theorem 12",
@@ -25,7 +48,7 @@ void experiment_e10() {
 
   Table table({"jobs", "packets", "congestion C", "dilation d",
                "makespan (no delay)", "makespan (rand delay)", "LB max(C,d)",
-               "C + d*log2^2 n"});
+               "C + d*log2^2 n", "sim ms", "khops/s"});
   for (std::uint32_t jobs : {2u, 4u, 8u, 16u}) {
     const std::uint32_t packets = 32;
     std::vector<algo::SpanningTree> trees;
@@ -39,7 +62,8 @@ void experiment_e10() {
       naive.push_back({&trees[j], packets, 0});
       delayed.push_back({&trees[j], packets, 0});
     }
-    const auto res_naive = congest::schedule_tree_broadcasts(g, naive);
+    const auto naive_run = timed_schedule(g, naive);
+    const auto& res_naive = naive_run.result;
     congest::randomize_delays(delayed, res_naive.congestion / 2 + 1, rng);
     const auto res_delay = congest::schedule_tree_broadcasts(g, delayed);
 
@@ -53,7 +77,9 @@ void experiment_e10() {
          Table::num(std::max(res_naive.congestion, res_naive.dilation)),
          Table::num(res_naive.congestion +
                         res_naive.dilation * log2n * log2n,
-                    0)});
+                    0),
+         Table::num(naive_run.ms, 2),
+         Table::num(naive_run.khops_per_sec(), 0)});
   }
   table.print(std::cout);
 }

@@ -32,6 +32,10 @@
 //                    manifest does not vouch for (missing entry or checksum
 //                    mismatch) and drop dangling manifest entries; exits
 //                    after the sweep when no --graph is given
+//   --engine=<mode>  "event" (default): event-driven rounds — only nodes
+//                    with messages or a pending wakeup step. "dense": the
+//                    legacy every-node sweep. Reports are bit-identical;
+//                    only the wall time differs (see bench_engine).
 //   --markdown       emit a GitHub-flavoured markdown table
 
 #include <algorithm>
@@ -74,16 +78,24 @@ int main(int argc, char** argv) {
   // Same fail-fast contract as the specs themselves: a typo'd flag must not
   // silently change the experiment.
   static const std::vector<std::string> known_flags = {
-      "graph", "algo",     "k",        "seed",    "root",
-      "cache", "cache-gc", "list",     "markdown", "stretch", "sources"};
+      "graph", "algo",     "k",    "seed",     "root",    "cache",
+      "cache-gc", "list",  "markdown", "stretch", "sources", "engine"};
   for (const auto& key : opts.keys()) {
     if (std::find(known_flags.begin(), known_flags.end(), key) ==
         known_flags.end()) {
       std::cerr << "scenario_runner: unknown option '--" << key
                 << "'; known options: --graph --algo --k --sources --seed "
-                   "--root --stretch --cache --cache-gc --markdown --list\n";
+                   "--root --stretch --engine --cache --cache-gc --markdown "
+                   "--list\n";
       return 2;
     }
+  }
+
+  const std::string engine = opts.get("engine", "event");
+  if (engine != "event" && engine != "dense") {
+    std::cerr << "scenario_runner: --engine must be 'event' or 'dense', got '"
+              << engine << "'\n";
+    return 2;
   }
 
   if (opts.get_bool("list")) {
@@ -127,6 +139,7 @@ int main(int argc, char** argv) {
   cfg.root = static_cast<NodeId>(opts.get_int("root", 0));
   cfg.stretch_k = static_cast<std::uint32_t>(opts.get_int("stretch", 3));
   cfg.sources = static_cast<std::uint64_t>(opts.get_int("sources", 0));
+  cfg.force_dense = engine == "dense";
 
   std::vector<scenario::ScenarioResult> results;
   try {

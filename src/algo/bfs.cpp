@@ -26,7 +26,6 @@ void DistributedBfs::start(congest::Context& ctx) {
 }
 
 void DistributedBfs::step(congest::Context& ctx) {
-  quiescence_.note_round(ctx.round());
   const NodeId v = ctx.id();
   if (dist_[v] != kUnreached || ctx.inbox().empty()) return;
   // Adopt the first announcement (inbox is sorted by arc id).
@@ -92,10 +91,10 @@ void BatchBfs::start(congest::Context& ctx) {
   queued_[std::size_t{v} * k + s] = 0;
   for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
     ctx.send(a, {kTagLevel, s, 0});
+  if (!queue_[v].empty()) ctx.request_wakeup();
 }
 
 void BatchBfs::step(congest::Context& ctx) {
-  quiescence_.note_round(ctx.round());
   const NodeId v = ctx.id();
   const std::size_t k = sources_.size();
   // Label-correcting adoption: a pipelined wave may arrive late, so only a
@@ -122,6 +121,7 @@ void BatchBfs::step(congest::Context& ctx) {
   // the parent cannot profit from hearing it back.
   for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
     if (a != parent_arc_[cell]) ctx.send(a, {kTagLevel, s, dist_[cell]});
+  if (!queue_[v].empty()) ctx.request_wakeup();
 }
 
 bool BatchBfs::done() const { return quiescence_.quiescent(); }

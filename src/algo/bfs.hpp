@@ -34,6 +34,12 @@ class DistributedBfs : public congest::Algorithm {
   void start(congest::Context& ctx) override;
   void step(congest::Context& ctx) override;
   bool done() const override;
+  /// Event-driven: an unreached node acts only when the flood arrives, so
+  /// only the frontier (plus its neighbours) pays per round.
+  bool event_driven() const override { return true; }
+  void round_started(std::uint64_t round) override {
+    quiescence_.note_round(round);
+  }
 
   NodeId root() const { return root_; }
   /// Distance from root; kUnreached if the flood never arrived.
@@ -89,6 +95,12 @@ class BatchBfs : public congest::Algorithm {
   void start(congest::Context& ctx) override;
   void step(congest::Context& ctx) override;
   bool done() const override;
+  /// Event-driven: a node with a non-empty announcement FIFO requests a
+  /// wakeup after each send, so the backlog drains without dense sweeps.
+  bool event_driven() const override { return true; }
+  void round_started(std::uint64_t round) override {
+    quiescence_.note_round(round);
+  }
 
   std::uint32_t k() const { return static_cast<std::uint32_t>(sources_.size()); }
   const std::vector<NodeId>& sources() const { return sources_; }

@@ -17,7 +17,6 @@ void LeaderElection::start(congest::Context& ctx) {
 }
 
 void LeaderElection::step(congest::Context& ctx) {
-  current_round_.store(ctx.round(), std::memory_order_relaxed);
   const NodeId v = ctx.id();
   std::uint64_t incoming = best_[v];
   for (const auto& in : ctx.inbox()) incoming = std::max(incoming, in.msg.a);

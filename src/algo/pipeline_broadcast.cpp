@@ -56,6 +56,7 @@ void PipelineBroadcast::start(congest::Context& ctx) {
     down_queue_[v].pop_front();
     for (ArcId a : tree_->child_arcs[v]) ctx.send(a, {kTagDown, it.id, it.payload});
   }
+  if (!up_queue_[v].empty() || !down_queue_[v].empty()) ctx.request_wakeup();
 }
 
 void PipelineBroadcast::step(congest::Context& ctx) {
@@ -84,6 +85,7 @@ void PipelineBroadcast::step(congest::Context& ctx) {
     down_queue_[v].pop_front();
     for (ArcId a : tree_->child_arcs[v]) ctx.send(a, {kTagDown, it.id, it.payload});
   }
+  if (!up_queue_[v].empty() || !down_queue_[v].empty()) ctx.request_wakeup();
 }
 
 bool PipelineBroadcast::done() const {

@@ -46,10 +46,10 @@ void BatchBellmanFord::start(congest::Context& ctx) {
   queued_[std::size_t{v} * k + s] = 0;
   for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
     ctx.send(a, {kTagDist, s, 0});
+  if (!queue_[v].empty()) ctx.request_wakeup();
 }
 
 void BatchBellmanFord::step(congest::Context& ctx) {
-  quiescence_.note_round(ctx.round());
   const NodeId v = ctx.id();
   const std::size_t k = sources_.size();
   // Strict relaxation over the arc-sorted inbox: the lowest arc id wins
@@ -78,6 +78,7 @@ void BatchBellmanFord::step(congest::Context& ctx) {
   for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
     if (a != parent_arc_[cell])
       ctx.send(a, {kTagDist, s, static_cast<std::uint64_t>(dist_[cell])});
+  if (!queue_[v].empty()) ctx.request_wakeup();
 }
 
 bool BatchBellmanFord::done() const { return quiescence_.quiescent(); }
@@ -108,6 +109,7 @@ BatchSsspReport batch_sssp(const WeightedGraph& g,
   congest::RunOptions ropts;
   ropts.max_rounds = opts.max_rounds;
   ropts.parallel = opts.parallel;
+  ropts.force_dense = opts.force_dense;
   const auto cost = net.run(alg, ropts);
   r.sources = alg.sources();
   const std::uint32_t k = alg.k();

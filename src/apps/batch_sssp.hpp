@@ -49,6 +49,12 @@ class BatchBellmanFord : public congest::Algorithm {
   void start(congest::Context& ctx) override;
   void step(congest::Context& ctx) override;
   bool done() const override;
+  /// Event-driven: a node with a non-empty announcement FIFO requests a
+  /// wakeup after each send, so the backlog drains without dense sweeps.
+  bool event_driven() const override { return true; }
+  void round_started(std::uint64_t round) override {
+    quiescence_.note_round(round);
+  }
 
   std::uint32_t k() const { return static_cast<std::uint32_t>(sources_.size()); }
   const std::vector<NodeId>& sources() const { return sources_; }
@@ -77,6 +83,9 @@ class BatchBellmanFord : public congest::Algorithm {
 struct BatchSsspOptions {
   std::uint64_t max_rounds = 10'000'000;
   bool parallel = true;
+  /// Run the legacy dense sweep instead of the event-driven engine (the
+  /// differential-test / baseline knob; results are bit-identical).
+  bool force_dense = false;
 };
 
 /// Per-query outcome plus the shared engine costs of the one batched run.

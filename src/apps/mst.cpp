@@ -59,11 +59,17 @@ class AnnouncePhase : public congest::Algorithm {
     }
     if (local_[v] != kNoMoe)
       any_candidate_.store(true, std::memory_order_relaxed);
-    last_round_.store(ctx.round(), std::memory_order_relaxed);
   }
 
   bool done() const override {
     return last_round_.load(std::memory_order_relaxed) >= 1;
+  }
+  /// Event-driven: only announcement receivers act in round 1; the
+  /// two-round clock lives in round_started so silent components (and the
+  /// sparse engine's idle rounds) cannot stall done().
+  bool event_driven() const override { return true; }
+  void round_started(std::uint64_t round) override {
+    last_round_.store(round, std::memory_order_relaxed);
   }
 
   /// True when any fragment still has an outgoing edge (more merges due).
@@ -101,7 +107,6 @@ class MoeFloodPhase : public congest::Algorithm {
   }
 
   void step(congest::Context& ctx) override {
-    quiescence_.note_round(ctx.round());
     const NodeId v = ctx.id();
     bool improved = false;
     for (const auto& in : ctx.inbox()) {
@@ -118,6 +123,10 @@ class MoeFloodPhase : public congest::Algorithm {
   }
 
   bool done() const override { return quiescence_.quiescent(); }
+  bool event_driven() const override { return true; }
+  void round_started(std::uint64_t round) override {
+    quiescence_.note_round(round);
+  }
 
   /// v's converged fragment minimum.
   const MoeKey& best(NodeId v) const { return best_[v]; }
@@ -158,11 +167,14 @@ class ConnectPhase : public congest::Algorithm {
   void step(congest::Context& ctx) override {
     for (const auto& in : ctx.inbox())
       if (in.msg.tag == kTagConnect) (*tree_arc_)[in.via] = 1;
-    last_round_.store(ctx.round(), std::memory_order_relaxed);
   }
 
   bool done() const override {
     return last_round_.load(std::memory_order_relaxed) >= 1;
+  }
+  bool event_driven() const override { return true; }
+  void round_started(std::uint64_t round) override {
+    last_round_.store(round, std::memory_order_relaxed);
   }
 
  private:
@@ -195,7 +207,6 @@ class MergeFloodPhase : public congest::Algorithm {
   }
 
   void step(congest::Context& ctx) override {
-    quiescence_.note_round(ctx.round());
     const NodeId v = ctx.id();
     bool changed = false;
     for (const auto& in : ctx.inbox()) {
@@ -215,6 +226,10 @@ class MergeFloodPhase : public congest::Algorithm {
   }
 
   bool done() const override { return quiescence_.quiescent(); }
+  bool event_driven() const override { return true; }
+  void round_started(std::uint64_t round) override {
+    quiescence_.note_round(round);
+  }
 
   std::vector<NodeId> take_fragments() { return std::move(frag_); }
 
@@ -263,6 +278,7 @@ MstReport distributed_mst(const WeightedGraph& g, const MstOptions& opts) {
   congest::RunOptions ropts;
   ropts.max_rounds = opts.max_rounds;
   ropts.parallel = opts.parallel;
+  ropts.force_dense = opts.force_dense;
 
   // Fragment count at least halves per phase, so 2^40 nodes would be needed
   // to exceed this cap legitimately; hitting it means non-termination.

@@ -66,6 +66,9 @@ struct MstOptions {
   std::uint64_t max_rounds = 10'000'000;
   bool parallel = true;
   MstMerge merge = MstMerge::kConvergecast;
+  /// Run every phase with the legacy dense sweep instead of the
+  /// event-driven engine (differential-test / baseline knob).
+  bool force_dense = false;
 };
 
 struct MstReport {

@@ -26,7 +26,6 @@ void DistributedBellmanFord::start(congest::Context& ctx) {
 }
 
 void DistributedBellmanFord::step(congest::Context& ctx) {
-  quiescence_.note_round(ctx.round());
   const NodeId v = ctx.id();
   bool improved = false;
   // Strict relaxation over the arc-sorted inbox: the lowest arc id wins
@@ -65,6 +64,7 @@ SsspReport distributed_sssp(const WeightedGraph& g, NodeId source,
   congest::RunOptions ropts;
   ropts.max_rounds = opts.max_rounds;
   ropts.parallel = opts.parallel;
+  ropts.force_dense = opts.force_dense;
   const auto cost = net.run(alg, ropts);
   r.dist = alg.distances();
   r.parent_arc.assign(g.graph().node_count(), kInvalidArc);

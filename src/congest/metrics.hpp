@@ -21,9 +21,12 @@ inline std::uint64_t max_arc_congestion(
   return best;
 }
 
-/// Max over edges of the sends in both directions of one edge.
+/// Max over edges of the sends in both directions of one edge. An empty
+/// span (a run with count_sends off) reports 0, like the all-zero vector
+/// such runs used to carry.
 inline std::uint64_t max_edge_congestion(
     const Graph& g, std::span<const std::uint64_t> arc_sends) {
+  if (arc_sends.empty()) return 0;
   std::uint64_t best = 0;
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     const auto [a, b] = g.edge_arcs(e);
@@ -36,10 +39,13 @@ struct RunResult {
   std::uint64_t rounds = 0;         // rounds executed (including round 0)
   std::uint64_t messages = 0;       // total messages sent
   bool finished = false;            // algorithm reported done()
-  std::vector<std::uint64_t> arc_sends;  // per-arc message counts
+  /// Per-arc message counts; EMPTY when the run had count_sends off.
+  std::vector<std::uint64_t> arc_sends;
 
-  /// Messages that crossed edge e in either direction.
+  /// Messages that crossed edge e in either direction (0 when the run did
+  /// not count sends).
   std::uint64_t edge_congestion(const Graph& g, EdgeId e) const {
+    if (arc_sends.empty()) return 0;
     const auto [a, b] = g.edge_arcs(e);
     return arc_sends[a] + arc_sends[b];
   }

@@ -15,93 +15,163 @@ void Context::send(ArcId via, const Message& m) {
   net_->do_send(*this, via, m);
 }
 
-Network::Network(const Graph& g) : graph_(&g) {
-  const ArcId arcs = g.arc_count();
-  slot_msg_.resize(arcs);
-  slot_full_.assign(arcs, 0);
-  inbox_.resize(g.node_count());
-  arc_sends_.assign(arcs, 0);
+void Context::request_wakeup() {
+  if (wakeup_ == nullptr || woke_) return;  // dense sweep or already queued
+  woke_ = true;
+  wakeup_->push_back(node_);
+}
+
+Network::Network(const Graph& g) : graph_(&g), arcs_(g.arc_count()) {
+  slot_msg_.resize(std::size_t{2} * arcs_);
+  slot_full_.assign(std::size_t{2} * arcs_, 0);
 }
 
 void Network::do_send(Context& ctx, ArcId via, const Message& m) {
   const Graph& g = *graph_;
   if (via < g.arc_begin(ctx.node_) || via >= g.arc_end(ctx.node_))
     throw std::logic_error("Context::send: arc does not leave this node");
-  if (slot_full_[via])
+  const std::size_t w = write_off_ + via;
+  if (slot_full_[w])
     throw std::logic_error(
         "Context::send: second message on one arc in one round "
         "(CONGEST bandwidth violation)");
-  slot_full_[via] = 1;
-  slot_msg_[via] = m;
+  slot_full_[w] = 1;
+  slot_msg_[w] = m;
   ctx.dirty_->push_back(via);
   if (counting_) ++arc_sends_[via];
 }
 
-void Network::run_round(Algorithm& alg, std::uint64_t round, bool parallel) {
-  const NodeId n = graph_->node_count();
+void Network::run_handlers(Algorithm& alg, std::uint64_t round, Sweep sweep,
+                           bool record_wakeups, ThreadPool& pool,
+                           bool parallel) {
+  const Graph& g = *graph_;
+  const std::size_t read_off = arcs_ - write_off_;
+  const std::size_t count = sweep == Sweep::kActiveList
+                                ? active_.size()
+                                : std::size_t{g.node_count()};
   auto body = [&](std::size_t worker, std::size_t begin, std::size_t end) {
     Context ctx;
     ctx.net_ = this;
     ctx.round_ = round;
     ctx.dirty_ = &thread_dirty_[worker];
+    ctx.wakeup_ = record_wakeups ? &thread_wakeup_[worker] : nullptr;
+    auto& scratch = inbox_scratch_[worker];
     for (std::size_t i = begin; i < end; ++i) {
-      const auto v = static_cast<NodeId>(i);
+      const NodeId v = sweep == Sweep::kActiveList
+                           ? active_[i]
+                           : static_cast<NodeId>(i);
+      if (sweep == Sweep::kActiveScan && sched_stamp_[v] != round) continue;
       ctx.node_ = v;
-      ctx.inbox_ = inbox_[v];
-      if (round == 0)
+      ctx.woke_ = false;
+      if (round == 0) {
+        ctx.inbox_ = {};
         alg.start(ctx);
-      else
-        alg.step(ctx);
+        continue;
+      }
+      scratch.clear();
+      if (sched_stamp_[v] == round) {
+        // Materialize the inbox from the read half: scan the node's
+        // contiguous arc range for full reverse-arc slots. Arc order makes
+        // delivery arc-id-sorted for free; this worker is the slot's only
+        // consumer, so clearing the flag here IS the per-worker cleanup
+        // that readies the buffer half for its next write role.
+        for (ArcId a = g.arc_begin(v); a < g.arc_end(v); ++a) {
+          const std::size_t slot = read_off + g.arc_reverse(a);
+          if (!slot_full_[slot]) continue;
+          slot_full_[slot] = 0;
+          scratch.push_back(Incoming{a, slot_msg_[slot]});
+        }
+      }
+      ctx.inbox_ = scratch;
+      alg.step(ctx);
     }
   };
-  if (parallel && n >= 512) {
-    ThreadPool::global().parallel_chunks(n, body);
-  } else {
-    body(0, 0, n);
-  }
-}
-
-void Network::deliver() {
-  // Clear last round's inboxes (only the touched ones).
-  for (NodeId v : inbox_touched_) inbox_[v].clear();
-  inbox_touched_.clear();
-  const Graph& g = *graph_;
-  std::uint64_t sent = 0;
-  for (auto& list : thread_dirty_) {
-    for (ArcId a : list) {
-      const NodeId to = g.arc_head(a);
-      if (inbox_[to].empty()) inbox_touched_.push_back(to);
-      inbox_[to].push_back(Incoming{g.arc_reverse(a), slot_msg_[a]});
-      slot_full_[a] = 0;
-      ++sent;
-    }
-    list.clear();
-  }
-  // Sort each inbox by arc id so the delivery order — and therefore every
-  // algorithm decision such as "pick the first announcing neighbour" — is
-  // identical regardless of worker count and chunk boundaries.
-  for (NodeId v : inbox_touched_)
-    std::sort(inbox_[v].begin(), inbox_[v].end(),
-              [](const Incoming& x, const Incoming& y) { return x.via < y.via; });
-  messages_ += sent;
+  if (parallel && count >= 512)
+    pool.parallel_chunks(count, body);
+  else if (count > 0)
+    body(0, 0, count);
 }
 
 RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
+  const Graph& g = *graph_;
+  const NodeId n = g.node_count();
   counting_ = opts.count_sends;
   messages_ = 0;
-  std::fill(arc_sends_.begin(), arc_sends_.end(), 0);
+  if (counting_)
+    arc_sends_.assign(arcs_, 0);  // also recovers the moved-from state
+  else
+    arc_sends_.clear();
   std::fill(slot_full_.begin(), slot_full_.end(), 0);
-  for (auto& box : inbox_) box.clear();
-  inbox_touched_.clear();
+  write_off_ = 0;
+  sched_stamp_.assign(n, 0);
+  active_.clear();
 
-  const std::size_t workers = ThreadPool::global().size();
+  const bool sparse = alg.event_driven() && !opts.force_dense;
+  ThreadPool& pool = opts.pool != nullptr ? *opts.pool : ThreadPool::global();
+  const std::size_t workers = pool.size();
   thread_dirty_.assign(workers, {});
+  thread_wakeup_.assign(workers, {});
+  inbox_scratch_.assign(workers, {});
 
   RunResult result;
   std::uint64_t round = 0;
+  // Round 0 runs start() on every node in both engines; sweep_next is the
+  // strategy the NEXT sparse round will use, chosen during delivery.
+  Sweep sweep_next = Sweep::kAll;
   for (; round < opts.max_rounds; ++round) {
-    run_round(alg, round, opts.parallel);
-    deliver();
+    alg.round_started(round);
+    run_handlers(alg, round,
+                 sparse && round > 0 ? sweep_next : Sweep::kAll, sparse,
+                 pool, opts.parallel);
+
+    // Delivery — O(messages + wakeups), no copies: stamp each receiver
+    // from the per-worker sent-arc lists, then flip the buffer halves.
+    // The sweep decision is made up front from the sent + wakeup upper
+    // bound on next round's active count: when >= 1/8 of the graph will
+    // run anyway, stamping is a plain store (dense-equal delivery cost)
+    // and the round sweeps in node order; only genuinely sparse rounds
+    // pay the dedup branch that builds the active list.
+    const std::uint64_t next = round + 1;
+    std::size_t sent = 0, woken = 0;
+    for (const auto& list : thread_dirty_) sent += list.size();
+    if (sparse)
+      for (const auto& list : thread_wakeup_) woken += list.size();
+    messages_ += sent;
+    const bool build_list = sparse && (sent + woken) * 8 < n;
+    sweep_next = build_list ? Sweep::kActiveList : Sweep::kActiveScan;
+    if (build_list) {
+      active_.clear();
+      for (auto& list : thread_dirty_) {
+        for (const ArcId a : list) {
+          const NodeId to = g.arc_head(a);
+          if (sched_stamp_[to] != next) {
+            sched_stamp_[to] = next;
+            active_.push_back(to);
+          }
+        }
+        list.clear();
+      }
+      for (auto& list : thread_wakeup_) {
+        for (const NodeId v : list) {
+          if (sched_stamp_[v] != next) {
+            sched_stamp_[v] = next;
+            active_.push_back(v);
+          }
+        }
+        list.clear();
+      }
+    } else {
+      for (auto& list : thread_dirty_) {
+        for (const ArcId a : list) sched_stamp_[g.arc_head(a)] = next;
+        list.clear();
+      }
+      for (auto& list : thread_wakeup_) {
+        for (const NodeId v : list) sched_stamp_[v] = next;
+        list.clear();
+      }
+    }
+    write_off_ = arcs_ - write_off_;
+
     if (alg.done()) {
       result.finished = true;
       ++round;
@@ -110,7 +180,7 @@ RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
   }
   result.rounds = round;
   result.messages = messages_;
-  result.arc_sends = arc_sends_;
+  if (counting_) result.arc_sends = std::move(arc_sends_);
   return result;
 }
 

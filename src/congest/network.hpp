@@ -12,12 +12,31 @@
 //    algorithms also receive global scalars like n or λ only when the
 //    paper's algorithm assumes they are known.)
 //
-// Performance: per round the engine does O(active nodes + messages) work,
-// not O(m): message slots are per-directed-edge with double buffering and
-// dirty lists, and node handlers run in parallel on a thread pool (each
-// handler writes only its own node's state and its own outgoing slots, so
-// rounds are data-race-free by construction).
+// Performance model — O(active nodes + messages) per round, for real:
+//  * Message slots are per-directed-edge and DOUBLE-BUFFERED: one half of
+//    the flat slot array receives this round's sends while handlers read
+//    last round's half. End-of-round delivery is an O(1) offset flip plus
+//    an O(messages) pass over the per-worker sent-arc lists that stamps
+//    each receiver; nothing is copied, merged, or sorted.
+//  * A node's inbox is materialized on the worker thread that runs its
+//    handler, by scanning the node's contiguous arc range for full
+//    reverse-arc slots (skipped entirely when the receiver stamp says the
+//    node got nothing). The scan order is arc-id order, so the delivery
+//    order — the determinism contract every algorithm's tie-breaking rests
+//    on — comes for free, and consuming a slot clears its flag, so the
+//    read half is clean again by the time the next flip reuses it.
+//  * Algorithms that declare event_driven() run SPARSE: step() executes
+//    only for nodes with a non-empty inbox or a pending request_wakeup(),
+//    so a round costs O(sum of active nodes' degrees), not O(n + m).
+//    Legacy algorithms (event_driven() == false) keep the dense sweep —
+//    step() on all n nodes — with the same zero-copy delivery.
+//  * Handlers run in parallel on a thread pool once enough nodes are
+//    active; each handler writes only its own node's state and its own
+//    outgoing slots, and each slot has exactly one consumer, so rounds are
+//    data-race-free by construction and bit-identical at every thread
+//    count — sparse or dense.
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -41,7 +60,7 @@ struct Incoming {
 class Network;
 
 /// Per-node view handed to algorithm handlers. Valid only for the duration
-/// of one handler call.
+/// of one handler call (the inbox span points into per-worker scratch).
 class Context {
  public:
   NodeId id() const { return node_; }
@@ -57,7 +76,7 @@ class Context {
   /// use it for non-local shortcuts).
   const Graph& graph() const;
 
-  /// Messages delivered this round (empty at round 0).
+  /// Messages delivered this round (empty at round 0), sorted by `via`.
   std::span<const Incoming> inbox() const { return inbox_; }
 
   /// Send one message over outgoing arc `via` this round.
@@ -65,13 +84,22 @@ class Context {
   /// if a message was already sent on it this round (CONGEST violation).
   void send(ArcId via, const Message& m);
 
+  /// Schedule this node to run next round even if it receives nothing —
+  /// the event-driven engine's knob for spontaneous activity (backlogs,
+  /// timers). A node that neither receives nor requested a wakeup is NOT
+  /// stepped under the sparse engine. No-op under the dense sweep, where
+  /// every node runs anyway.
+  void request_wakeup();
+
  private:
   friend class Network;
   Network* net_ = nullptr;
   NodeId node_ = kInvalidNode;
   std::uint64_t round_ = 0;
   std::span<const Incoming> inbox_;
-  std::vector<ArcId>* dirty_ = nullptr;  // this worker's sent-arc list
+  std::vector<ArcId>* dirty_ = nullptr;    // this worker's sent-arc list
+  std::vector<NodeId>* wakeup_ = nullptr;  // worker wakeup list; null = dense
+  bool woke_ = false;                      // wakeup already recorded
 };
 
 /// Base class for distributed algorithms. One instance carries the state of
@@ -90,14 +118,32 @@ class Algorithm {
   /// This models the standard simulator convention: the paper's algorithms
   /// all have known round bounds, so termination detection is free.
   virtual bool done() const = 0;
+
+  /// Event-driven capability (opt-in). When true, the engine steps only
+  /// nodes with a non-empty inbox or a pending Context::request_wakeup().
+  /// Contract: step() on a node with an empty inbox must be a pure no-op —
+  /// no sends, no state change, nothing done() can observe — unless the
+  /// node requested a wakeup last round. Per-round bookkeeping (e.g.
+  /// QuiescenceDetector::note_round) must live in round_started(), which
+  /// fires even on rounds where no node runs.
+  virtual bool event_driven() const { return false; }
+  /// Called once per round, single-threaded, before any handler of that
+  /// round (round 0 included), under BOTH engines.
+  virtual void round_started(std::uint64_t round) { (void)round; }
 };
 
 struct RunOptions {
   std::uint64_t max_rounds = 1'000'000;
-  /// Run node handlers in parallel when the graph is large enough.
+  /// Run node handlers in parallel when enough nodes are active.
   bool parallel = true;
   /// Collect per-arc send counts (cheap; on by default).
   bool count_sends = true;
+  /// Force the legacy dense sweep (step every node every round) even for
+  /// event_driven() algorithms — the differential-test and baseline knob.
+  bool force_dense = false;
+  /// Pool for the handler rounds; null selects ThreadPool::global(). The
+  /// run is bit-identical for every pool size by construction.
+  ThreadPool* pool = nullptr;
 };
 
 class Network {
@@ -114,20 +160,35 @@ class Network {
   friend class Context;
 
   void do_send(Context& ctx, ArcId via, const Message& m);
-  void run_round(Algorithm& alg, std::uint64_t round, bool parallel);
-  void deliver();
+  /// Node-iteration strategy for one round of handlers. Sparse rounds pick
+  /// between the two active modes by density: chasing the (unsorted)
+  /// active list is ideal when few nodes run, but once a large fraction of
+  /// the graph is active an in-order sweep that filters by activation
+  /// stamp is faster — it restores the sequential memory-access pattern
+  /// over node state and slots, for one cheap compare per skipped node.
+  enum class Sweep { kAll, kActiveList, kActiveScan };
+  /// Run one round's handlers, materializing inboxes from the read half.
+  void run_handlers(Algorithm& alg, std::uint64_t round, Sweep sweep,
+                    bool record_wakeups, ThreadPool& pool, bool parallel);
 
   const Graph* graph_;
-  // Double-buffered slots: `write_` receives this round's sends, `read_`
-  // holds last round's (already turned into inboxes).
-  std::vector<Message> slot_msg_;
-  std::vector<std::uint8_t> slot_full_;  // 1 if write-slot occupied
-  // Per-thread dirty-arc lists, merged after each round.
+  ArcId arcs_ = 0;
+  // Double-buffered per-arc slots: [write_off_, write_off_ + arcs_) receives
+  // this round's sends; the other half holds last round's, which handlers
+  // consume (clearing the full flags as they read).
+  std::vector<Message> slot_msg_;        // size 2 * arcs_
+  std::vector<std::uint8_t> slot_full_;  // size 2 * arcs_
+  std::size_t write_off_ = 0;
+  // Per-worker scratch: sent-arc lists (delivery stamps), wakeup requests,
+  // and the inbox buffers the Context spans point into.
   std::vector<std::vector<ArcId>> thread_dirty_;
-  std::vector<ArcId> dirty_;
-  // Inboxes for the current round.
-  std::vector<std::vector<Incoming>> inbox_;
-  std::vector<NodeId> inbox_touched_;
+  std::vector<std::vector<NodeId>> thread_wakeup_;
+  std::vector<std::vector<Incoming>> inbox_scratch_;
+  // sched_stamp_[v] == r: v is scheduled for round r (received a message
+  // and/or requested a wakeup). Gates both the inbox arc scan and the
+  // kActiveScan filter; doubles as the kActiveList dedup marker.
+  std::vector<std::uint64_t> sched_stamp_;
+  std::vector<NodeId> active_;
   std::vector<std::uint64_t> arc_sends_;
   std::uint64_t messages_ = 0;
   bool counting_ = true;

@@ -3,12 +3,16 @@
 // Borůvka's MOE/merge floods, Bellman–Ford): the run is over once one full
 // round passes in which no node sent anything.
 //
-// Handlers of one round all observe the same ctx.round(), so the relaxed
-// plain stores are race-free in the only sense that matters: every writer
-// writes the same value. The `round >= 2` floor gives round-0 sends one
-// delivery round before the rule can fire; the net effect is one idle
-// tail round per execution — the price of the standard simulator
-// convention that termination detection is free.
+// note_round() belongs in Algorithm::round_started(), which the engine
+// calls exactly once per round — including rounds in which the sparse
+// (event-driven) engine steps no node at all, which is precisely when the
+// rule must be able to fire. note_activity() stays in step(): handlers of
+// one round all observe the same round number, so the relaxed stores are
+// race-free in the only sense that matters — every writer writes the same
+// value. The `round >= 2` floor gives round-0 sends one delivery round
+// before the rule can fire; the net effect is one idle tail round per
+// execution — the price of the standard simulator convention that
+// termination detection is free.
 
 #include <atomic>
 #include <cstdint>
@@ -17,7 +21,7 @@ namespace fc::congest {
 
 class QuiescenceDetector {
  public:
-  /// Call first thing in every step(), with ctx.round().
+  /// Call once per round from Algorithm::round_started().
   void note_round(std::uint64_t round) {
     current_.store(round, std::memory_order_relaxed);
   }

@@ -6,19 +6,11 @@
 namespace fc::congest {
 
 void TraceRecorder::record(Context& ctx) {
-  if (ctx.inbox().empty() && ctx.round() >= trace_.size()) {
-    // Still make sure the round has an entry (cheap double-checked path).
-    std::lock_guard lock(mutex_);
-    if (ctx.round() >= trace_.size())
-      trace_.resize(ctx.round() + 1);
-    trace_[ctx.round()].round = ctx.round();
-    return;
-  }
+  // round_started() sized trace_ through this round before any handler
+  // ran, so only the counters need the lock here.
   if (ctx.inbox().empty()) return;
   std::lock_guard lock(mutex_);
-  if (ctx.round() >= trace_.size()) trace_.resize(ctx.round() + 1);
   auto& entry = trace_[ctx.round()];
-  entry.round = ctx.round();
   entry.messages_delivered += ctx.inbox().size();
   entry.nodes_with_input += 1;
 }

@@ -35,6 +35,17 @@ class TraceRecorder : public Algorithm {
     inner_->step(ctx);
   }
   bool done() const override { return inner_->done(); }
+  /// Tracing is engine-transparent: the wrapper inherits the inner
+  /// algorithm's event-driven capability and keeps one trace entry per
+  /// round even when the sparse engine steps no node at all.
+  bool event_driven() const override { return inner_->event_driven(); }
+  void round_started(std::uint64_t round) override {
+    if (round >= trace_.size()) {
+      trace_.resize(round + 1);
+      trace_[round].round = round;
+    }
+    inner_->round_started(round);
+  }
 
   /// One entry per executed round (index == round number).
   const std::vector<RoundTrace>& trace() const { return trace_; }

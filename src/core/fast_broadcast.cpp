@@ -55,6 +55,7 @@ SetupResult setup_phase(const Graph& g,
   SetupResult out;
   congest::RunOptions ropts;
   ropts.max_rounds = opts.max_rounds;
+  ropts.force_dense = opts.force_dense;
 
   if (opts.elect_leader) {
     congest::Network net(g);
@@ -102,6 +103,7 @@ bool broadcast_over_parts(const Graph& g, NodeId root, std::uint32_t parts,
 
   congest::RunOptions ropts;
   ropts.max_rounds = opts.max_rounds;
+  ropts.force_dense = opts.force_dense;
 
   // Concurrent BFS per part.
   std::vector<std::unique_ptr<algo::DistributedBfs>> bfs_algs;
@@ -268,6 +270,7 @@ FastBroadcastReport run_textbook_broadcast(
 
   congest::RunOptions ropts;
   ropts.max_rounds = opts.max_rounds;
+  ropts.force_dense = opts.force_dense;
   auto bfs = algo::run_bfs(g, setup.root, ropts);
   report.part_bfs_rounds = bfs.cost.rounds;
   report.messages += bfs.cost.messages;

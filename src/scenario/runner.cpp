@@ -24,6 +24,7 @@ namespace {
 congest::RunOptions run_options(const ScenarioConfig& cfg) {
   congest::RunOptions opts;
   opts.max_rounds = cfg.max_rounds;
+  opts.force_dense = cfg.force_dense;
   return opts;
 }
 
@@ -103,6 +104,7 @@ ScenarioResult run_batch_sssp_scenario(const WeightedGraph& g,
   const std::uint64_t k = cfg.sources != 0 ? cfg.sources : 1;
   apps::BatchSsspOptions opts;
   opts.max_rounds = cfg.max_rounds;
+  opts.force_dense = cfg.force_dense;
   const auto rep =
       apps::batch_sssp(g, apps::default_sources(g.graph(), k), opts);
   r.rounds = rep.rounds;
@@ -266,6 +268,7 @@ ScenarioResult run_weighted_apsp_scenario(const WeightedGraph& full,
       std::max(1u, estimate_edge_connectivity(g.graph(), cfg.seed).value);
   apps::WeightedApspOptions opts;
   opts.seed = cfg.seed;
+  opts.broadcast.force_dense = cfg.force_dense;
   const auto report =
       apps::approximate_apsp_weighted(g, lambda, cfg.stretch_k, opts);
   r.rounds = report.total_rounds;
@@ -286,6 +289,7 @@ ScenarioResult run_mst_scenario(const WeightedGraph& full,
   const WeightedGraph& g = w.get(full);
   apps::MstOptions opts;
   opts.max_rounds = cfg.max_rounds;
+  opts.force_dense = cfg.force_dense;
   const auto rep = apps::distributed_mst(g, opts);
   r.rounds = rep.rounds;
   r.messages = rep.messages;
@@ -311,6 +315,7 @@ ScenarioResult run_sssp_scenario(const WeightedGraph& full,
   }
   apps::SsspOptions opts;
   opts.max_rounds = cfg.max_rounds;
+  opts.force_dense = cfg.force_dense;
   const auto rep = apps::distributed_sssp(g, w.root, opts);
   r.rounds = rep.rounds;
   r.messages = rep.messages;

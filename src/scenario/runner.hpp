@@ -32,6 +32,11 @@ struct ScenarioConfig {
   /// run_spec() fills this from a spec's `sources=k` parameter when the
   /// caller left it at 0.
   std::uint64_t sources = 0;
+  /// Run the legacy dense sweep (step every node every round) instead of
+  /// the event-driven engine. Reports are bit-identical either way — this
+  /// is the differential-test and baseline-measurement knob
+  /// (scenario_runner --engine=dense).
+  bool force_dense = false;
 };
 
 /// One algorithm run on one graph, in paper cost measures.

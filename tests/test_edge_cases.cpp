@@ -71,7 +71,8 @@ TEST(EdgeCases, CountSendsOffStillRuns) {
   opts.count_sends = false;
   const auto res = net.run(alg, opts);
   EXPECT_TRUE(res.finished);
-  for (auto c : res.arc_sends) EXPECT_EQ(c, 0u);  // metering disabled
+  EXPECT_TRUE(res.arc_sends.empty());  // metering disabled: no per-arc counts
+  EXPECT_EQ(res.max_edge_congestion(g), 0u);
 }
 
 TEST(EdgeCases, FastBroadcastDeterministicInSeed) {
