@@ -40,6 +40,7 @@
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fc::bench {
 
@@ -264,5 +265,25 @@ class JsonReport {
   JsonObject meta_;
   std::deque<JsonObject> rows_;  // stable references for row()
 };
+
+/// The standard run-metadata header every harness should stamp on its
+/// JsonReport: the engine pool size the measurements ran on, the build
+/// type, and the telemetry mode (measurements are taken with "off" unless
+/// the harness measures telemetry itself). `spec` names a single-workload
+/// harness's graph; pass "" when the harness runs a grid (the rows carry
+/// per-workload specs).
+inline JsonReport& add_run_metadata(JsonReport& report,
+                                    const std::string& telemetry_mode = "off",
+                                    const std::string& spec = "") {
+  report.meta("engine_pool", std::uint64_t{ThreadPool::global().size()});
+#ifdef NDEBUG
+  report.meta("build", "release");
+#else
+  report.meta("build", "debug");
+#endif
+  report.meta("telemetry", telemetry_mode);
+  if (!spec.empty()) report.meta("spec", spec);
+  return report;
+}
 
 }  // namespace fc::bench

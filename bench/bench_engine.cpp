@@ -19,11 +19,17 @@
 // for the CI smoke run; both modes emit BENCH_engine.json via the shared
 // bench_common JSON emitter so the perf trajectory is recorded PR-over-PR.
 //
+// Experiment N2 (same binary, built-in grid only): telemetry overhead —
+// off vs rounds vs full recording on the deep-path and expander regimes.
+// CI guards "rounds" mode at <= 5% overhead on deep path, the contract
+// that makes the counter series safe to leave on (docs/OBSERVABILITY.md).
+//
 // Flags: --quick, --graph=<spec> (repeatable; replaces the built-in
 // regimes), --sources=<k> (batch-bfs backlog width, default 64).
 
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 
@@ -44,11 +50,13 @@ struct EngineRun {
   double rounds_per_sec = 0.0;
 };
 
-/// Run (fresh algorithm, fresh network) repeatedly until >= 0.2 s of
-/// engine time accumulates (50 reps cap), so the short expander/star runs
-/// are timed above clock noise while the long path runs cost one rep.
-EngineRun run_engine(const Graph& g, const AlgFactory& make,
-                     bool force_dense) {
+/// Run (fresh algorithm, fresh network, fresh telemetry recorder)
+/// repeatedly until >= 0.2 s of engine time accumulates (50 reps cap), so
+/// the short expander/star runs are timed above clock noise while the long
+/// path runs cost one rep.
+EngineRun run_engine(const Graph& g, const AlgFactory& make, bool force_dense,
+                     congest::TelemetryMode tmode =
+                         congest::TelemetryMode::kOff) {
   EngineRun out;
   congest::RunOptions opts;
   opts.force_dense = force_dense;
@@ -57,6 +65,8 @@ EngineRun run_engine(const Graph& g, const AlgFactory& make,
   while (reps < 50 && (reps == 0 || total_ms < 200.0)) {
     const auto alg = make(g);
     congest::Network net(g);
+    congest::Telemetry telemetry(tmode);
+    opts.telemetry = telemetry.enabled() ? &telemetry : nullptr;
     const auto t0 = std::chrono::steady_clock::now();
     auto res = net.run(*alg, opts);
     const auto t1 = std::chrono::steady_clock::now();
@@ -115,8 +125,8 @@ std::vector<Workload> builtin_workloads(bool quick, std::uint64_t sources) {
   };
 }
 
-void run_comparison(const std::vector<Workload>& workloads, bool quick,
-                    const std::string& cache) {
+void run_comparison(const std::vector<Workload>& workloads,
+                    const std::string& cache, JsonReport& report) {
   banner("N1 / engine throughput",
          "dense sweep vs event-driven activation: identical results, "
          "rounds/sec measured per regime (deep path = sparse frontier, "
@@ -124,8 +134,6 @@ void run_comparison(const std::vector<Workload>& workloads, bool quick,
   Table table({"regime", "graph", "algo", "n", "m", "rounds", "messages",
                "dense ms", "sparse ms", "dense rps", "sparse rps", "speedup",
                "identical"});
-  JsonReport report("engine");
-  report.meta("mode", quick ? "quick" : "full");
 
   for (const auto& w : workloads) {
     const auto spec = scenario::GraphSpec::parse(w.spec);
@@ -172,7 +180,77 @@ void run_comparison(const std::vector<Workload>& workloads, bool quick,
                                spec.to_string() + " / " + w.algo);
   }
   table.print(std::cout);
-  std::cout << "wrote " << report.write() << "\n";
+}
+
+/// Experiment N2: what does leaving telemetry on cost? Measured on the
+/// deep-path regime — the engine's worst case for fixed per-round overhead
+/// (tens of thousands of rounds that each do almost no work) — plus the
+/// expander regime, where real per-round work dilutes the overhead. The
+/// "rounds" mode is the one meant to stay on in production; CI guards its
+/// deep-path overhead at <= 5%.
+void run_telemetry_overhead(bool quick, const std::string& cache,
+                            JsonReport& report) {
+  banner("N2 / telemetry overhead",
+         "engine throughput with telemetry off vs rounds (counter series, "
+         "no clocks) vs full (phase timers + histograms + annotations); "
+         "sparse engine, worst case = deep path.");
+  Table table({"regime", "graph", "off ms", "rounds ms", "full ms",
+               "rounds ovh %", "full ovh %"});
+  const std::string path_n = quick ? "20000" : "100000";
+  const std::string side = quick ? "40" : "70";
+  const std::vector<std::pair<std::string, std::string>> regimes = {
+      {"deep path", "path:n=" + path_n},
+      {"expander", "margulis:side=" + side},
+  };
+  for (const auto& [regime, spec_text] : regimes) {
+    const auto spec = scenario::GraphSpec::parse(spec_text);
+    const Graph g = cache.empty()
+                        ? scenario::Registry::instance().build(spec)
+                        : scenario::load_or_generate(spec, cache);
+    const auto make = make_bfs();
+    // One timed run of bfs on g under `tmode` (fresh everything, like
+    // run_engine's reps).
+    const auto one = [&](congest::TelemetryMode tmode) {
+      const auto alg = make(g);
+      congest::Network net(g);
+      congest::Telemetry telemetry(tmode);
+      congest::RunOptions opts;
+      opts.telemetry = telemetry.enabled() ? &telemetry : nullptr;
+      const auto t0 = std::chrono::steady_clock::now();
+      net.run(*alg, opts);
+      const auto t1 = std::chrono::steady_clock::now();
+      return std::chrono::duration<double, std::milli>(t1 - t0).count();
+    };
+    // Interleave the three modes rep by rep and keep each mode's MINIMUM:
+    // the modes see the same thermal/frequency drift, and the minimum is
+    // the run least disturbed by scheduler noise — the right statistic for
+    // an overhead ratio on a shared machine.
+    const double est = one(congest::TelemetryMode::kOff);
+    const auto reps = static_cast<std::uint64_t>(
+        std::clamp(150.0 / std::max(est, 1e-3), 5.0, 60.0));
+    double off = est, rounds = 1e300, full = 1e300;
+    for (std::uint64_t i = 0; i < reps; ++i) {
+      off = std::min(off, one(congest::TelemetryMode::kOff));
+      rounds = std::min(rounds, one(congest::TelemetryMode::kRounds));
+      full = std::min(full, one(congest::TelemetryMode::kFull));
+    }
+    const auto pct = [&](double ms) {
+      return off > 0.0 ? (ms / off - 1.0) * 100.0 : 0.0;
+    };
+    table.add_row({regime, spec.to_string(), Table::num(off, 2),
+                   Table::num(rounds, 2), Table::num(full, 2),
+                   Table::num(pct(rounds), 1), Table::num(pct(full), 1)});
+    report.row()
+        .add("regime", "telemetry-overhead")
+        .add("graph", spec.to_string())
+        .add("algo", "bfs")
+        .add("off_ms", off)
+        .add("rounds_ms", rounds)
+        .add("full_ms", full)
+        .add("rounds_overhead_pct", pct(rounds))
+        .add("full_overhead_pct", pct(full));
+  }
+  table.print(std::cout);
 }
 
 }  // namespace
@@ -200,7 +278,14 @@ int main(int argc, char** argv) {
     } else {
       work = bench::builtin_workloads(quick, sources);
     }
-    bench::run_comparison(work, quick, cache);
+    bench::JsonReport report("engine");
+    report.meta("mode", quick ? "quick" : "full");
+    bench::add_run_metadata(report);
+    bench::run_comparison(work, cache, report);
+    // The overhead regime uses its own built-in graphs; custom --graph
+    // invocations stay a pure two-engine comparison.
+    if (custom.empty()) bench::run_telemetry_overhead(quick, cache, report);
+    std::cout << "wrote " << report.write() << "\n";
   } catch (const std::exception& err) {
     std::cerr << "bench_engine: " << err.what() << "\n";
     return 2;

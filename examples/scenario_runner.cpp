@@ -36,14 +36,24 @@
 //                    with messages or a pending wakeup step. "dense": the
 //                    legacy every-node sweep. Reports are bit-identical;
 //                    only the wall time differs (see bench_engine).
+//   --telemetry=<m>  "off" (default), "rounds" (per-round counter series,
+//                    cheap), or "full" (adds phase timers, inbox histograms,
+//                    annotations). One recorder spans ALL runs of the
+//                    invocation; see docs/OBSERVABILITY.md.
+//   --trace-out=<f>  write a Chrome trace-event JSON of the whole invocation
+//                    (open in Perfetto / chrome://tracing); needs --telemetry
+//   --metrics-out=<f> write the NDJSON per-round metrics stream; needs
+//                    --telemetry
 //   --markdown       emit a GitHub-flavoured markdown table
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "congest/telemetry.hpp"
 #include "scenario/graph_io.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
@@ -78,15 +88,16 @@ int main(int argc, char** argv) {
   // Same fail-fast contract as the specs themselves: a typo'd flag must not
   // silently change the experiment.
   static const std::vector<std::string> known_flags = {
-      "graph", "algo",     "k",    "seed",     "root",    "cache",
-      "cache-gc", "list",  "markdown", "stretch", "sources", "engine"};
+      "graph",    "algo", "k",        "seed",    "root",    "cache",
+      "cache-gc", "list", "markdown", "stretch", "sources", "engine",
+      "telemetry", "trace-out", "metrics-out"};
   for (const auto& key : opts.keys()) {
     if (std::find(known_flags.begin(), known_flags.end(), key) ==
         known_flags.end()) {
       std::cerr << "scenario_runner: unknown option '--" << key
                 << "'; known options: --graph --algo --k --sources --seed "
-                   "--root --stretch --engine --cache --cache-gc --markdown "
-                   "--list\n";
+                   "--root --stretch --engine --telemetry --trace-out "
+                   "--metrics-out --cache --cache-gc --markdown --list\n";
       return 2;
     }
   }
@@ -95,6 +106,22 @@ int main(int argc, char** argv) {
   if (engine != "event" && engine != "dense") {
     std::cerr << "scenario_runner: --engine must be 'event' or 'dense', got '"
               << engine << "'\n";
+    return 2;
+  }
+
+  congest::TelemetryMode tmode = congest::TelemetryMode::kOff;
+  try {
+    tmode = congest::parse_telemetry_mode(opts.get("telemetry", "off"));
+  } catch (const std::exception& err) {
+    std::cerr << "scenario_runner: " << err.what() << "\n";
+    return 2;
+  }
+  const std::string trace_out = opts.get("trace-out", "");
+  const std::string metrics_out = opts.get("metrics-out", "");
+  if (tmode == congest::TelemetryMode::kOff &&
+      (!trace_out.empty() || !metrics_out.empty())) {
+    std::cerr << "scenario_runner: --trace-out/--metrics-out need "
+                 "--telemetry=rounds or --telemetry=full\n";
     return 2;
   }
 
@@ -140,6 +167,8 @@ int main(int argc, char** argv) {
   cfg.stretch_k = static_cast<std::uint32_t>(opts.get_int("stretch", 3));
   cfg.sources = static_cast<std::uint64_t>(opts.get_int("sources", 0));
   cfg.force_dense = engine == "dense";
+  congest::Telemetry telemetry(tmode);
+  if (tmode != congest::TelemetryMode::kOff) cfg.telemetry = &telemetry;
 
   std::vector<scenario::ScenarioResult> results;
   try {
@@ -179,6 +208,35 @@ int main(int argc, char** argv) {
     report.print_markdown(std::cout);
   else
     report.print(std::cout);
+
+  if (cfg.telemetry != nullptr) {
+    const congest::TelemetrySnapshot snap = telemetry.snapshot();
+    std::cout << "telemetry: mode=" << congest::to_string(snap.mode)
+              << " rounds=" << snap.rounds << " spans=" << snap.spans.size()
+              << " arc_p50=" << snap.arc_congestion.p50
+              << " arc_p99=" << snap.arc_congestion.p99 << "\n";
+    const auto write = [](const std::string& path, const auto& writer,
+                          const char* what) {
+      std::ofstream out(path);
+      if (!out) {
+        std::cerr << "scenario_runner: cannot open " << path << "\n";
+        return false;
+      }
+      writer(out);
+      std::cout << what << " written: " << path << "\n";
+      return true;
+    };
+    if (!trace_out.empty() &&
+        !write(trace_out,
+               [&](std::ostream& o) { congest::write_chrome_trace(o, snap); },
+               "trace"))
+      return 2;
+    if (!metrics_out.empty() &&
+        !write(metrics_out,
+               [&](std::ostream& o) { congest::write_metrics_ndjson(o, snap); },
+               "metrics"))
+      return 2;
+  }
 
   for (const auto& r : results)
     if (!r.finished) return 1;

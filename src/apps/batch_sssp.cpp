@@ -44,6 +44,7 @@ void BatchBellmanFord::start(congest::Context& ctx) {
   const std::uint32_t s = queue_[v].front();
   queue_[v].pop_front();
   queued_[std::size_t{v} * k + s] = 0;
+  ctx.annotate("batch-sssp/gen=" + std::to_string(s));
   for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
     ctx.send(a, {kTagDist, s, 0});
   if (!queue_[v].empty()) ctx.request_wakeup();
@@ -73,6 +74,10 @@ void BatchBellmanFord::step(congest::Context& ctx) {
   queue_[v].pop_front();
   const std::size_t cell = std::size_t{v} * k + s;
   queued_[cell] = 0;
+  // A source draining its own multi-query backlog launches query s only
+  // now — mark the generation like start() does for the first query.
+  if (sources_[s] == v && dist_[cell] == 0)
+    ctx.annotate("batch-sssp/gen=" + std::to_string(s));
   // Announce the CURRENT distance (a superseded queue entry is never sent);
   // the parent cannot profit from hearing its own improvement back.
   for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
@@ -110,6 +115,7 @@ BatchSsspReport batch_sssp(const WeightedGraph& g,
   ropts.max_rounds = opts.max_rounds;
   ropts.parallel = opts.parallel;
   ropts.force_dense = opts.force_dense;
+  ropts.telemetry = opts.telemetry;
   const auto cost = net.run(alg, ropts);
   r.sources = alg.sources();
   const std::uint32_t k = alg.k();

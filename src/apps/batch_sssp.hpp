@@ -86,6 +86,10 @@ struct BatchSsspOptions {
   /// Run the legacy dense sweep instead of the event-driven engine (the
   /// differential-test / baseline knob; results are bit-identical).
   bool force_dense = false;
+  /// Telemetry recorder for the engine run (null = off). Each query's
+  /// launch is annotated "batch-sssp/gen=<s>", so the pipelined generations
+  /// show up as instant events in exported traces.
+  congest::Telemetry* telemetry = nullptr;
 };
 
 /// Per-query outcome plus the shared engine costs of the one batched run.

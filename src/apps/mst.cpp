@@ -30,8 +30,10 @@ constexpr MoeKey kNoMoe{kInfWeight, kInvalidEdge};
 class AnnouncePhase : public congest::Algorithm {
  public:
   AnnouncePhase(const WeightedGraph& g, const std::vector<NodeId>& frag,
-                const std::vector<std::uint8_t>& silenced)
-      : g_(&g), frag_(&frag), silenced_(&silenced) {
+                const std::vector<std::uint8_t>& silenced,
+                std::string phase_label)
+      : g_(&g), frag_(&frag), silenced_(&silenced),
+        phase_label_(std::move(phase_label)) {
     const NodeId n = g.graph().node_count();
     local_.assign(n, kNoMoe);
     candidate_arc_.assign(n, kInvalidArc);
@@ -42,6 +44,9 @@ class AnnouncePhase : public congest::Algorithm {
   void start(congest::Context& ctx) override {
     const NodeId v = ctx.id();
     if ((*silenced_)[v]) return;
+    // Fragment leaders mark the phase in the trace; (round, label) dedup
+    // collapses all leaders of one announce into a single instant event.
+    if ((*frag_)[v] == v) ctx.annotate(phase_label_);
     for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
       ctx.send(a, {kTagFrag, (*frag_)[v], 0});
   }
@@ -83,6 +88,7 @@ class AnnouncePhase : public congest::Algorithm {
   const WeightedGraph* g_;
   const std::vector<NodeId>* frag_;
   const std::vector<std::uint8_t>* silenced_;
+  std::string phase_label_;
   std::vector<MoeKey> local_;
   std::vector<ArcId> candidate_arc_;
   std::atomic<bool> any_candidate_{false};
@@ -279,12 +285,14 @@ MstReport distributed_mst(const WeightedGraph& g, const MstOptions& opts) {
   ropts.max_rounds = opts.max_rounds;
   ropts.parallel = opts.parallel;
   ropts.force_dense = opts.force_dense;
+  ropts.telemetry = opts.telemetry;
 
   // Fragment count at least halves per phase, so 2^40 nodes would be needed
   // to exceed this cap legitimately; hitting it means non-termination.
   constexpr std::uint32_t kPhaseCap = 40;
   while (true) {
-    AnnouncePhase announce(g, r.fragment, complete);
+    AnnouncePhase announce(g, r.fragment, complete,
+                           "mst/phase=" + std::to_string(r.phases + 1));
     {
       congest::Network net(graph);
       const auto cost = net.run(announce, ropts);

@@ -69,6 +69,11 @@ struct MstOptions {
   /// Run every phase with the legacy dense sweep instead of the
   /// event-driven engine (differential-test / baseline knob).
   bool force_dense = false;
+  /// Shared telemetry recorder threaded through every phase execution
+  /// (null = off). Each engine run becomes a named span ("mst/announce",
+  /// "mst/connect", ...) and fragment leaders annotate "mst/phase=<p>" at
+  /// each announce, so Borůvka phases are visible in exported traces.
+  congest::Telemetry* telemetry = nullptr;
 };
 
 struct MstReport {

@@ -65,6 +65,7 @@ SsspReport distributed_sssp(const WeightedGraph& g, NodeId source,
   ropts.max_rounds = opts.max_rounds;
   ropts.parallel = opts.parallel;
   ropts.force_dense = opts.force_dense;
+  ropts.telemetry = opts.telemetry;
   const auto cost = net.run(alg, ropts);
   r.dist = alg.distances();
   r.parent_arc.assign(g.graph().node_count(), kInvalidArc);

@@ -62,6 +62,8 @@ struct SsspOptions {
   /// Run the legacy dense sweep instead of the event-driven engine (the
   /// differential-test / baseline knob; results are bit-identical).
   bool force_dense = false;
+  /// Telemetry recorder for the engine run (null = off).
+  congest::Telemetry* telemetry = nullptr;
 };
 
 struct SsspReport {

@@ -5,9 +5,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "congest/telemetry.hpp"
 #include "graph/graph.hpp"
 
 namespace fc::congest {
@@ -41,6 +43,11 @@ struct RunResult {
   bool finished = false;            // algorithm reported done()
   /// Per-arc message counts; EMPTY when the run had count_sends off.
   std::vector<std::uint64_t> arc_sends;
+  /// THIS run's telemetry (series, span, histograms); engaged only when the
+  /// run had a telemetry recorder attached (RunOptions::telemetry or
+  /// Algorithm::telemetry()) in a mode other than kOff. Multi-run hosts
+  /// read the accumulated view from the recorder's snapshot() instead.
+  std::optional<TelemetrySnapshot> telemetry;
 
   /// Messages that crossed edge e in either direction (0 when the run did
   /// not count sends).

@@ -41,21 +41,30 @@ void Network::do_send(Context& ctx, ArcId via, const Message& m) {
   if (counting_) ++arc_sends_[via];
 }
 
-void Network::run_handlers(Algorithm& alg, std::uint64_t round, Sweep sweep,
-                           bool record_wakeups, ThreadPool& pool,
-                           bool parallel) {
+std::uint64_t Network::run_handlers(Algorithm& alg, std::uint64_t round,
+                                    Sweep sweep, bool record_wakeups,
+                                    ThreadPool& pool, bool parallel) {
   const Graph& g = *graph_;
   const std::size_t read_off = arcs_ - write_off_;
   const std::size_t count = sweep == Sweep::kActiveList
                                 ? active_.size()
                                 : std::size_t{g.node_count()};
+  // Full-mode telemetry hooks (inbox histogram, annotations) hang off tf.
+  // Active-node accounting: kAll and kActiveList step exactly `count`
+  // nodes, so their count is free; only the kActiveScan filter decides
+  // per node and pays the per-worker stepped counters.
+  Telemetry* const tf = tele_ != nullptr && tele_->full() ? tele_ : nullptr;
+  const bool count_stepped =
+      tele_ != nullptr && sweep == Sweep::kActiveScan;
   auto body = [&](std::size_t worker, std::size_t begin, std::size_t end) {
     Context ctx;
     ctx.net_ = this;
     ctx.round_ = round;
     ctx.dirty_ = &thread_dirty_[worker];
     ctx.wakeup_ = record_wakeups ? &thread_wakeup_[worker] : nullptr;
+    ctx.notes_ = tf != nullptr ? tf->worker_notes(worker) : nullptr;
     auto& scratch = inbox_scratch_[worker];
+    std::uint64_t stepped = 0;
     for (std::size_t i = begin; i < end; ++i) {
       const NodeId v = sweep == Sweep::kActiveList
                            ? active_[i]
@@ -63,6 +72,7 @@ void Network::run_handlers(Algorithm& alg, std::uint64_t round, Sweep sweep,
       if (sweep == Sweep::kActiveScan && sched_stamp_[v] != round) continue;
       ctx.node_ = v;
       ctx.woke_ = false;
+      ++stepped;
       if (round == 0) {
         ctx.inbox_ = {};
         alg.start(ctx);
@@ -81,15 +91,21 @@ void Network::run_handlers(Algorithm& alg, std::uint64_t round, Sweep sweep,
           slot_full_[slot] = 0;
           scratch.push_back(Incoming{a, slot_msg_[slot]});
         }
+        if (tf != nullptr && !scratch.empty())
+          tf->record_inbox(worker, scratch.size());
       }
       ctx.inbox_ = scratch;
       alg.step(ctx);
     }
+    if (count_stepped) tele_->add_active(worker, stepped);
   };
   if (parallel && count >= 512)
     pool.parallel_chunks(count, body);
   else if (count > 0)
     body(0, 0, count);
+  if (tele_ == nullptr) return 0;
+  return sweep == Sweep::kActiveScan ? tele_->take_active()
+                                     : std::uint64_t{count};
 }
 
 RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
@@ -113,16 +129,33 @@ RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
   thread_wakeup_.assign(workers, {});
   inbox_scratch_.assign(workers, {});
 
+  // Telemetry: the caller's recorder wins; an algorithm-carried one (e.g.
+  // TraceRecorder's) is the fallback. kRounds records counters only — no
+  // clock reads inside the loop; kFull adds the three phase timers.
+  tele_ = opts.telemetry != nullptr ? opts.telemetry : alg.telemetry();
+  if (tele_ != nullptr && !tele_->enabled()) tele_ = nullptr;
+  const bool timing = tele_ != nullptr && tele_->full();
+  if (tele_ != nullptr) tele_->begin_run(alg.name(), workers);
+  // kRounds recording appends through a bump-pointer cursor kept in this
+  // frame — the per-round hook then touches no recorder state at all.
+  Telemetry::CounterCursor cursor;
+  if (tele_ != nullptr && !timing) cursor = tele_->counters_cursor();
+
   RunResult result;
   std::uint64_t round = 0;
   // Round 0 runs start() on every node in both engines; sweep_next is the
   // strategy the NEXT sparse round will use, chosen during delivery.
   Sweep sweep_next = Sweep::kAll;
+  // Telemetry carry: messages delivered this round == sent last round;
+  // nodes with input this round were counted during last round's delivery.
+  std::uint64_t delivered = 0, with_input = 0;
   for (; round < opts.max_rounds; ++round) {
     alg.round_started(round);
-    run_handlers(alg, round,
-                 sparse && round > 0 ? sweep_next : Sweep::kAll, sparse,
-                 pool, opts.parallel);
+    const Sweep sweep = sparse && round > 0 ? sweep_next : Sweep::kAll;
+    const std::uint64_t t0 = timing ? Telemetry::now_ns() : 0;
+    const std::uint64_t active =
+        run_handlers(alg, round, sweep, sparse, pool, opts.parallel);
+    const std::uint64_t t1 = timing ? Telemetry::now_ns() : 0;
 
     // Delivery — O(messages + wakeups), no copies: stamp each receiver
     // from the per-worker sent-arc lists, then flip the buffer halves.
@@ -134,9 +167,10 @@ RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
     const std::uint64_t next = round + 1;
     std::size_t sent = 0, woken = 0;
     for (const auto& list : thread_dirty_) sent += list.size();
-    if (sparse)
+    if (sparse || tele_ != nullptr)
       for (const auto& list : thread_wakeup_) woken += list.size();
     messages_ += sent;
+    std::uint64_t receivers = 0;  // unique message receivers (telemetry)
     const bool build_list = sparse && (sent + woken) * 8 < n;
     sweep_next = build_list ? Sweep::kActiveList : Sweep::kActiveScan;
     if (build_list) {
@@ -147,6 +181,7 @@ RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
           if (sched_stamp_[to] != next) {
             sched_stamp_[to] = next;
             active_.push_back(to);
+            ++receivers;
           }
         }
         list.clear();
@@ -160,6 +195,23 @@ RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
         }
         list.clear();
       }
+    } else if (tele_ != nullptr) {
+      // Telemetry needs the unique-receiver count, so the stamp pass pays
+      // the dedup branch the plain path below avoids.
+      for (auto& list : thread_dirty_) {
+        for (const ArcId a : list) {
+          const NodeId to = g.arc_head(a);
+          if (sched_stamp_[to] != next) {
+            sched_stamp_[to] = next;
+            ++receivers;
+          }
+        }
+        list.clear();
+      }
+      for (auto& list : thread_wakeup_) {
+        for (const NodeId v : list) sched_stamp_[v] = next;
+        list.clear();
+      }
     } else {
       for (auto& list : thread_dirty_) {
         for (const ArcId a : list) sched_stamp_[g.arc_head(a)] = next;
@@ -171,8 +223,24 @@ RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
       }
     }
     write_off_ = arcs_ - write_off_;
+    const std::uint64_t t2 = timing ? Telemetry::now_ns() : 0;
 
-    if (alg.done()) {
+    const bool finished = alg.done();
+    if (tele_ != nullptr) {
+      const SweepMode mode = sweep == Sweep::kAll ? SweepMode::kDense
+                             : sweep == Sweep::kActiveList
+                                 ? SweepMode::kActiveList
+                                 : SweepMode::kActiveScan;
+      if (timing)
+        tele_->record_round(round, mode, active, with_input, delivered, sent,
+                            woken, t1 - t0, t2 - t1,
+                            Telemetry::now_ns() - t2);
+      else
+        tele_->record_counters(cursor, mode, active, with_input, sent, woken);
+      delivered = sent;
+      with_input = receivers;
+    }
+    if (finished) {
       result.finished = true;
       ++round;
       break;
@@ -181,6 +249,12 @@ RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
   result.rounds = round;
   result.messages = messages_;
   if (counting_) result.arc_sends = std::move(arc_sends_);
+  if (tele_ != nullptr) {
+    if (!timing) tele_->commit_counters(cursor);
+    result.telemetry =
+        tele_->end_run(result.messages, result.finished, result.arc_sends);
+    tele_ = nullptr;
+  }
   return result;
 }
 

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "congest/message.hpp"
@@ -91,6 +92,17 @@ class Context {
   /// every node runs anyway.
   void request_wakeup();
 
+  /// Mark this round with a named instant event in the run's telemetry
+  /// (kFull mode; a single null-check otherwise). The hook that makes
+  /// algorithm structure — MST fragment phases, batch-SSSP query launches —
+  /// visible in exported traces. Annotations are deduplicated per
+  /// (round, label), so every node of a phase may call this with the same
+  /// label and the trace shows one event.
+  void annotate(std::string_view label) {
+    if (notes_ == nullptr) return;
+    notes_->push_back({round_, std::string(label)});
+  }
+
  private:
   friend class Network;
   Network* net_ = nullptr;
@@ -99,6 +111,7 @@ class Context {
   std::span<const Incoming> inbox_;
   std::vector<ArcId>* dirty_ = nullptr;    // this worker's sent-arc list
   std::vector<NodeId>* wakeup_ = nullptr;  // worker wakeup list; null = dense
+  std::vector<Annotation>* notes_ = nullptr;  // telemetry sink; null = off
   bool woke_ = false;                      // wakeup already recorded
 };
 
@@ -130,6 +143,12 @@ class Algorithm {
   /// Called once per round, single-threaded, before any handler of that
   /// round (round 0 included), under BOTH engines.
   virtual void round_started(std::uint64_t round) { (void)round; }
+
+  /// An algorithm may carry its own telemetry recorder (TraceRecorder
+  /// does); the engine attaches it when the caller supplied none in
+  /// RunOptions::telemetry (an explicit RunOptions recorder wins — one
+  /// recorder per run). Return nullptr (the default) to opt out.
+  virtual Telemetry* telemetry() { return nullptr; }
 };
 
 struct RunOptions {
@@ -144,6 +163,12 @@ struct RunOptions {
   /// Pool for the handler rounds; null selects ThreadPool::global(). The
   /// run is bit-identical for every pool size by construction.
   ThreadPool* pool = nullptr;
+  /// Telemetry recorder (null or kOff = record nothing, the hot paths keep
+  /// a single null-check). The recorder may be shared across several run()
+  /// calls to build one multi-span trace; the run's own slice also lands in
+  /// RunResult::telemetry. Recording never changes the execution: rounds,
+  /// messages, and per-arc sends are bit-identical in every mode.
+  Telemetry* telemetry = nullptr;
 };
 
 class Network {
@@ -168,8 +193,12 @@ class Network {
   /// over node state and slots, for one cheap compare per skipped node.
   enum class Sweep { kAll, kActiveList, kActiveScan };
   /// Run one round's handlers, materializing inboxes from the read half.
-  void run_handlers(Algorithm& alg, std::uint64_t round, Sweep sweep,
-                    bool record_wakeups, ThreadPool& pool, bool parallel);
+  /// Returns the number of handlers stepped when telemetry is attached
+  /// (0 otherwise): free for kAll/kActiveList, where every swept node runs,
+  /// counted per worker only under the kActiveScan filter.
+  std::uint64_t run_handlers(Algorithm& alg, std::uint64_t round, Sweep sweep,
+                             bool record_wakeups, ThreadPool& pool,
+                             bool parallel);
 
   const Graph* graph_;
   ArcId arcs_ = 0;
@@ -192,6 +221,10 @@ class Network {
   std::vector<std::uint64_t> arc_sends_;
   std::uint64_t messages_ = 0;
   bool counting_ = true;
+  // Attached telemetry recorder for the current run (null = off). Valid
+  // only inside run(); resolved from RunOptions::telemetry with
+  // Algorithm::telemetry() as the fallback.
+  Telemetry* tele_ = nullptr;
 };
 
 }  // namespace fc::congest

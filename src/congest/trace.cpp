@@ -1,30 +1,29 @@
 #include "congest/trace.hpp"
 
-#include <algorithm>
-#include <mutex>
-
 namespace fc::congest {
 
-void TraceRecorder::record(Context& ctx) {
-  // round_started() sized trace_ through this round before any handler
-  // ran, so only the counters need the lock here.
-  if (ctx.inbox().empty()) return;
-  std::lock_guard lock(mutex_);
-  auto& entry = trace_[ctx.round()];
-  entry.messages_delivered += ctx.inbox().size();
-  entry.nodes_with_input += 1;
+const std::vector<RoundTrace>& TraceRecorder::trace() const {
+  const auto& series = recorder_.series();
+  if (trace_.size() != series.size()) {
+    trace_.clear();
+    trace_.reserve(series.size());
+    for (const RoundSample& s : series)
+      trace_.push_back({s.round, s.delivered, s.with_input});
+  }
+  return trace_;
 }
 
 std::uint64_t TraceRecorder::total_delivered() const {
   std::uint64_t total = 0;
-  for (const auto& t : trace_) total += t.messages_delivered;
+  for (const RoundSample& s : recorder_.series()) total += s.delivered;
   return total;
 }
 
 RoundTrace TraceRecorder::peak() const {
   RoundTrace best;
-  for (const auto& t : trace_)
-    if (t.messages_delivered > best.messages_delivered) best = t;
+  for (const RoundSample& s : recorder_.series())
+    if (s.delivered > best.messages_delivered)
+      best = {s.round, s.delivered, s.with_input};
   return best;
 }
 

@@ -4,13 +4,20 @@
 // Useful for debugging schedules and for the examples' visualizations;
 // the recorded totals are checked against the Network's own metering in
 // tests (they must agree exactly).
+//
+// Since the telemetry subsystem the wrapper is a thin veneer: it carries a
+// counter-mode Telemetry recorder that the engine picks up through
+// Algorithm::telemetry(), so recording is the engine's lock-free per-round
+// bookkeeping — no per-handler mutex, no work in start()/step() at all.
+// trace() materializes the classic RoundTrace view from the recorded
+// series on demand.
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "congest/network.hpp"
+#include "congest/telemetry.hpp"
 
 namespace fc::congest {
 
@@ -22,44 +29,44 @@ struct RoundTrace {
 
 class TraceRecorder : public Algorithm {
  public:
-  explicit TraceRecorder(Algorithm& inner) : inner_(&inner) {}
+  /// `mode` defaults to the cheap counter series; pass TelemetryMode::kFull
+  /// to also capture phase timers, histograms, and annotations through
+  /// recorder().
+  explicit TraceRecorder(Algorithm& inner,
+                         TelemetryMode mode = TelemetryMode::kRounds)
+      : inner_(&inner), recorder_(mode) {}
 
   std::string name() const override { return inner_->name() + "+trace"; }
 
-  void start(Context& ctx) override {
-    record(ctx);
-    inner_->start(ctx);
-  }
-  void step(Context& ctx) override {
-    record(ctx);
-    inner_->step(ctx);
-  }
+  void start(Context& ctx) override { inner_->start(ctx); }
+  void step(Context& ctx) override { inner_->step(ctx); }
   bool done() const override { return inner_->done(); }
   /// Tracing is engine-transparent: the wrapper inherits the inner
-  /// algorithm's event-driven capability and keeps one trace entry per
-  /// round even when the sparse engine steps no node at all.
+  /// algorithm's event-driven capability, and the engine's series keeps one
+  /// entry per round even when the sparse engine steps no node at all.
   bool event_driven() const override { return inner_->event_driven(); }
   void round_started(std::uint64_t round) override {
-    if (round >= trace_.size()) {
-      trace_.resize(round + 1);
-      trace_[round].round = round;
-    }
     inner_->round_started(round);
   }
+  /// The engine attaches the carried recorder for the duration of run()
+  /// (unless the caller supplied RunOptions::telemetry, which wins).
+  Telemetry* telemetry() override { return &recorder_; }
 
-  /// One entry per executed round (index == round number).
-  const std::vector<RoundTrace>& trace() const { return trace_; }
+  /// One entry per executed round (index == round number; accumulated
+  /// across runs when the wrapper is run several times).
+  const std::vector<RoundTrace>& trace() const;
   /// Total messages observed on the receive side.
   std::uint64_t total_delivered() const;
   /// The round with the most delivered messages (peak load).
   RoundTrace peak() const;
 
- private:
-  void record(Context& ctx);
+  /// The underlying recorder (snapshots, exporters).
+  const Telemetry& recorder() const { return recorder_; }
 
+ private:
   Algorithm* inner_;
-  std::vector<RoundTrace> trace_;
-  std::mutex mutex_;
+  Telemetry recorder_;
+  mutable std::vector<RoundTrace> trace_;  // cache over recorder_.series()
 };
 
 }  // namespace fc::congest

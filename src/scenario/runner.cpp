@@ -25,6 +25,7 @@ congest::RunOptions run_options(const ScenarioConfig& cfg) {
   congest::RunOptions opts;
   opts.max_rounds = cfg.max_rounds;
   opts.force_dense = cfg.force_dense;
+  opts.telemetry = cfg.telemetry;
   return opts;
 }
 
@@ -54,6 +55,9 @@ void finish(ScenarioResult& r, const Graph& g,
   r.edges = g.edge_count();
   r.max_arc_congestion = congest::max_arc_congestion(arc_sends);
   r.max_edge_congestion = congest::max_edge_congestion(g, arc_sends);
+  const congest::HistogramSummary h = congest::summarize_counts(arc_sends);
+  r.arc_p50 = h.p50;
+  r.arc_p99 = h.p99;
 }
 
 ScenarioResult run_bfs_scenario(const Graph& g, const ScenarioConfig& cfg) {
@@ -105,6 +109,7 @@ ScenarioResult run_batch_sssp_scenario(const WeightedGraph& g,
   apps::BatchSsspOptions opts;
   opts.max_rounds = cfg.max_rounds;
   opts.force_dense = cfg.force_dense;
+  opts.telemetry = cfg.telemetry;
   const auto rep =
       apps::batch_sssp(g, apps::default_sources(g.graph(), k), opts);
   r.rounds = rep.rounds;
@@ -290,6 +295,7 @@ ScenarioResult run_mst_scenario(const WeightedGraph& full,
   apps::MstOptions opts;
   opts.max_rounds = cfg.max_rounds;
   opts.force_dense = cfg.force_dense;
+  opts.telemetry = cfg.telemetry;
   const auto rep = apps::distributed_mst(g, opts);
   r.rounds = rep.rounds;
   r.messages = rep.messages;
@@ -316,6 +322,7 @@ ScenarioResult run_sssp_scenario(const WeightedGraph& full,
   apps::SsspOptions opts;
   opts.max_rounds = cfg.max_rounds;
   opts.force_dense = cfg.force_dense;
+  opts.telemetry = cfg.telemetry;
   const auto rep = apps::distributed_sssp(g, w.root, opts);
   r.rounds = rep.rounds;
   r.messages = rep.messages;
@@ -434,13 +441,15 @@ ScenarioResult ScenarioRunner::run_spec(const std::string& algo,
 
 Table make_report(const std::vector<ScenarioResult>& results) {
   Table table({"graph", "algo", "n", "m", "rounds", "messages", "max arc",
-               "max edge", "done", "note"});
+               "arc p50", "arc p99", "max edge", "done", "note"});
   for (const auto& r : results)
     table.add_row({r.graph, r.algo, Table::num(std::size_t{r.nodes}),
                    Table::num(std::size_t{r.edges}),
                    Table::num(std::size_t{r.rounds}),
                    Table::num(std::size_t{r.messages}),
                    Table::num(std::size_t{r.max_arc_congestion}),
+                   Table::num(std::size_t{r.arc_p50}),
+                   Table::num(std::size_t{r.arc_p99}),
                    Table::num(std::size_t{r.max_edge_congestion}),
                    r.finished ? "yes" : "NO", r.note});
   return table;

@@ -14,6 +14,10 @@
 #include "graph/weighted_graph.hpp"
 #include "util/table.hpp"
 
+namespace fc::congest {
+class Telemetry;
+}
+
 namespace fc::scenario {
 
 class GraphSpec;
@@ -37,6 +41,12 @@ struct ScenarioConfig {
   /// is the differential-test and baseline-measurement knob
   /// (scenario_runner --engine=dense).
   bool force_dense = false;
+  /// Telemetry recorder threaded through every engine execution of the
+  /// scenario (null = off). Multi-phase scenarios (broadcast = BFS + pipe,
+  /// MST's per-phase runs) share the one recorder, so its snapshot holds the
+  /// whole composite as consecutively-indexed spans. Recording never
+  /// changes the reported costs (scenario_runner --telemetry=...).
+  congest::Telemetry* telemetry = nullptr;
 };
 
 /// One algorithm run on one graph, in paper cost measures.
@@ -49,6 +59,11 @@ struct ScenarioResult {
   std::uint64_t messages = 0;
   std::uint64_t max_arc_congestion = 0;   // max sends over any directed arc
   std::uint64_t max_edge_congestion = 0;  // both directions of one edge
+  /// Nearest-rank percentiles of the per-arc send distribution — how evenly
+  /// the algorithm loads the graph, next to the max the theorems bound.
+  /// 0 when the workload does not expose per-arc counts (weighted-apsp).
+  std::uint64_t arc_p50 = 0;
+  std::uint64_t arc_p99 = 0;
   bool finished = false;
   std::string note;  // algorithm-specific outcome, e.g. "depth=7"
 };

@@ -1,0 +1,271 @@
+#include "util/json.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace fc {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_keyword(std::string_view kw) {
+    if (text_.substr(pos_, kw.size()) != kw) return false;
+    pos_ += kw.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+        if (!consume_keyword("true")) fail("invalid literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_keyword("false")) fail("invalid literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_keyword("null")) fail("invalid literal");
+        return {};
+      default:
+        return parse_number();
+    }
+  }
+
+  static JsonValue make_bool(bool b) {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.fields.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(e);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u':
+          append_utf8(parse_hex4(), out);
+          break;
+        default:
+          fail("invalid escape");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail("truncated \\u escape");
+      const char c = text_[pos_++];
+      cp <<= 4;
+      if (c >= '0' && c <= '9')
+        cp |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        cp |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        cp |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else
+        fail("invalid hex digit in \\u escape");
+    }
+    return cp;
+  }
+
+  // Encode one BMP code point (what a single \uXXXX denotes; surrogate
+  // pairs are passed through as two 3-byte sequences — adequate for the
+  // ASCII-dominant artifacts this parser reads).
+  static void append_utf8(std::uint32_t cp, std::string& out) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-')
+        ++pos_;
+      else
+        break;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : fields)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double JsonValue::num(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->type == Type::kNumber ? v->number : fallback;
+}
+
+std::string JsonValue::str(std::string_view key, std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->type == Type::kString ? v->string
+                                                  : std::move(fallback);
+}
+
+bool JsonValue::flag(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->type == Type::kBool ? v->boolean : fallback;
+}
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace fc

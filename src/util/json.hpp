@@ -1,0 +1,48 @@
+#pragma once
+// Minimal JSON parser for tooling that reads the artifacts this repo
+// emits (telemetry NDJSON streams, Chrome trace-event files,
+// BENCH_*.json). Strict enough to reject malformed documents with a
+// useful error, small enough to stay dependency-free. Not a streaming
+// parser: the whole document is materialized, which is fine for the
+// megabyte-scale artifacts the tools consume.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fc {
+
+/// One parsed JSON value. A tagged struct rather than a variant: tooling
+/// code reads fields directly and the accessors below cover the common
+/// "object field or fallback" patterns.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                           // kArray
+  std::vector<std::pair<std::string, JsonValue>> fields;  // kObject, ordered
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  /// Object field lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// Field `key` as a number/string/bool, or `fallback` when absent or of
+  /// the wrong type.
+  double num(std::string_view key, double fallback = 0.0) const;
+  std::string str(std::string_view key, std::string fallback = "") const;
+  bool flag(std::string_view key, bool fallback = false) const;
+};
+
+/// Parse one JSON document (the whole input must be consumed apart from
+/// trailing whitespace). Throws std::runtime_error with a byte offset on
+/// malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace fc

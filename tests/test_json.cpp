@@ -1,0 +1,87 @@
+// util/json: the minimal parser behind tools/trace_report and the export
+// validation in test_telemetry. Strictness matters as much as acceptance —
+// a summarizer that silently misreads a malformed artifact is worse than
+// one that rejects it.
+
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fc {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").boolean);
+  EXPECT_FALSE(parse_json("false").boolean);
+  EXPECT_DOUBLE_EQ(parse_json("42").number, 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-3.25").number, -3.25);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").number, 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").string, "hi");
+}
+
+TEST(Json, ParsesNestedStructuresWithOrderedFields) {
+  const JsonValue v = parse_json(
+      R"({"b": [1, 2, {"x": true}], "a": "s", "n": null})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.fields.size(), 3u);
+  EXPECT_EQ(v.fields[0].first, "b");  // declaration order preserved
+  EXPECT_EQ(v.fields[1].first, "a");
+  const JsonValue* b = v.find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(b->items[1].number, 2.0);
+  EXPECT_TRUE(b->items[2].flag("x"));
+  EXPECT_EQ(v.str("a"), "s");
+  EXPECT_TRUE(v.find("n")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, AccessorsFallBackOnMissingOrMistypedFields) {
+  const JsonValue v = parse_json(R"({"s": "text", "n": 7})");
+  EXPECT_DOUBLE_EQ(v.num("n"), 7.0);
+  EXPECT_DOUBLE_EQ(v.num("s", -1.0), -1.0);  // wrong type -> fallback
+  EXPECT_EQ(v.str("n", "fb"), "fb");
+  EXPECT_DOUBLE_EQ(v.num("gone", 9.0), 9.0);
+  EXPECT_TRUE(v.flag("gone", true));
+}
+
+TEST(Json, DecodesEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\nd\te")").string, "a\"b\\c\nd\te");
+  EXPECT_EQ(parse_json(R"("\u0041\u00e9")").string, "A\xc3\xa9");
+  EXPECT_EQ(parse_json(R"("\u20ac")").string, "\xe2\x82\xac");
+}
+
+TEST(Json, HandlesWhitespaceAndEmptyContainers) {
+  const JsonValue v = parse_json("  { \"a\" : [ ] , \"b\" : { } }\n");
+  EXPECT_TRUE(v.find("a")->items.empty());
+  EXPECT_TRUE(v.find("b")->fields.empty());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), std::runtime_error);
+  EXPECT_THROW(parse_json("{"), std::runtime_error);
+  EXPECT_THROW(parse_json("[1, 2"), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(parse_json("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(parse_json("truth"), std::runtime_error);
+  EXPECT_THROW(parse_json("1 2"), std::runtime_error);  // trailing content
+  EXPECT_THROW(parse_json("{\"a\": 1} extra"), std::runtime_error);
+  EXPECT_THROW(parse_json("\"\\u12g4\""), std::runtime_error);
+  EXPECT_THROW(parse_json("nan"), std::runtime_error);
+}
+
+TEST(Json, ByteOffsetInErrors) {
+  try {
+    parse_json("{\"a\": nope}");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("at byte"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fc

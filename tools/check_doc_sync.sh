@@ -46,8 +46,30 @@ if [ "$checked" -lt 5 ]; then
   exit 1
 fi
 
+# The telemetry surface must be documented too: every runner flag the
+# usage string advertises for telemetry, in the scenario reference AND the
+# README, plus the observability contract document itself.
+usage_output=$("$runner" --help 2>&1 || true)
+for flag in --telemetry --trace-out --metrics-out; do
+  if ! printf '%s' "$usage_output" | grep -q -- "$flag"; then
+    echo "doc-sync: $flag missing from 'scenario_runner --help' usage" >&2
+    status=1
+  fi
+  for doc in docs/SCENARIOS.md README.md; do
+    if ! grep -q -- "\`$flag" "$root/$doc"; then
+      echo "doc-sync: $flag is undocumented in $doc" >&2
+      status=1
+    fi
+  done
+  checked=$((checked + 1))
+done
+if [ ! -s "$root/docs/OBSERVABILITY.md" ]; then
+  echo "doc-sync: docs/OBSERVABILITY.md is missing" >&2
+  status=1
+fi
+
 if [ "$status" -eq 0 ]; then
-  echo "doc-sync: all $checked registered algorithms documented in" \
-       "ARCHITECTURE.md and SCENARIOS.md"
+  echo "doc-sync: all $checked registered algorithms and telemetry flags" \
+       "documented"
 fi
 exit $status

@@ -1,0 +1,335 @@
+// trace_report: offline summarizer for the engine's telemetry exports.
+//
+// Reads either export format scenario_runner produces — the Chrome
+// trace-event JSON (--trace-out) or the NDJSON metrics stream
+// (--metrics-out) — auto-detecting which one it was handed, and prints:
+//   * a totals header (rounds, messages, wall time, mode when known),
+//   * the aggregate step/delivery/bookkeep phase split (kFull inputs),
+//   * the top-k hottest rounds — by measured phase time when timers are
+//     present, by messages delivered otherwise,
+//   * the per-run span table and any algorithm annotations.
+//
+// Usage: trace_report FILE [--top=K]
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+// Unified view of one round regardless of which export it came from.
+struct Round {
+  std::uint64_t round = 0;
+  std::uint64_t active = 0;
+  std::uint64_t with_input = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t wakeups = 0;
+  std::string sweep;
+  std::uint64_t step_ns = 0;
+  std::uint64_t delivery_ns = 0;
+  std::uint64_t bookkeep_ns = 0;
+
+  std::uint64_t phase_ns() const { return step_ns + delivery_ns + bookkeep_ns; }
+};
+
+struct Span {
+  std::string name;
+  std::uint64_t first_round = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t wall_ns = 0;
+  bool finished = false;
+};
+
+struct Note {
+  std::uint64_t round = 0;
+  std::string label;
+};
+
+struct Report {
+  std::string mode;  // empty when the source does not carry it
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t wall_ns = 0;
+  std::vector<Round> series;
+  std::vector<Span> spans;
+  std::vector<Note> notes;
+};
+
+std::uint64_t u64(const fc::JsonValue& obj, std::string_view key) {
+  return static_cast<std::uint64_t>(obj.num(key, 0.0));
+}
+
+Round parse_round_counters(const fc::JsonValue& obj) {
+  Round r;
+  r.active = u64(obj, "active");
+  r.with_input = u64(obj, "with_input");
+  r.delivered = u64(obj, "delivered");
+  r.sent = u64(obj, "sent");
+  r.wakeups = u64(obj, "wakeups");
+  r.sweep = obj.str("sweep");
+  return r;
+}
+
+// --- NDJSON metrics stream (write_metrics_ndjson) ------------------------
+
+Report load_ndjson(const std::string& text) {
+  Report rep;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const fc::JsonValue obj = fc::parse_json(line);
+    const std::string type = obj.str("type");
+    if (type == "header") {
+      rep.mode = obj.str("mode");
+      rep.rounds = u64(obj, "rounds");
+      rep.messages = u64(obj, "messages");
+      rep.wall_ns = u64(obj, "wall_ns");
+      if (const fc::JsonValue* spans = obj.find("spans")) {
+        for (const auto& s : spans->items)
+          rep.spans.push_back({s.str("name"), u64(s, "first_round"),
+                               u64(s, "rounds"), u64(s, "messages"),
+                               u64(s, "wall_ns"), s.flag("finished")});
+      }
+    } else if (type == "round") {
+      Round r = parse_round_counters(obj);
+      r.round = u64(obj, "round");
+      r.step_ns = u64(obj, "step_ns");
+      r.delivery_ns = u64(obj, "delivery_ns");
+      r.bookkeep_ns = u64(obj, "bookkeep_ns");
+      rep.series.push_back(std::move(r));
+    } else if (type == "annotation") {
+      rep.notes.push_back({u64(obj, "round"), obj.str("label")});
+    }
+  }
+  return rep;
+}
+
+// --- Chrome trace-event JSON (write_chrome_trace) ------------------------
+
+Report load_chrome_trace(const fc::JsonValue& doc) {
+  Report rep;
+  const fc::JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array())
+    throw std::runtime_error("trace file has no traceEvents array");
+  // Phase slices and annotations carry no round number of their own; they
+  // are attributed by timestamp to the round slice whose interval covers
+  // them, which the exporter guarantees (phases nest inside their round,
+  // annotations sit at their round's start).
+  struct Window {
+    double ts = 0, end = 0;
+    std::size_t idx = 0;
+  };
+  std::vector<Window> windows;
+  for (const auto& e : events->items) {
+    const std::string ph = e.str("ph");
+    const std::string name = e.str("name");
+    if (ph == "X" && name.rfind("round ", 0) == 0) {
+      Round r;
+      if (const fc::JsonValue* args = e.find("args")) {
+        r = parse_round_counters(*args);
+      }
+      r.round =
+          static_cast<std::uint64_t>(std::strtoull(name.c_str() + 6, nullptr, 10));
+      windows.push_back(
+          {e.num("ts"), e.num("ts") + e.num("dur"), rep.series.size()});
+      rep.series.push_back(std::move(r));
+    }
+  }
+  auto owner = [&](double ts) -> Round* {
+    for (auto it = windows.rbegin(); it != windows.rend(); ++it)
+      if (ts >= it->ts && ts < it->end) return &rep.series[it->idx];
+    return nullptr;
+  };
+  for (const auto& e : events->items) {
+    const std::string ph = e.str("ph");
+    const std::string name = e.str("name");
+    if (ph == "X" && name.rfind("run:", 0) == 0) {
+      Span s;
+      s.name = name.substr(4);
+      if (const fc::JsonValue* args = e.find("args")) {
+        s.rounds = u64(*args, "rounds");
+        s.messages = u64(*args, "messages");
+        s.wall_ns = u64(*args, "wall_ns");
+        s.finished = args->flag("finished");
+      }
+      if (const Round* r = owner(e.num("ts"))) s.first_round = r->round;
+      rep.spans.push_back(std::move(s));
+    } else if (ph == "X" &&
+               (name == "step" || name == "delivery" || name == "bookkeep")) {
+      Round* r = owner(e.num("ts"));
+      if (r == nullptr) continue;
+      const std::uint64_t ns =
+          static_cast<std::uint64_t>(e.num("dur") * 1000.0 + 0.5);
+      if (name == "step")
+        r->step_ns += ns;
+      else if (name == "delivery")
+        r->delivery_ns += ns;
+      else
+        r->bookkeep_ns += ns;
+    } else if (ph == "i") {
+      const Round* r = owner(e.num("ts"));
+      rep.notes.push_back({r != nullptr ? r->round : 0, name});
+    }
+  }
+  for (const auto& s : rep.spans) {
+    rep.rounds += s.rounds;
+    rep.messages += s.messages;
+    rep.wall_ns += s.wall_ns;
+  }
+  return rep;
+}
+
+// --- Printing ------------------------------------------------------------
+
+std::string fmt_ns(std::uint64_t ns) {
+  char buf[32];
+  if (ns >= 1'000'000'000)
+    std::snprintf(buf, sizeof buf, "%.2f s", static_cast<double>(ns) / 1e9);
+  else if (ns >= 1'000'000)
+    std::snprintf(buf, sizeof buf, "%.2f ms", static_cast<double>(ns) / 1e6);
+  else if (ns >= 1'000)
+    std::snprintf(buf, sizeof buf, "%.2f us", static_cast<double>(ns) / 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%llu ns",
+                  static_cast<unsigned long long>(ns));
+  return buf;
+}
+
+void print_report(const Report& rep, std::size_t top) {
+  std::cout << "trace_report";
+  if (!rep.mode.empty()) std::cout << "  mode=" << rep.mode;
+  std::cout << "\n  rounds:   " << rep.rounds
+            << "\n  messages: " << rep.messages
+            << "\n  wall:     " << fmt_ns(rep.wall_ns)
+            << "\n  samples:  " << rep.series.size() << " rounds, "
+            << rep.spans.size() << " spans, " << rep.notes.size()
+            << " annotations\n";
+
+  std::uint64_t step = 0, delivery = 0, bookkeep = 0;
+  for (const auto& r : rep.series) {
+    step += r.step_ns;
+    delivery += r.delivery_ns;
+    bookkeep += r.bookkeep_ns;
+  }
+  const std::uint64_t phased = step + delivery + bookkeep;
+  const bool timed = phased > 0;
+  if (timed) {
+    auto pct = [&](std::uint64_t ns) {
+      return 100.0 * static_cast<double>(ns) / static_cast<double>(phased);
+    };
+    std::printf(
+        "\nphase split (over %zu rounds)\n"
+        "  step:     %12s  %5.1f%%\n"
+        "  delivery: %12s  %5.1f%%\n"
+        "  bookkeep: %12s  %5.1f%%\n",
+        rep.series.size(), fmt_ns(step).c_str(), pct(step),
+        fmt_ns(delivery).c_str(), pct(delivery), fmt_ns(bookkeep).c_str(),
+        pct(bookkeep));
+  }
+
+  if (!rep.series.empty()) {
+    std::vector<const Round*> order;
+    order.reserve(rep.series.size());
+    for (const auto& r : rep.series) order.push_back(&r);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](const Round* a, const Round* b) {
+                       return timed ? a->phase_ns() > b->phase_ns()
+                                    : a->delivered > b->delivered;
+                     });
+    const std::size_t k = std::min(top, order.size());
+    std::printf("\ntop %zu rounds by %s\n", k,
+                timed ? "phase time" : "messages delivered");
+    std::printf("  %8s %10s %10s %10s %12s %8s %10s %10s %10s\n", "round",
+                "active", "delivered", "sent", "sweep", "wakeups", "step",
+                "delivery", "bookkeep");
+    for (std::size_t i = 0; i < k; ++i) {
+      const Round& r = *order[i];
+      std::printf("  %8llu %10llu %10llu %10llu %12s %8llu %10s %10s %10s\n",
+                  static_cast<unsigned long long>(r.round),
+                  static_cast<unsigned long long>(r.active),
+                  static_cast<unsigned long long>(r.delivered),
+                  static_cast<unsigned long long>(r.sent), r.sweep.c_str(),
+                  static_cast<unsigned long long>(r.wakeups),
+                  fmt_ns(r.step_ns).c_str(), fmt_ns(r.delivery_ns).c_str(),
+                  fmt_ns(r.bookkeep_ns).c_str());
+    }
+  }
+
+  if (!rep.spans.empty()) {
+    std::printf("\nruns\n  %-28s %12s %8s %12s %10s %9s\n", "name",
+                "first_round", "rounds", "messages", "wall", "finished");
+    for (const auto& s : rep.spans)
+      std::printf("  %-28s %12llu %8llu %12llu %10s %9s\n", s.name.c_str(),
+                  static_cast<unsigned long long>(s.first_round),
+                  static_cast<unsigned long long>(s.rounds),
+                  static_cast<unsigned long long>(s.messages),
+                  fmt_ns(s.wall_ns).c_str(), s.finished ? "yes" : "no");
+  }
+
+  if (!rep.notes.empty()) {
+    std::printf("\nannotations\n");
+    for (const auto& a : rep.notes)
+      std::printf("  round %-8llu %s\n",
+                  static_cast<unsigned long long>(a.round), a.label.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fc::Options opts(argc, argv);
+  if (opts.positional_count() != 1) {
+    std::cerr << "usage: trace_report FILE [--top=K]\n"
+                 "  FILE: a --trace-out Chrome trace JSON or a --metrics-out\n"
+                 "        NDJSON metrics stream from scenario_runner\n";
+    return 2;
+  }
+  for (const auto& key : opts.keys()) {
+    if (key != "top") {
+      std::cerr << "trace_report: unknown option --" << key << "\n";
+      return 2;
+    }
+  }
+  const std::string path = opts.positional(0);
+  const auto top = static_cast<std::size_t>(opts.get_int("top", 10));
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "trace_report: cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  try {
+    // Detect the format by content, not extension: the NDJSON stream is
+    // line-delimited objects tagged with "type"; the Chrome trace is one
+    // document with a traceEvents array.
+    const std::size_t eol = text.find('\n');
+    const std::string first_line = text.substr(0, eol);
+    Report rep;
+    if (first_line.find("\"traceEvents\"") != std::string::npos)
+      rep = load_chrome_trace(fc::parse_json(text));
+    else
+      rep = load_ndjson(text);
+    print_report(rep, top);
+  } catch (const std::exception& e) {
+    std::cerr << "trace_report: " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
