@@ -1,0 +1,371 @@
+// Serving-path benchmark: drives a LIVE scenario_serve daemon over a
+// stdin/stdout pipe pair — the real transport, fork/exec and all — and
+// measures end-to-end query latency and throughput.
+//
+//   ./bench_serve                          # closed loop, default workload
+//   ./bench_serve --smoke                  # tiny CI smoke (validates too)
+//   ./bench_serve --mode=open --burst=16   # open loop: burst + drain
+//
+// Closed loop sends one query and waits for its response — per-request
+// latency percentiles (nearest-rank, like every histogram in the repo) and
+// the serial throughput. Open loop sends `burst` queries back-to-back and
+// then drains the burst's responses — with --window > 1 the daemon
+// coalesces same-graph bfs/sssp queries inside a window into one batch
+// execution, so open-loop throughput shows what the batching window buys.
+//
+// Every response line is JSON-validated (fc::parse_json + ok check): the
+// benchmark doubles as an end-to-end protocol check, and --smoke exits
+// nonzero when any response fails to parse or reports an error.
+//
+// Results land in BENCH_serve.json (one row per measured phase) next to
+// the table on stdout.
+//
+// Options:
+//   --daemon=<path>  scenario_serve binary (default "./scenario_serve")
+//   --spec=<spec>    workload graph (default rmat:n=1024,deg=8,seed=1,
+//                    weights=1..100)
+//   --algo=<name>    repeatable; queried round-robin (default bfs, sssp)
+//   --requests=<n>   measured queries per phase (default 200)
+//   --warmup=<n>     unmeasured warm-up queries (default 10)
+//   --mode=<m>       "closed" (default) or "open"
+//   --burst=<n>      open-loop in-flight burst (default 32)
+//   --window=<n>     daemon batching window (default 1 closed, burst open)
+//   --cache=<dir>    corpus directory handed to the daemon
+//   --smoke          CI mode: tiny counts, strict validation
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "congest/telemetry.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+/// A scenario_serve child on a stdin/stdout pipe pair.
+class DaemonPipe {
+ public:
+  bool start(const std::string& path, const std::vector<std::string>& args) {
+    int to_child[2], from_child[2];
+    if (pipe(to_child) != 0 || pipe(from_child) != 0) return false;
+    pid_ = fork();
+    if (pid_ < 0) return false;
+    if (pid_ == 0) {
+      dup2(to_child[0], STDIN_FILENO);
+      dup2(from_child[1], STDOUT_FILENO);
+      close(to_child[0]);
+      close(to_child[1]);
+      close(from_child[0]);
+      close(from_child[1]);
+      std::vector<char*> argv;
+      argv.push_back(const_cast<char*>(path.c_str()));
+      for (const auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+      argv.push_back(nullptr);
+      execv(path.c_str(), argv.data());
+      std::perror("bench_serve: execv");
+      _exit(127);
+    }
+    close(to_child[0]);
+    close(from_child[1]);
+    in_ = to_child[1];
+    out_ = from_child[0];
+    return true;
+  }
+
+  bool send(const std::string& line) {
+    std::string out = line;
+    out += '\n';
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = write(in_, out.data() + off, out.size() - off);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool recv(std::string& line) {
+    while (true) {
+      const auto nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line.assign(buffer_, 0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[8192];
+      const ssize_t n = read(out_, chunk, sizeof chunk);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  int stop() {
+    send("{\"cmd\": \"shutdown\"}");
+    if (in_ >= 0) close(in_);
+    std::string drain;
+    while (recv(drain)) {
+    }
+    if (out_ >= 0) close(out_);
+    int status = 0;
+    if (pid_ > 0) waitpid(pid_, &status, 0);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int in_ = -1;
+  int out_ = -1;
+  std::string buffer_;
+};
+
+struct PhaseResult {
+  std::string label;
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t invalid = 0;  // lines that failed JSON validation
+  std::uint64_t cache_hits = 0;
+  std::uint64_t engine_reused = 0;
+  std::uint64_t coalesced_max = 1;
+  double seconds = 0;
+  fc::congest::HistogramSummary latency_us;  // closed loop only
+};
+
+/// Validate one response line; tallies into `r`. Returns false only on a
+/// line that is not valid JSON (protocol breakage, not a typed error).
+bool tally(const std::string& line, PhaseResult& r) {
+  fc::JsonValue v;
+  try {
+    v = fc::parse_json(line);
+  } catch (const std::exception&) {
+    ++r.invalid;
+    return false;
+  }
+  if (v.flag("ok")) {
+    ++r.ok;
+    if (v.flag("cache_hit")) ++r.cache_hits;
+    if (v.flag("engine_reused")) ++r.engine_reused;
+    r.coalesced_max = std::max(
+        r.coalesced_max, static_cast<std::uint64_t>(v.num("coalesced", 1)));
+  } else {
+    ++r.errors;
+  }
+  return true;
+}
+
+std::string query_line(std::uint64_t id, const std::string& spec,
+                       const std::string& algo, std::uint64_t seed) {
+  fc::JsonWriter w;
+  w.begin_object()
+      .field("id", id)
+      .field("spec", spec)
+      .field("algo", algo)
+      .field("seed", seed)
+      .end_object();
+  return w.take();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fc;
+  const Options opts(argc, argv);
+
+  static const std::vector<std::string> known_flags = {
+      "daemon", "spec",  "algo",   "requests", "warmup",
+      "mode",   "burst", "window", "cache",    "smoke"};
+  for (const auto& key : opts.keys()) {
+    if (std::find(known_flags.begin(), known_flags.end(), key) ==
+        known_flags.end()) {
+      std::cerr << "bench_serve: unknown option '--" << key
+                << "'; known options: --daemon --spec --algo --requests "
+                   "--warmup --mode --burst --window --cache --smoke\n";
+      return 2;
+    }
+  }
+
+  const bool smoke = opts.get_bool("smoke");
+  const std::string daemon = opts.get("daemon", "./scenario_serve");
+  const std::string spec =
+      opts.get("spec", smoke ? "rmat:n=256,deg=6,seed=1,weights=1..100"
+                             : "rmat:n=1024,deg=8,seed=1,weights=1..100");
+  std::vector<std::string> algos = opts.get_all("algo");
+  if (algos.empty()) algos = {"bfs", "sssp"};
+  const std::uint64_t requests =
+      static_cast<std::uint64_t>(opts.get_int("requests", smoke ? 24 : 200));
+  const std::uint64_t warmup =
+      static_cast<std::uint64_t>(opts.get_int("warmup", smoke ? 4 : 10));
+  const std::string mode = opts.get("mode", "closed");
+  if (mode != "closed" && mode != "open") {
+    std::cerr << "bench_serve: --mode must be 'closed' or 'open'\n";
+    return 2;
+  }
+  const std::uint64_t burst =
+      static_cast<std::uint64_t>(opts.get_int("burst", 32));
+  const std::uint64_t window = static_cast<std::uint64_t>(
+      opts.get_int("window", mode == "open" ? static_cast<int>(burst) : 1));
+  const std::string cache = opts.get("cache", "");
+
+  bench::banner("serve",
+                "End-to-end serving path: live scenario_serve daemon over a "
+                "pipe, per-query latency and throughput.");
+
+  std::vector<std::string> daemon_args = {"--window=" +
+                                          std::to_string(window)};
+  if (!cache.empty()) daemon_args.push_back("--cache=" + cache);
+  DaemonPipe pipe;
+  if (!pipe.start(daemon, daemon_args)) {
+    std::cerr << "bench_serve: cannot start daemon '" << daemon << "'\n";
+    return 2;
+  }
+
+  bench::JsonReport report("serve");
+  bench::add_run_metadata(report);
+  report.meta("mode", mode)
+      .meta("spec", spec)
+      .meta("window", window)
+      .meta("daemon", daemon);
+
+  Table table({"phase", "requests", "ok", "err", "hits", "reused", "qps",
+               "p50 us", "p99 us", "max us", "coalesced"});
+  bool protocol_ok = true;
+  std::uint64_t next_id = 1;
+
+  // Warm-up: populate the pool (and corpus) outside the measurement. With
+  // a batching window the daemon holds queries until the window fills, so
+  // force a flush after each one to keep this loop request/response.
+  for (std::uint64_t i = 0; i < warmup && protocol_ok; ++i) {
+    PhaseResult sink;
+    std::string resp;
+    protocol_ok =
+        pipe.send(query_line(next_id++, spec, algos[i % algos.size()], i)) &&
+        (window <= 1 || pipe.send("{\"cmd\": \"flush\"}")) &&
+        pipe.recv(resp) && tally(resp, sink);
+  }
+  if (!protocol_ok) {
+    std::cerr << "bench_serve: daemon failed during warm-up\n";
+    pipe.stop();
+    return 2;
+  }
+
+  std::vector<PhaseResult> phases;
+  if (mode == "closed") {
+    PhaseResult r;
+    r.label = "closed";
+    r.requests = requests;
+    std::vector<std::uint64_t> lat_us;
+    lat_us.reserve(requests);
+    const auto begin = Clock::now();
+    for (std::uint64_t i = 0; i < requests; ++i) {
+      const auto t0 = Clock::now();
+      std::string resp;
+      if (!pipe.send(query_line(next_id++, spec, algos[i % algos.size()],
+                                i)) ||
+          !pipe.recv(resp)) {
+        protocol_ok = false;
+        break;
+      }
+      lat_us.push_back(ns_since(t0) / 1000);
+      if (!tally(resp, r)) protocol_ok = false;
+    }
+    r.seconds = static_cast<double>(ns_since(begin)) * 1e-9;
+    r.latency_us = congest::summarize_counts(lat_us);
+    phases.push_back(std::move(r));
+  } else {
+    PhaseResult r;
+    r.label = "open burst=" + std::to_string(burst);
+    r.requests = requests;
+    const auto begin = Clock::now();
+    std::uint64_t sent = 0, received = 0;
+    while (received < requests && protocol_ok) {
+      const std::uint64_t batch =
+          std::min<std::uint64_t>(burst, requests - sent);
+      for (std::uint64_t i = 0; i < batch; ++i, ++sent)
+        if (!pipe.send(query_line(next_id++, spec,
+                                  algos[sent % algos.size()], sent)))
+          protocol_ok = false;
+      // A window smaller than the burst flushes on its own; otherwise ask.
+      if (window > 1 && !pipe.send("{\"cmd\": \"flush\"}"))
+        protocol_ok = false;
+      for (std::uint64_t i = 0; i < batch && protocol_ok; ++i, ++received) {
+        std::string resp;
+        if (!pipe.recv(resp)) {
+          protocol_ok = false;
+          break;
+        }
+        if (!tally(resp, r)) protocol_ok = false;
+      }
+    }
+    r.seconds = static_cast<double>(ns_since(begin)) * 1e-9;
+    phases.push_back(std::move(r));
+  }
+
+  const int daemon_rc = pipe.stop();
+  if (daemon_rc != 0) {
+    std::cerr << "bench_serve: daemon exited with status " << daemon_rc
+              << "\n";
+    protocol_ok = false;
+  }
+
+  for (const PhaseResult& r : phases) {
+    const double qps =
+        r.seconds > 0 ? static_cast<double>(r.ok + r.errors) / r.seconds : 0;
+    table.add_row({r.label, Table::num(std::size_t{r.requests}),
+                   Table::num(std::size_t{r.ok}),
+                   Table::num(std::size_t{r.errors}),
+                   Table::num(std::size_t{r.cache_hits}),
+                   Table::num(std::size_t{r.engine_reused}),
+                   std::to_string(static_cast<std::uint64_t>(qps)),
+                   Table::num(std::size_t{r.latency_us.p50}),
+                   Table::num(std::size_t{r.latency_us.p99}),
+                   Table::num(std::size_t{r.latency_us.max}),
+                   Table::num(std::size_t{r.coalesced_max})});
+    report.row()
+        .add("phase", r.label)
+        .add("requests", r.requests)
+        .add("ok", r.ok)
+        .add("errors", r.errors)
+        .add("invalid", r.invalid)
+        .add("cache_hits", r.cache_hits)
+        .add("engine_reused", r.engine_reused)
+        .add("coalesced_max", r.coalesced_max)
+        .add("seconds", r.seconds)
+        .add("throughput_qps", qps)
+        .add("lat_p50_us", r.latency_us.p50)
+        .add("lat_p99_us", r.latency_us.p99)
+        .add("lat_max_us", r.latency_us.max);
+  }
+  table.print(std::cout);
+  std::cout << "\nbench artifact: " << report.write() << "\n";
+
+  if (!protocol_ok) {
+    std::cerr << "bench_serve: protocol failure (invalid response or "
+                 "daemon error)\n";
+    return 1;
+  }
+  if (smoke) {
+    for (const PhaseResult& r : phases)
+      if (r.ok != r.requests || r.errors != 0 || r.invalid != 0) {
+        std::cerr << "bench_serve: smoke failed (" << r.ok << "/"
+                  << r.requests << " ok)\n";
+        return 1;
+      }
+  }
+  return 0;
+}

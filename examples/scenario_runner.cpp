@@ -24,6 +24,10 @@
 //   --sources=<k>    batch query count for batch-bfs / batch-sssp: queries
 //                    run from nodes 0..k-1 in ONE pipelined execution
 //                    (default 1; overrides a spec's sources= parameter)
+//   --source-mode=<m> placement of those k sources: "first" (nodes 0..k-1,
+//                    the default) or "random" (k distinct seed-keyed nodes,
+//                    deterministic in --seed; overrides a spec's
+//                    source_mode= parameter)
 //   --seed=<seed>    seed for message placement (default 1)
 //   --root=<node>    root node for bfs/broadcast/convergecast (default 0)
 //   --stretch=<k>    weighted-apsp stretch parameter (default 3: 5-approx)
@@ -90,14 +94,15 @@ int main(int argc, char** argv) {
   static const std::vector<std::string> known_flags = {
       "graph",    "algo", "k",        "seed",    "root",    "cache",
       "cache-gc", "list", "markdown", "stretch", "sources", "engine",
-      "telemetry", "trace-out", "metrics-out"};
+      "telemetry", "trace-out", "metrics-out", "source-mode"};
   for (const auto& key : opts.keys()) {
     if (std::find(known_flags.begin(), known_flags.end(), key) ==
         known_flags.end()) {
       std::cerr << "scenario_runner: unknown option '--" << key
-                << "'; known options: --graph --algo --k --sources --seed "
-                   "--root --stretch --engine --telemetry --trace-out "
-                   "--metrics-out --cache --cache-gc --markdown --list\n";
+                << "'; known options: --graph --algo --k --sources "
+                   "--source-mode --seed --root --stretch --engine "
+                   "--telemetry --trace-out --metrics-out --cache --cache-gc "
+                   "--markdown --list\n";
       return 2;
     }
   }
@@ -166,6 +171,17 @@ int main(int argc, char** argv) {
   cfg.root = static_cast<NodeId>(opts.get_int("root", 0));
   cfg.stretch_k = static_cast<std::uint32_t>(opts.get_int("stretch", 3));
   cfg.sources = static_cast<std::uint64_t>(opts.get_int("sources", 0));
+  const std::string source_mode = opts.get("source-mode", "");
+  if (source_mode == "first") {
+    cfg.source_mode = scenario::SourceMode::kFirst;
+  } else if (source_mode == "random") {
+    cfg.source_mode = scenario::SourceMode::kRandom;
+  } else if (!source_mode.empty()) {
+    std::cerr << "scenario_runner: --source-mode must be 'first' or "
+                 "'random', got '"
+              << source_mode << "'\n";
+    return 2;
+  }
   cfg.force_dense = engine == "dense";
   congest::Telemetry telemetry(tmode);
   if (tmode != congest::TelemetryMode::kOff) cfg.telemetry = &telemetry;

@@ -1,0 +1,211 @@
+// Scenario serving daemon: the engine as a persistent service.
+//
+//   ./scenario_serve --cache=corpus                 # stdio NDJSON loop
+//   ./scenario_serve --listen=7070 --pool=8         # TCP on 127.0.0.1:7070
+//   echo '{"spec":"hypercube:dim=6","algo":"bfs"}' | ./scenario_serve
+//
+// One JSON request per line in, one JSON response per line out (see
+// docs/SERVING.md and src/serve/protocol.hpp for the grammar). The daemon
+// loads each graph once into a warm LRU engine pool — repeat queries skip
+// corpus loading AND Network construction — and coalesces same-graph
+// bfs/sssp queries inside a batching window into single batch executions.
+//
+// Options:
+//   --cache=<dir>    binary graph corpus shared with scenario_runner:
+//                    topologies load from / persist to it (default: build
+//                    in memory only)
+//   --pool=<n>       warm (graph, engine) pairs kept in the LRU pool
+//                    (default 4)
+//   --window=<n>     queries buffered before a batch flush; 1 (default)
+//                    answers every query immediately. Larger windows enable
+//                    coalescing; {"cmd":"flush"} forces an early flush
+//   --telemetry=<m>  per-flush engine telemetry: "off" (default), "rounds",
+//                    or "full" (docs/OBSERVABILITY.md)
+//   --metrics-out=<f> NDJSON telemetry side channel, appended per flush;
+//                    needs --telemetry
+//   --listen=<port>  serve one TCP client at a time on 127.0.0.1:<port>
+//                    instead of stdin/stdout; keeps accepting until a
+//                    {"cmd":"shutdown"} arrives
+//
+// Exit status: 0 on EOF/shutdown, 2 on bad flags or a transport failure.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "congest/telemetry.hpp"
+#include "serve/service.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+/// Drive the service from a line-oriented reader/writer pair. Returns false
+/// when the transport failed mid-stream.
+template <typename ReadLine, typename WriteLine>
+bool serve_stream(fc::serve::Service& service, ReadLine&& read_line,
+                  WriteLine&& write_line) {
+  std::string line;
+  while (read_line(line)) {
+    for (const std::string& resp : service.submit(line))
+      if (!write_line(resp)) return false;
+    if (service.shutdown_requested()) return true;
+  }
+  for (const std::string& resp : service.flush())
+    if (!write_line(resp)) return false;
+  return true;
+}
+
+int serve_stdio(fc::serve::Service& service) {
+  const bool ok = serve_stream(
+      service,
+      [](std::string& line) { return bool(std::getline(std::cin, line)); },
+      [](const std::string& resp) {
+        std::cout << resp << '\n' << std::flush;
+        return bool(std::cout);
+      });
+  return ok ? 0 : 2;
+}
+
+/// Minimal line-buffered reader over a socket fd.
+class FdLineReader {
+ public:
+  explicit FdLineReader(int fd) : fd_(fd) {}
+  bool next(std::string& line) {
+    while (true) {
+      const auto nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line.assign(buffer_, 0, nl);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t got = ::read(fd_, chunk, sizeof chunk);
+      if (got <= 0) {
+        if (buffer_.empty()) return false;
+        line = std::move(buffer_);  // final unterminated line
+        buffer_.clear();
+        return true;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+bool write_all(int fd, const std::string& line) {
+  std::string out = line;
+  out += '\n';
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t sent = ::write(fd, out.data() + off, out.size() - off);
+    if (sent <= 0) return false;
+    off += static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+int serve_tcp(fc::serve::Service& service, int port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "scenario_serve: socket: " << std::strerror(errno) << "\n";
+    return 2;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listener, 1) < 0) {
+    std::cerr << "scenario_serve: bind/listen 127.0.0.1:" << port << ": "
+              << std::strerror(errno) << "\n";
+    ::close(listener);
+    return 2;
+  }
+  std::cerr << "scenario_serve: listening on 127.0.0.1:" << port << "\n";
+  // One client at a time: the service is single-threaded state (warm pool,
+  // batching window); sequential sessions share its warm engines.
+  while (!service.shutdown_requested()) {
+    const int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) break;
+    FdLineReader reader(client);
+    serve_stream(
+        service, [&](std::string& line) { return reader.next(line); },
+        [&](const std::string& resp) { return write_all(client, resp); });
+    ::close(client);
+  }
+  ::close(listener);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fc;
+  const Options opts(argc, argv);
+
+  static const std::vector<std::string> known_flags = {
+      "cache", "pool", "window", "telemetry", "metrics-out", "listen"};
+  for (const auto& key : opts.keys()) {
+    if (std::find(known_flags.begin(), known_flags.end(), key) ==
+        known_flags.end()) {
+      std::cerr << "scenario_serve: unknown option '--" << key
+                << "'; known options: --cache --pool --window --telemetry "
+                   "--metrics-out --listen\n";
+      return 2;
+    }
+  }
+
+  serve::ServiceOptions sopts;
+  sopts.cache_dir = opts.get("cache", "");
+  sopts.pool_capacity = static_cast<std::size_t>(opts.get_int("pool", 4));
+  sopts.window = static_cast<std::size_t>(opts.get_int("window", 1));
+  try {
+    sopts.telemetry = congest::parse_telemetry_mode(opts.get("telemetry",
+                                                             "off"));
+  } catch (const std::exception& err) {
+    std::cerr << "scenario_serve: " << err.what() << "\n";
+    return 2;
+  }
+  const std::string metrics_out = opts.get("metrics-out", "");
+  std::ofstream metrics_file;
+  if (!metrics_out.empty()) {
+    if (sopts.telemetry == congest::TelemetryMode::kOff) {
+      std::cerr << "scenario_serve: --metrics-out needs --telemetry=rounds "
+                   "or --telemetry=full\n";
+      return 2;
+    }
+    metrics_file.open(metrics_out, std::ios::app);
+    if (!metrics_file) {
+      std::cerr << "scenario_serve: cannot open " << metrics_out << "\n";
+      return 2;
+    }
+    sopts.metrics = &metrics_file;
+  }
+
+  std::optional<serve::Service> service;
+  try {
+    service.emplace(std::move(sopts));
+  } catch (const std::exception& err) {
+    std::cerr << "scenario_serve: " << err.what() << "\n";
+    return 2;
+  }
+
+  const int port = static_cast<int>(opts.get_int("listen", 0));
+  if (port != 0) return serve_tcp(*service, port);
+  return serve_stdio(*service);
+}

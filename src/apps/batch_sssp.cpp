@@ -1,7 +1,10 @@
 #include "apps/batch_sssp.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
+
+#include "util/rng.hpp"
 
 namespace fc::apps {
 
@@ -110,12 +113,19 @@ BatchSsspReport batch_sssp(const WeightedGraph& g,
                            const BatchSsspOptions& opts) {
   BatchSsspReport r;
   BatchBellmanFord alg(g, std::move(sources));
-  congest::Network net(g.graph());
+  // Reuse the caller's warm engine only when it is bound to exactly this
+  // topology; run() resets per-run state, so reuse is bit-identical.
+  std::optional<congest::Network> local;
+  congest::Network& net =
+      opts.network != nullptr && &opts.network->graph() == &g.graph()
+          ? *opts.network
+          : local.emplace(g.graph());
   congest::RunOptions ropts;
   ropts.max_rounds = opts.max_rounds;
   ropts.parallel = opts.parallel;
   ropts.force_dense = opts.force_dense;
   ropts.telemetry = opts.telemetry;
+  ropts.pool = opts.pool;
   const auto cost = net.run(alg, ropts);
   r.sources = alg.sources();
   const std::uint32_t k = alg.k();
@@ -148,6 +158,26 @@ std::vector<NodeId> default_sources(const Graph& g, std::uint64_t k) {
   std::vector<NodeId> out(k);
   for (std::uint64_t i = 0; i < k; ++i) out[i] = static_cast<NodeId>(i);
   return out;
+}
+
+std::vector<NodeId> random_sources(const Graph& g, std::uint64_t k,
+                                   std::uint64_t seed) {
+  if (k == 0)
+    throw std::invalid_argument("batch query: sources count must be >= 1");
+  const NodeId n = g.node_count();
+  if (k > n)
+    throw std::invalid_argument(
+        "batch query: sources=" + std::to_string(k) +
+        " exceeds the graph's n=" + std::to_string(n));
+  std::vector<NodeId> perm(n);
+  for (NodeId v = 0; v < n; ++v) perm[v] = v;
+  Rng rng(mix64(seed, n));
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const std::uint64_t j = i + rng.below(n - i);
+    std::swap(perm[i], perm[j]);
+  }
+  perm.resize(k);
+  return perm;
 }
 
 }  // namespace fc::apps

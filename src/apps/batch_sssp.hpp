@@ -90,6 +90,11 @@ struct BatchSsspOptions {
   /// launch is annotated "batch-sssp/gen=<s>", so the pipelined generations
   /// show up as instant events in exported traces.
   congest::Telemetry* telemetry = nullptr;
+  /// Thread pool for the engine rounds; null selects ThreadPool::global().
+  ThreadPool* pool = nullptr;
+  /// Warm engine to reuse; engaged only when bound to EXACTLY g.graph()
+  /// (the serve layer's pooled Network), otherwise a fresh engine is built.
+  congest::Network* network = nullptr;
 };
 
 /// Per-query outcome plus the shared engine costs of the one batched run.
@@ -118,5 +123,13 @@ BatchSsspReport batch_sssp(const WeightedGraph& g, std::vector<NodeId> sources,
 /// ids 0..k-1. Throws std::invalid_argument when k == 0 or k > n — batch
 /// queries on a graph with fewer nodes than sources are a spec error.
 std::vector<NodeId> default_sources(const Graph& g, std::uint64_t k);
+
+/// Seed-keyed random source placement (`source_mode=random`): k DISTINCT
+/// nodes drawn by a partial Fisher–Yates shuffle of [0, n) on an Rng seeded
+/// from mix64(seed, n) — deterministic in (n, k, seed) alone, and
+/// prefix-stable: the same (n, seed) at a larger k extends the smaller k's
+/// placement instead of reshuffling it. Same validation as default_sources.
+std::vector<NodeId> random_sources(const Graph& g, std::uint64_t k,
+                                   std::uint64_t seed);
 
 }  // namespace fc::apps

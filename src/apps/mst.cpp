@@ -286,6 +286,11 @@ MstReport distributed_mst(const WeightedGraph& g, const MstOptions& opts) {
   ropts.parallel = opts.parallel;
   ropts.force_dense = opts.force_dense;
   ropts.telemetry = opts.telemetry;
+  ropts.pool = opts.pool;
+  // ONE engine serves every phase execution: run() fully resets per-run
+  // state, so this is bit-identical to the former per-phase Networks and
+  // drops their repeated adjacency-sized allocations.
+  congest::Network net(graph);
 
   // Fragment count at least halves per phase, so 2^40 nodes would be needed
   // to exceed this cap legitimately; hitting it means non-termination.
@@ -294,7 +299,6 @@ MstReport distributed_mst(const WeightedGraph& g, const MstOptions& opts) {
     AnnouncePhase announce(g, r.fragment, complete,
                            "mst/phase=" + std::to_string(r.phases + 1));
     {
-      congest::Network net(graph);
       const auto cost = net.run(announce, ropts);
       accumulate(r, cost);
       r.announce_messages += cost.messages;
@@ -317,7 +321,6 @@ MstReport distributed_mst(const WeightedGraph& g, const MstOptions& opts) {
         vals[v] = {static_cast<std::uint64_t>(local[v].first),
                    local[v].second};
       algo::ForestEcho agg(graph, tree_arc, std::move(vals), &complete);
-      congest::Network net(graph);
       const auto cost = net.run(agg, ropts);
       accumulate(r, cost);
       r.merge_messages += cost.messages;
@@ -326,7 +329,6 @@ MstReport distributed_mst(const WeightedGraph& g, const MstOptions& opts) {
                    static_cast<EdgeId>(agg.result(v).second)};
     } else {
       MoeFloodPhase agg(tree_arc, local);
-      congest::Network net(graph);
       const auto cost = net.run(agg, ropts);
       accumulate(r, cost);
       r.merge_messages += cost.messages;
@@ -353,7 +355,6 @@ MstReport distributed_mst(const WeightedGraph& g, const MstOptions& opts) {
         if (best[v] == kNoMoe) complete[v] = 1;
       ConnectPhase connect(r.fragment, winner_arc, tree_arc);
       {
-        congest::Network net(graph);
         const auto cost = net.run(connect, ropts);
         accumulate(r, cost);
         r.merge_messages += cost.messages;
@@ -361,7 +362,6 @@ MstReport distributed_mst(const WeightedGraph& g, const MstOptions& opts) {
       std::vector<algo::EchoValue> vals(n);
       for (NodeId v = 0; v < n; ++v) vals[v] = {r.fragment[v], 0};
       algo::ForestEcho naming(graph, tree_arc, std::move(vals), &complete);
-      congest::Network net(graph);
       const auto cost = net.run(naming, ropts);
       accumulate(r, cost);
       r.merge_messages += cost.messages;
@@ -369,7 +369,6 @@ MstReport distributed_mst(const WeightedGraph& g, const MstOptions& opts) {
         r.fragment[v] = static_cast<NodeId>(naming.result(v).first);
     } else {
       MergeFloodPhase merge(r.fragment, winner_arc, tree_arc);
-      congest::Network net(graph);
       const auto cost = net.run(merge, ropts);
       accumulate(r, cost);
       r.merge_messages += cost.messages;

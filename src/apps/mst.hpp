@@ -53,6 +53,10 @@
 #include "congest/metrics.hpp"
 #include "graph/weighted_graph.hpp"
 
+namespace fc {
+class ThreadPool;
+}
+
 namespace fc::apps {
 
 /// Engine for the per-phase fragment aggregations (MOE minimum + merged
@@ -74,6 +78,9 @@ struct MstOptions {
   /// "mst/connect", ...) and fragment leaders annotate "mst/phase=<p>" at
   /// each announce, so Borůvka phases are visible in exported traces.
   congest::Telemetry* telemetry = nullptr;
+  /// Thread pool for every phase's engine rounds; null selects
+  /// ThreadPool::global().
+  ThreadPool* pool = nullptr;
 };
 
 struct MstReport {

@@ -64,6 +64,11 @@ struct SsspOptions {
   bool force_dense = false;
   /// Telemetry recorder for the engine run (null = off).
   congest::Telemetry* telemetry = nullptr;
+  /// Thread pool for the engine rounds; null selects ThreadPool::global().
+  ThreadPool* pool = nullptr;
+  /// Warm engine to reuse; engaged only when bound to EXACTLY g.graph()
+  /// (the serve layer's pooled Network), otherwise a fresh engine is built.
+  congest::Network* network = nullptr;
 };
 
 struct SsspReport {

@@ -111,6 +111,7 @@ std::uint64_t Network::run_handlers(Algorithm& alg, std::uint64_t round,
 RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
   const Graph& g = *graph_;
   const NodeId n = g.node_count();
+  ++runs_started_;
   counting_ = opts.count_sends;
   messages_ = 0;
   if (counting_)

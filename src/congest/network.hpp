@@ -181,6 +181,11 @@ class Network {
   /// Execute `alg` from round 0 until done() or max_rounds.
   RunResult run(Algorithm& alg, const RunOptions& opts = {});
 
+  /// Executions started on this engine over its lifetime. run() resets all
+  /// per-run state, so a Network is reusable across runs; this counter lets
+  /// pooling layers (serve::EnginePool) report and test actual reuse.
+  std::uint64_t runs_started() const { return runs_started_; }
+
  private:
   friend class Context;
 
@@ -220,6 +225,7 @@ class Network {
   std::vector<NodeId> active_;
   std::vector<std::uint64_t> arc_sends_;
   std::uint64_t messages_ = 0;
+  std::uint64_t runs_started_ = 0;
   bool counting_ = true;
   // Attached telemetry recorder for the current run (null = off). Valid
   // only inside run(); resolved from RunOptions::telemetry with

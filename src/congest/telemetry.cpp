@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/json.hpp"
+
 namespace fc::congest {
 
 TelemetryMode parse_telemetry_mode(const std::string& text) {
@@ -291,79 +293,72 @@ TelemetrySnapshot Telemetry::snapshot() const {
 
 // ---- exporters ----------------------------------------------------------
 
-std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          static const char* hex = "0123456789abcdef";
-          out += "\\u00";
-          out += hex[(c >> 4) & 0xf];
-          out += hex[c & 0xf];
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+std::string json_escape(std::string_view text) { return fc::json_escape(text); }
 
 namespace {
 
-void histogram_json(std::string& out, const char* name,
+void histogram_json(JsonWriter& w, const char* name,
                     const HistogramSummary& h) {
-  out += "\"";
-  out += name;
-  out += "\": {\"count\": " + std::to_string(h.count) +
-         ", \"p50\": " + std::to_string(h.p50) +
-         ", \"p90\": " + std::to_string(h.p90) +
-         ", \"p99\": " + std::to_string(h.p99) +
-         ", \"max\": " + std::to_string(h.max) + "}";
+  w.key(name)
+      .begin_object()
+      .field("count", h.count)
+      .field("p50", h.p50)
+      .field("p90", h.p90)
+      .field("p99", h.p99)
+      .field("max", h.max)
+      .end_object();
 }
 
 }  // namespace
 
 void write_metrics_ndjson(std::ostream& out, const TelemetrySnapshot& snap) {
-  std::string line = "{\"type\": \"header\", \"mode\": \"";
-  line += to_string(snap.mode);
-  line += "\", \"rounds\": " + std::to_string(snap.rounds) +
-          ", \"messages\": " + std::to_string(snap.messages) +
-          ", \"wall_ns\": " + std::to_string(snap.wall_ns) + ", ";
-  histogram_json(line, "arc_congestion", snap.arc_congestion);
-  line += ", ";
-  histogram_json(line, "inbox_sizes", snap.inbox_sizes);
-  line += ", \"spans\": [";
-  for (std::size_t i = 0; i < snap.spans.size(); ++i) {
-    const auto& s = snap.spans[i];
-    if (i > 0) line += ", ";
-    line += "{\"name\": \"" + json_escape(s.name) +
-            "\", \"first_round\": " + std::to_string(s.first_round) +
-            ", \"rounds\": " + std::to_string(s.rounds) +
-            ", \"messages\": " + std::to_string(s.messages) +
-            ", \"wall_ns\": " + std::to_string(s.wall_ns) +
-            ", \"finished\": " + (s.finished ? "true" : "false") + "}";
-  }
-  line += "]}";
-  out << line << "\n";
+  JsonWriter w;
+  w.begin_object()
+      .field("type", "header")
+      .field("mode", to_string(snap.mode))
+      .field("rounds", snap.rounds)
+      .field("messages", snap.messages)
+      .field("wall_ns", snap.wall_ns);
+  histogram_json(w, "arc_congestion", snap.arc_congestion);
+  histogram_json(w, "inbox_sizes", snap.inbox_sizes);
+  w.key("spans").begin_array();
+  for (const auto& s : snap.spans)
+    w.begin_object()
+        .field("name", s.name)
+        .field("first_round", s.first_round)
+        .field("rounds", s.rounds)
+        .field("messages", s.messages)
+        .field("wall_ns", s.wall_ns)
+        .field("finished", s.finished)
+        .end_object();
+  w.end_array().end_object();
+  out << w.str() << "\n";
   for (const auto& r : snap.series) {
-    out << "{\"type\": \"round\", \"round\": " << r.round
-        << ", \"active\": " << r.active << ", \"with_input\": " << r.with_input
-        << ", \"delivered\": " << r.delivered << ", \"sent\": " << r.sent
-        << ", \"wakeups\": " << r.wakeups << ", \"sweep\": \""
-        << to_string(r.sweep) << "\", \"step_ns\": " << r.step_ns
-        << ", \"delivery_ns\": " << r.delivery_ns
-        << ", \"bookkeep_ns\": " << r.bookkeep_ns << "}\n";
+    w.clear();
+    w.begin_object()
+        .field("type", "round")
+        .field("round", r.round)
+        .field("active", r.active)
+        .field("with_input", r.with_input)
+        .field("delivered", r.delivered)
+        .field("sent", r.sent)
+        .field("wakeups", r.wakeups)
+        .field("sweep", to_string(r.sweep))
+        .field("step_ns", r.step_ns)
+        .field("delivery_ns", r.delivery_ns)
+        .field("bookkeep_ns", r.bookkeep_ns)
+        .end_object();
+    out << w.str() << "\n";
   }
-  for (const auto& a : snap.annotations)
-    out << "{\"type\": \"annotation\", \"round\": " << a.round
-        << ", \"label\": \"" << json_escape(a.label) << "\"}\n";
+  for (const auto& a : snap.annotations) {
+    w.clear();
+    w.begin_object()
+        .field("type", "annotation")
+        .field("round", a.round)
+        .field("label", a.label)
+        .end_object();
+    out << w.str() << "\n";
+  }
 }
 
 namespace {
@@ -381,6 +376,21 @@ void event(std::ostream& out, bool& first, const std::string& body) {
   out << body;
 }
 
+/// Common slice/instant prelude: {"ph": <ph>, "name": <name>, pids/tids,
+/// "ts": <ts us>}. The writer is handed back open for dur/args fields.
+JsonWriter trace_event(const char* ph, const std::string& name, int pid,
+                       int tid, const std::string& ts_us) {
+  JsonWriter w;
+  w.begin_object()
+      .field("ph", ph)
+      .field("name", name)
+      .field("pid", std::int64_t{pid})
+      .field("tid", std::int64_t{tid})
+      .key("ts")
+      .raw(ts_us);
+  return w;
+}
+
 std::string us(std::uint64_t ns) {
   // Microsecond timestamps with nanosecond precision kept as decimals.
   return std::to_string(ns / 1000) + "." + std::to_string(ns % 1000 / 100) +
@@ -393,15 +403,15 @@ void write_chrome_trace(std::ostream& out, const TelemetrySnapshot& snap) {
   constexpr int kPid = 1, kTidRuns = 1, kTidRounds = 2;
   out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   bool first = true;
-  event(out, first,
-        "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, \"tid\": 0, "
-        "\"args\": {\"name\": \"fastcast engine\"}}");
-  event(out, first,
-        "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": 1, "
-        "\"args\": {\"name\": \"runs\"}}");
-  event(out, first,
-        "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": 2, "
-        "\"args\": {\"name\": \"rounds\"}}");
+  for (const auto& [tid, track] :
+       {std::pair<int, const char*>{0, "fastcast engine"},
+        {kTidRuns, "runs"},
+        {kTidRounds, "rounds"}}) {
+    JsonWriter w = trace_event("M", tid == 0 ? "process_name" : "thread_name",
+                               kPid, tid, "0");
+    w.key("args").begin_object().field("name", track).end_object();
+    event(out, first, w.end_object().take());
+  }
 
   // Timeline: rounds laid end to end; round r starts where r-1 ended.
   std::vector<std::uint64_t> start_ns(snap.series.size() + 1, 0);
@@ -411,18 +421,19 @@ void write_chrome_trace(std::ostream& out, const TelemetrySnapshot& snap) {
   for (std::size_t i = 0; i < snap.series.size(); ++i) {
     const auto& r = snap.series[i];
     const std::uint64_t t0 = start_ns[i];
-    event(out, first,
-          "{\"ph\": \"X\", \"name\": \"round " + std::to_string(r.round) +
-              "\", \"pid\": " + std::to_string(kPid) +
-              ", \"tid\": " + std::to_string(kTidRounds) +
-              ", \"ts\": " + us(t0) +
-              ", \"dur\": " + us(round_dur_ns(r)) +
-              ", \"args\": {\"active\": " + std::to_string(r.active) +
-              ", \"with_input\": " + std::to_string(r.with_input) +
-              ", \"delivered\": " + std::to_string(r.delivered) +
-              ", \"sent\": " + std::to_string(r.sent) +
-              ", \"wakeups\": " + std::to_string(r.wakeups) +
-              ", \"sweep\": \"" + to_string(r.sweep) + "\"}}");
+    JsonWriter w = trace_event("X", "round " + std::to_string(r.round), kPid,
+                               kTidRounds, us(t0));
+    w.key("dur").raw(us(round_dur_ns(r)));
+    w.key("args")
+        .begin_object()
+        .field("active", r.active)
+        .field("with_input", r.with_input)
+        .field("delivered", r.delivered)
+        .field("sent", r.sent)
+        .field("wakeups", r.wakeups)
+        .field("sweep", to_string(r.sweep))
+        .end_object();
+    event(out, first, w.end_object().take());
     if (r.step_ns + r.delivery_ns + r.bookkeep_ns > 0) {
       std::uint64_t t = t0;
       const std::pair<const char*, std::uint64_t> phases[] = {
@@ -432,11 +443,9 @@ void write_chrome_trace(std::ostream& out, const TelemetrySnapshot& snap) {
       };
       for (const auto& [name, ns] : phases) {
         if (ns == 0) continue;
-        event(out, first,
-              std::string("{\"ph\": \"X\", \"name\": \"") + name +
-                  "\", \"pid\": " + std::to_string(kPid) +
-                  ", \"tid\": " + std::to_string(kTidRounds) +
-                  ", \"ts\": " + us(t) + ", \"dur\": " + us(ns) + "}");
+        JsonWriter p = trace_event("X", name, kPid, kTidRounds, us(t));
+        p.key("dur").raw(us(ns));
+        event(out, first, p.end_object().take());
         t += ns;
       }
     }
@@ -448,16 +457,16 @@ void write_chrome_trace(std::ostream& out, const TelemetrySnapshot& snap) {
     const std::uint64_t t0 = start_ns[std::min(idx, snap.series.size())];
     idx += s.rounds;
     const std::uint64_t t1 = start_ns[std::min(idx, snap.series.size())];
-    event(out, first,
-          "{\"ph\": \"X\", \"name\": \"run:" + json_escape(s.name) +
-              "\", \"pid\": " + std::to_string(kPid) +
-              ", \"tid\": " + std::to_string(kTidRuns) +
-              ", \"ts\": " + us(t0) +
-              ", \"dur\": " + us(t1 > t0 ? t1 - t0 : 1000) +
-              ", \"args\": {\"rounds\": " + std::to_string(s.rounds) +
-              ", \"messages\": " + std::to_string(s.messages) +
-              ", \"wall_ns\": " + std::to_string(s.wall_ns) +
-              ", \"finished\": " + (s.finished ? "true" : "false") + "}}");
+    JsonWriter w = trace_event("X", "run:" + s.name, kPid, kTidRuns, us(t0));
+    w.key("dur").raw(us(t1 > t0 ? t1 - t0 : 1000));
+    w.key("args")
+        .begin_object()
+        .field("rounds", s.rounds)
+        .field("messages", s.messages)
+        .field("wall_ns", s.wall_ns)
+        .field("finished", s.finished)
+        .end_object();
+    event(out, first, w.end_object().take());
   }
 
   // Annotations as instant events at their round's start.
@@ -465,11 +474,9 @@ void write_chrome_trace(std::ostream& out, const TelemetrySnapshot& snap) {
     std::size_t i = 0;  // round -> series index (rounds are globally sorted)
     while (i < snap.series.size() && snap.series[i].round != a.round) ++i;
     const std::uint64_t t0 = start_ns[std::min(i, snap.series.size())];
-    event(out, first,
-          "{\"ph\": \"i\", \"s\": \"t\", \"name\": \"" +
-              json_escape(a.label) + "\", \"pid\": " + std::to_string(kPid) +
-              ", \"tid\": " + std::to_string(kTidRounds) +
-              ", \"ts\": " + us(t0) + "}");
+    JsonWriter w = trace_event("i", a.label, kPid, kTidRounds, us(t0));
+    w.field("s", "t");
+    event(out, first, w.end_object().take());
   }
   out << "\n]}\n";
 }

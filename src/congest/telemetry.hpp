@@ -325,8 +325,9 @@ void write_metrics_ndjson(std::ostream& out, const TelemetrySnapshot& snap);
 /// round is drawn 1 us wide so the structure stays inspectable.
 void write_chrome_trace(std::ostream& out, const TelemetrySnapshot& snap);
 
-/// Minimal JSON string escaping shared by the exporters (quotes,
-/// backslashes, control characters).
+/// JSON string escaping. Alias of fc::json_escape (util/json.hpp) — the
+/// exporters emit through the shared fc::JsonWriter; this survives for
+/// callers that predate it.
 std::string json_escape(std::string_view text);
 
 }  // namespace fc::congest

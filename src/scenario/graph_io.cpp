@@ -183,11 +183,15 @@ Graph load_binary(const std::string& path) {
 namespace {
 
 /// The corpus identity of a spec: registry defaults baked in, weights and
-/// batch source counts stripped (cache files store topology only; weights
-/// re-derive from the spec seed, and `sources=` never affects the graph).
+/// batch source parameters stripped (cache files store topology only;
+/// weights re-derive from the spec seed, and `sources=`/`source_mode=`
+/// never affect the graph).
 GraphSpec corpus_spec(const GraphSpec& spec) {
-  return Registry::instance().canonical(spec).without("weights").without(
-      "sources");
+  return Registry::instance()
+      .canonical(spec)
+      .without("weights")
+      .without("sources")
+      .without("source_mode");
 }
 
 constexpr const char* kManifestName = "manifest.txt";

@@ -59,8 +59,9 @@ void save_binary(const Graph& g, const std::string& path);
 Graph load_binary(const std::string& path);
 
 /// Cache-file name a spec maps to inside a corpus directory: the sanitized
-/// CANONICAL spec (registry defaults baked in, `weights=` and `sources=`
-/// stripped — the file stores topology only) plus a hash suffix, e.g.
+/// CANONICAL spec (registry defaults baked in, `weights=`, `sources=` and
+/// `source_mode=` stripped — the file stores topology only) plus a hash
+/// suffix, e.g.
 /// "rmat_a=0.57_b=0.19_c=0.19_deg=8_n=4096_seed=1-1a2b3c.fcg". Because
 /// defaults are part of the identity, changing a family default in spec.cpp
 /// changes the file name and stale corpora can never be silently reloaded.

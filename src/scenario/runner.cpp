@@ -26,7 +26,30 @@ congest::RunOptions run_options(const ScenarioConfig& cfg) {
   opts.max_rounds = cfg.max_rounds;
   opts.force_dense = cfg.force_dense;
   opts.telemetry = cfg.telemetry;
+  opts.pool = cfg.pool;
   return opts;
+}
+
+/// Resolve the engine a scenario runs on: the caller's warm Network when it
+/// is bound to EXACTLY `g` (the serve layer's pooled engine), else a local
+/// one constructed into `local` on demand. Multi-phase scenarios call this
+/// once and run every phase on the same engine — Network::run resets all
+/// per-run state, so sequential reuse is bit-identical to fresh engines.
+congest::Network& engine_for(const Graph& g, const ScenarioConfig& cfg,
+                             std::optional<congest::Network>& local) {
+  if (cfg.network != nullptr && &cfg.network->graph() == &g)
+    return *cfg.network;
+  if (!local) local.emplace(g);
+  return *local;
+}
+
+/// The `sources=k` query set under the configured SourceMode: nodes 0..k-1
+/// (kFirst / kUnset) or k distinct seed-keyed nodes (kRandom).
+std::vector<NodeId> batch_sources(const Graph& g, const ScenarioConfig& cfg) {
+  const std::uint64_t k = cfg.sources != 0 ? cfg.sources : 1;
+  return cfg.source_mode == SourceMode::kRandom
+             ? apps::random_sources(g, k, cfg.seed)
+             : apps::default_sources(g, k);
 }
 
 NodeId checked_root(const Graph& g, const ScenarioConfig& cfg) {
@@ -63,31 +86,43 @@ void finish(ScenarioResult& r, const Graph& g,
 ScenarioResult run_bfs_scenario(const Graph& g, const ScenarioConfig& cfg) {
   ScenarioResult r;
   r.finished = true;
-  congest::Network net(g);
+  std::optional<congest::Network> local;
+  congest::Network& net = engine_for(g, cfg, local);
   algo::DistributedBfs bfs(g, checked_root(g, cfg));
   const auto cost = net.run(bfs, run_options(cfg));
   std::vector<std::uint64_t> sends;
   accumulate(r, cost, sends);
   finish(r, g, sends);
+  if (cfg.payload != nullptr) {
+    cfg.payload->hops.push_back(bfs.distances());
+    cfg.payload->sources = {bfs.root()};
+  }
   r.note = "depth=" + std::to_string(bfs.depth()) +
            " reached=" + std::to_string(bfs.reached_count());
   return r;
 }
 
-/// k-source batch workloads answer queries from nodes 0..k-1 in one
-/// pipelined execution (the documented `sources=k` convention). Unlike the
-/// single-source tree workloads there is no root-component restriction:
-/// each query naturally covers its own source's component.
+/// k-source batch workloads answer queries from the SourceMode placement
+/// (nodes 0..k-1 by default) in one pipelined execution (the documented
+/// `sources=k` convention). Unlike the single-source tree workloads there
+/// is no root-component restriction: each query naturally covers its own
+/// source's component.
 ScenarioResult run_batch_bfs_scenario(const Graph& g,
                                       const ScenarioConfig& cfg) {
   ScenarioResult r;
   r.finished = true;
   const std::uint64_t k = cfg.sources != 0 ? cfg.sources : 1;
-  congest::Network net(g);
-  algo::BatchBfs alg(g, apps::default_sources(g, k));
+  std::optional<congest::Network> local;
+  congest::Network& net = engine_for(g, cfg, local);
+  algo::BatchBfs alg(g, batch_sources(g, cfg));
   std::vector<std::uint64_t> sends;
   accumulate(r, net.run(alg, run_options(cfg)), sends);
   finish(r, g, sends);
+  if (cfg.payload != nullptr) {
+    for (std::uint32_t s = 0; s < alg.k(); ++s)
+      cfg.payload->hops.push_back(alg.source_distances(s));
+    cfg.payload->sources = alg.sources();
+  }
   NodeId reached_lo = g.node_count(), reached_hi = 0;
   std::uint32_t depth = 0;
   for (std::uint32_t s = 0; s < alg.k(); ++s) {
@@ -110,12 +145,17 @@ ScenarioResult run_batch_sssp_scenario(const WeightedGraph& g,
   opts.max_rounds = cfg.max_rounds;
   opts.force_dense = cfg.force_dense;
   opts.telemetry = cfg.telemetry;
-  const auto rep =
-      apps::batch_sssp(g, apps::default_sources(g.graph(), k), opts);
+  opts.pool = cfg.pool;
+  opts.network = cfg.network;
+  auto rep = apps::batch_sssp(g, batch_sources(g.graph(), cfg), opts);
   r.rounds = rep.rounds;
   r.messages = rep.messages;
   r.finished = rep.finished;
   finish(r, g.graph(), rep.arc_sends);
+  if (cfg.payload != nullptr) {
+    cfg.payload->sources = rep.sources;
+    cfg.payload->distances = std::move(rep.dist);
+  }
   NodeId reached_lo = g.graph().node_count(), reached_hi = 0;
   Weight dist_hi = 0;
   for (std::uint32_t s = 0; s < rep.sources.size(); ++s) {
@@ -132,7 +172,8 @@ ScenarioResult run_batch_sssp_scenario(const WeightedGraph& g,
 ScenarioResult run_leader_scenario(const Graph& g, const ScenarioConfig& cfg) {
   ScenarioResult r;
   r.finished = true;
-  congest::Network net(g);
+  std::optional<congest::Network> local;
+  congest::Network& net = engine_for(g, cfg, local);
   algo::LeaderElection alg(g);
   const auto cost = net.run(alg, run_options(cfg));
   std::vector<std::uint64_t> sends;
@@ -186,15 +227,17 @@ ScenarioResult run_broadcast_scenario(const Graph& full,
   for (std::uint64_t i = 0; i < k; ++i)
     msgs.push_back({static_cast<NodeId>(rng.below(g.node_count())), i, rng()});
 
+  // Both phases share one engine (run() resets per-run state): the warm
+  // pooled Network when the run is unrestricted, a single local one else.
   std::vector<std::uint64_t> sends;
-  congest::Network net(g);
+  std::optional<congest::Network> local;
+  congest::Network& net = engine_for(g, cfg, local);
   algo::DistributedBfs bfs(g, root);
   accumulate(r, net.run(bfs, run_options(cfg)), sends);
   const auto tree = algo::extract_tree(g, bfs);
 
-  congest::Network net2(g);
   algo::PipelineBroadcast pipe(g, tree, std::move(msgs));
-  accumulate(r, net2.run(pipe, run_options(cfg)), sends);
+  accumulate(r, net.run(pipe, run_options(cfg)), sends);
   finish(r, g, sends);
 
   bool complete = true;
@@ -214,7 +257,8 @@ ScenarioResult run_convergecast_scenario(const Graph& full,
   const Graph& g = w.get(full);
   const NodeId root = w.root;
   std::vector<std::uint64_t> sends;
-  congest::Network net(g);
+  std::optional<congest::Network> local;
+  congest::Network& net = engine_for(g, cfg, local);
   algo::DistributedBfs bfs(g, root);
   accumulate(r, net.run(bfs, run_options(cfg)), sends);
   const auto tree = algo::extract_tree(g, bfs);
@@ -222,29 +266,43 @@ ScenarioResult run_convergecast_scenario(const Graph& full,
   // Aggregate sum of node ids: every node can verify n(n-1)/2.
   std::vector<std::uint64_t> values(g.node_count());
   for (NodeId v = 0; v < g.node_count(); ++v) values[v] = v;
-  congest::Network net2(g);
   algo::Convergecast agg(g, tree, algo::AggregateOp::kSum, std::move(values));
-  accumulate(r, net2.run(agg, run_options(cfg)), sends);
+  accumulate(r, net.run(agg, run_options(cfg)), sends);
   finish(r, g, sends);
   r.note = "sum=" + std::to_string(agg.result(root)) + w.note;
   return r;
 }
 
 /// Weighted counterpart of Workload/root_component: the same shared
-/// restriction, carrying edge weights over via kept_edges.
+/// restriction, carrying edge weights over via kept_edges. The relabelling
+/// (new_id, kept_edges) is retained so payload capture can scatter results
+/// back into FULL-graph ids; both are empty for an identity restriction.
 struct WeightedWorkload {
   NodeId root;
   std::optional<WeightedGraph> induced;  // engaged only when restricted
   std::string note;
+  std::vector<NodeId> new_id;      // full node id -> run id (empty=identity)
+  std::vector<EdgeId> kept_edges;  // run EdgeId -> full EdgeId
   const WeightedGraph& get(const WeightedGraph& full) const {
     return induced ? *induced : full;
+  }
+  /// Scatter a run-graph distance vector back to full-graph ids; nodes
+  /// outside the run component stay at kInfWeight — exactly the distances
+  /// an unrestricted single-source run would report.
+  std::vector<Weight> full_distances(const std::vector<Weight>& run_dist,
+                                     NodeId full_n) const {
+    if (!induced) return run_dist;
+    std::vector<Weight> out(full_n, kInfWeight);
+    for (NodeId v = 0; v < full_n; ++v)
+      if (new_id[v] != kInvalidNode) out[v] = run_dist[new_id[v]];
+    return out;
   }
 };
 
 WeightedWorkload weighted_root_component(const WeightedGraph& wg,
                                          NodeId root) {
   const Graph& g = wg.graph();
-  WeightedWorkload w{root, std::nullopt, ""};
+  WeightedWorkload w{root, std::nullopt, "", {}, {}};
   ComponentRestriction r = restrict_to_component(g, root);
   if (r.is_identity(g)) return w;
   std::vector<Weight> weights;
@@ -252,6 +310,8 @@ WeightedWorkload weighted_root_component(const WeightedGraph& wg,
   for (const EdgeId e : r.kept_edges) weights.push_back(wg.weight(e));
   w.root = r.root;
   w.note = restriction_note(r, g.node_count());
+  w.new_id = std::move(r.new_id);
+  w.kept_edges = std::move(r.kept_edges);
   w.induced = WeightedGraph(std::move(r.graph), std::move(weights));
   return w;
 }
@@ -296,11 +356,21 @@ ScenarioResult run_mst_scenario(const WeightedGraph& full,
   opts.max_rounds = cfg.max_rounds;
   opts.force_dense = cfg.force_dense;
   opts.telemetry = cfg.telemetry;
+  opts.pool = cfg.pool;
   const auto rep = apps::distributed_mst(g, opts);
   r.rounds = rep.rounds;
   r.messages = rep.messages;
   r.finished = rep.finished;
   finish(r, g.graph(), rep.arc_sends);
+  if (cfg.payload != nullptr) {
+    cfg.payload->sources = {cfg.root};
+    cfg.payload->mst_edges.reserve(rep.tree_edges.size());
+    for (const EdgeId e : rep.tree_edges) {
+      const EdgeId full_e = w.kept_edges.empty() ? e : w.kept_edges[e];
+      cfg.payload->mst_edges.emplace_back(full.graph().edge_u(full_e),
+                                          full.graph().edge_v(full_e));
+    }
+  }
   r.note = "mst_weight=" + std::to_string(rep.total_weight) +
            " edges=" + std::to_string(rep.tree_edges.size()) +
            " phases=" + std::to_string(rep.phases) + w.note;
@@ -317,17 +387,30 @@ ScenarioResult run_sssp_scenario(const WeightedGraph& full,
     r.nodes = g.graph().node_count();
     r.finished = true;
     r.note = "trivial component" + w.note;
+    if (cfg.payload != nullptr) {
+      std::vector<Weight> dist(full.graph().node_count(), kInfWeight);
+      dist[cfg.root] = 0;
+      cfg.payload->distances.push_back(std::move(dist));
+      cfg.payload->sources = {cfg.root};
+    }
     return r;
   }
   apps::SsspOptions opts;
   opts.max_rounds = cfg.max_rounds;
   opts.force_dense = cfg.force_dense;
   opts.telemetry = cfg.telemetry;
+  opts.pool = cfg.pool;
+  opts.network = cfg.network;
   const auto rep = apps::distributed_sssp(g, w.root, opts);
   r.rounds = rep.rounds;
   r.messages = rep.messages;
   r.finished = rep.finished;
   finish(r, g.graph(), rep.arc_sends);
+  if (cfg.payload != nullptr) {
+    cfg.payload->distances.push_back(
+        w.full_distances(rep.dist, full.graph().node_count()));
+    cfg.payload->sources = {cfg.root};
+  }
   r.note = "reached=" + std::to_string(rep.reached) +
            " max_dist=" + std::to_string(rep.max_dist) + w.note;
   return r;
@@ -398,6 +481,7 @@ ScenarioResult ScenarioRunner::run(const std::string& algo, const Graph& g,
     }
     unknown_algorithm(algo, algorithms(), weighted_algorithms());
   }
+  if (cfg.payload != nullptr) cfg.payload->clear();
   ScenarioResult r = it->second(g, cfg);
   r.graph = graph_name;
   r.algo = algo;
@@ -414,6 +498,7 @@ ScenarioResult ScenarioRunner::run(const std::string& algo,
       return run(algo, g.graph(), graph_name, cfg);
     unknown_algorithm(algo, algorithms(), weighted_algorithms());
   }
+  if (cfg.payload != nullptr) cfg.payload->clear();
   ScenarioResult r = it->second(g, cfg);
   r.graph = graph_name;
   r.algo = algo;
@@ -423,6 +508,10 @@ ScenarioResult ScenarioRunner::run(const std::string& algo,
 ScenarioConfig apply_spec_config(ScenarioConfig cfg, const GraphSpec& spec) {
   if (cfg.sources == 0 && spec.has("sources"))
     cfg.sources = spec.require_uint("sources");
+  if (cfg.source_mode == SourceMode::kUnset && spec.has("source_mode"))
+    cfg.source_mode = spec.params().at("source_mode") == "random"
+                          ? SourceMode::kRandom
+                          : SourceMode::kFirst;
   return cfg;
 }
 

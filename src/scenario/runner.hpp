@@ -8,19 +8,58 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "graph/weighted_graph.hpp"
 #include "util/table.hpp"
 
+namespace fc {
+class ThreadPool;
+}
+
 namespace fc::congest {
+class Network;
 class Telemetry;
 }
 
 namespace fc::scenario {
 
 class GraphSpec;
+
+/// Placement of the k batch-query sources (`sources=k`). kFirst queries
+/// nodes 0..k-1 (apps::default_sources, the historical convention); kRandom
+/// draws k distinct seed-keyed nodes (apps::random_sources, deterministic in
+/// ScenarioConfig::seed). kUnset lets run_spec fill the mode from the spec's
+/// `source_mode=` parameter and behaves like kFirst otherwise.
+enum class SourceMode { kUnset, kFirst, kRandom };
+
+/// Optional typed-result capture for callers that need the algorithm's
+/// actual OUTPUT (the serve layer's typed responses), not just the cost
+/// measures. Always expressed in the ids of the graph the caller passed in:
+/// scenarios that internally restrict to the root's component scatter their
+/// results back through the relabelling, with unreachable nodes left at
+/// kInfWeight / algo::kUnreached — exactly what an unrestricted run would
+/// report. Capture never changes the execution or the ScenarioResult.
+struct ScenarioPayload {
+  /// Per-query weighted distances (sssp: one entry; batch-sssp: k entries).
+  std::vector<std::vector<Weight>> distances;
+  /// Per-query hop counts (bfs: one entry; batch-bfs: k entries).
+  std::vector<std::vector<std::uint32_t>> hops;
+  /// MST forest edges as canonical (u, v) endpoint pairs, u < v, sorted.
+  std::vector<std::pair<NodeId, NodeId>> mst_edges;
+  /// The resolved query sources (bfs/sssp: the root; batch: the k sources
+  /// after SourceMode placement).
+  std::vector<NodeId> sources;
+
+  void clear() {
+    distances.clear();
+    hops.clear();
+    mst_edges.clear();
+    sources.clear();
+  }
+};
 
 /// Knobs shared by all scenario algorithms.
 struct ScenarioConfig {
@@ -36,6 +75,9 @@ struct ScenarioConfig {
   /// run_spec() fills this from a spec's `sources=k` parameter when the
   /// caller left it at 0.
   std::uint64_t sources = 0;
+  /// Placement of those batch sources; run_spec() fills this from a spec's
+  /// `source_mode=first|random` parameter when the caller left it kUnset.
+  SourceMode source_mode = SourceMode::kUnset;
   /// Run the legacy dense sweep (step every node every round) instead of
   /// the event-driven engine. Reports are bit-identical either way — this
   /// is the differential-test and baseline-measurement knob
@@ -47,6 +89,19 @@ struct ScenarioConfig {
   /// whole composite as consecutively-indexed spans. Recording never
   /// changes the reported costs (scenario_runner --telemetry=...).
   congest::Telemetry* telemetry = nullptr;
+  /// Thread pool for the engine rounds; null selects ThreadPool::global().
+  /// Results are bit-identical at every pool size by construction.
+  ThreadPool* pool = nullptr;
+  /// Warm engine to reuse (serve layer's Network pool): engaged only when
+  /// it is bound to EXACTLY the graph a scenario would run on (same Graph
+  /// object; scenarios that restrict to the root's component fall back to a
+  /// fresh local engine for the restricted copy). Network::run fully resets
+  /// per-run state, so reuse is safe and bit-identical — it saves the
+  /// adjacency-sized slot/arena allocations, not determinism.
+  congest::Network* network = nullptr;
+  /// Typed-result capture (null = off); see ScenarioPayload. The runner
+  /// clear()s it before filling.
+  ScenarioPayload* payload = nullptr;
 };
 
 /// One algorithm run on one graph, in paper cost measures.
@@ -121,8 +176,9 @@ class ScenarioRunner {
 /// Render results as the standard metrics table.
 Table make_report(const std::vector<ScenarioResult>& results);
 
-/// THE precedence rule for spec-level config parameters (today: sources=k):
-/// an explicit caller value wins, otherwise the spec's value applies. Used
+/// THE precedence rule for spec-level config parameters (today: sources=k
+/// and source_mode=first|random): an explicit caller value wins, otherwise
+/// the spec's value applies. Used
 /// by ScenarioRunner::run_spec and by drivers that build graphs themselves
 /// (scenario_runner's --cache path).
 ScenarioConfig apply_spec_config(ScenarioConfig cfg, const GraphSpec& spec);

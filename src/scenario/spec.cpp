@@ -193,13 +193,16 @@ Graph Registry::build(const GraphSpec& spec) const {
   }
   for (const auto& [key, _] : spec.params()) {
     // Registry-level parameters, valid for every family.
-    if (key == "weights" || key == "largest_cc" || key == "sources") continue;
+    if (key == "weights" || key == "largest_cc" || key == "sources" ||
+        key == "source_mode")
+      continue;
     bool ok = false;
     for (const auto& k : info->keys) ok = ok || k == key;
     if (!ok)
       bad("family '" + spec.family() + "' does not take parameter '" + key +
           "'; accepted: " + info->params_help +
-          " (and weights=lo..hi, largest_cc=1, sources=k)");
+          " (and weights=lo..hi, largest_cc=1, sources=k, "
+          "source_mode=first|random)");
   }
   // Fail fast on malformed registry-level parameters even for builds that
   // would not use them.
@@ -210,6 +213,12 @@ Graph Registry::build(const GraphSpec& spec) const {
         std::to_string(largest_cc));
   if (spec.has("sources") && spec.require_uint("sources") == 0)
     bad("parameter 'sources' expects a positive query count");
+  if (spec.has("source_mode")) {
+    const std::string& mode = spec.params().at("source_mode");
+    if (mode != "first" && mode != "random")
+      bad("parameter 'source_mode' expects 'first' or 'random', got '" +
+          mode + "'");
+  }
   Graph g = info->build(spec);
   if (largest_cc == 1 && g.node_count() > 0) {
     auto restricted = restrict_to_component(g, largest_component_member(g));

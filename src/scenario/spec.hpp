@@ -28,11 +28,17 @@
 //    restricted and unrestricted corpora never collide; `weights=` hashes
 //    over the RESTRICTED EdgeIds (the restriction happens first).
 //  * `sources=k` declares the batch query count for the k-source workloads
-//    (batch-bfs, batch-sssp): queries run from nodes 0..k-1 in one
-//    pipelined execution. Validated here (k >= 1 and at most the built
-//    graph's node count, after any largest_cc restriction) but consumed by
-//    ScenarioRunner::run_spec — it does not change the topology, so like
-//    `weights=` it is stripped from the corpus cache identity.
+//    (batch-bfs, batch-sssp): queries run in one pipelined execution.
+//    Validated here (k >= 1 and at most the built graph's node count, after
+//    any largest_cc restriction) but consumed by ScenarioRunner::run_spec —
+//    it does not change the topology, so like `weights=` it is stripped
+//    from the corpus cache identity.
+//  * `source_mode=first|random` picks the placement of those k query
+//    sources: "first" (the default) queries nodes 0..k-1, "random" draws k
+//    distinct seed-keyed nodes via apps::random_sources (deterministic in
+//    the spec seed — see ScenarioConfig::seed). Like `sources=` it is
+//    validated here, consumed by the runner, and stripped from the corpus
+//    cache identity.
 //
 // Two renderings exist:
 //  * GraphSpec::to_string() — exactly the parameters given, keys sorted.

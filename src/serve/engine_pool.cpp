@@ -1,0 +1,75 @@
+#include "serve/engine_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "scenario/graph_io.hpp"
+
+namespace fc::serve {
+
+EnginePool::EnginePool(std::size_t capacity, std::string cache_dir)
+    : capacity_(capacity), cache_dir_(std::move(cache_dir)) {
+  if (capacity_ == 0)
+    throw std::invalid_argument("engine pool: capacity must be >= 1");
+}
+
+std::string EnginePool::pool_key(const scenario::GraphSpec& spec) {
+  return scenario::Registry::instance()
+      .canonical(spec)
+      .without("sources")
+      .without("source_mode")
+      .to_string();
+}
+
+EnginePool::Entry& EnginePool::acquire(const scenario::GraphSpec& spec,
+                                       bool* cache_hit) {
+  const std::string key = pool_key(spec);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->key != key) continue;
+    ++stats_.hits;
+    ++it->uses;
+    if (cache_hit != nullptr) *cache_hit = true;
+    entries_.splice(entries_.begin(), entries_, it);  // no element moves
+    return entries_.front();
+  }
+
+  ++stats_.misses;
+  if (cache_hit != nullptr) *cache_hit = false;
+  // Build IN PLACE inside the list node: the Network binds to the entry's
+  // graph by address, so the entry must never move after construction
+  // (std::list guarantees that; splice above only relinks).
+  Entry& entry = entries_.emplace_front();
+  try {
+    entry.key = key;
+    entry.spec = scenario::GraphSpec::parse(key);
+    bool from_corpus = false;
+    if (entry.spec.has_weights()) {
+      entry.weighted =
+          cache_dir_.empty()
+              ? scenario::Registry::instance().build_weighted(entry.spec)
+              : scenario::load_or_generate_weighted(entry.spec, cache_dir_,
+                                                    &from_corpus);
+    } else {
+      entry.plain = cache_dir_.empty()
+                        ? scenario::Registry::instance().build(entry.spec)
+                        : scenario::load_or_generate(entry.spec, cache_dir_,
+                                                     &from_corpus);
+    }
+    if (from_corpus)
+      ++stats_.corpus_loads;
+    else
+      ++stats_.graph_builds;
+    entry.network = std::make_unique<congest::Network>(entry.graph());
+    entry.uses = 1;
+  } catch (...) {
+    entries_.pop_front();  // a bad spec must not leave a half-built entry
+    throw;
+  }
+  while (entries_.size() > capacity_) {
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  return entries_.front();
+}
+
+}  // namespace fc::serve

@@ -1,0 +1,101 @@
+#pragma once
+// Warm engine pool of the serving daemon: a small LRU cache mapping graph
+// identities to fully-built (graph, congest::Network) pairs, so repeat
+// queries skip BOTH the expensive part (generating or loading the topology)
+// and the allocation-heavy part (the Network's adjacency-sized slot and
+// arena buffers, sized 2x arcs and built only in its constructor).
+//
+// The pool key is the CANONICAL spec with the non-topology parameters
+// stripped (`sources=`, `source_mode=` — they pick queries, not graphs) but
+// `weights=` kept: weights change the WeightedGraph a weighted algorithm
+// runs on, so differently-weighted twins must not share an entry. Because
+// the key is canonical, two spellings of the same scenario ("rmat:n=64" vs
+// "rmat:deg=8,n=64") share one warm engine.
+//
+// When a corpus directory is configured, topology builds go through
+// scenario::load_or_generate(_weighted) — the daemon populates/reuses the
+// same binary cache the CLI tools do; without one it builds via the
+// Registry directly. Either way the pool holds the result for `capacity`
+// distinct graphs and evicts least-recently-used beyond that.
+//
+// Entries live in a std::list: acquire() splices the hit to the front
+// without moving the element, so Graph/Network addresses stay stable for
+// the entry's whole pool lifetime — the serve layer hands &entry.network to
+// runs and the scenario layer compares that Network's bound graph address.
+//
+// Thread-safety: none (the daemon serves one connection from one thread).
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
+#include "scenario/spec.hpp"
+
+namespace fc::serve {
+
+/// Pool effectiveness counters, exposed over the protocol's stats command
+/// and asserted by the warm-reuse tests.
+struct PoolStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  /// Topologies built by a generator this process (cache misses that also
+  /// missed the corpus).
+  std::uint64_t graph_builds = 0;
+  /// Topologies reloaded from the binary corpus.
+  std::uint64_t corpus_loads = 0;
+};
+
+class EnginePool {
+ public:
+  /// One warm graph + engine. Exactly one of `plain`/`weighted` is engaged
+  /// (weighted iff the spec carries `weights=`); `network` is always bound
+  /// to graph().
+  struct Entry {
+    std::string key;          // canonical spec minus sources/source_mode
+    scenario::GraphSpec spec; // the parsed canonical (key) spec
+    std::optional<Graph> plain;
+    std::optional<WeightedGraph> weighted;
+    std::unique_ptr<congest::Network> network;
+    std::uint64_t uses = 0;  // acquire() count, for stats/tests
+
+    bool is_weighted() const { return weighted.has_value(); }
+    const Graph& graph() const {
+      return weighted ? weighted->graph() : *plain;
+    }
+    const WeightedGraph& weighted_graph() const { return *weighted; }
+  };
+
+  /// `capacity` >= 1 warm graphs; `cache_dir` (optional) is the binary
+  /// corpus directory shared with the CLI tools.
+  explicit EnginePool(std::size_t capacity, std::string cache_dir = "");
+
+  /// Resolve `spec` to a warm entry: LRU hit, or build (corpus-backed when
+  /// configured) + evict beyond capacity. The reference stays valid until
+  /// the entry is evicted — i.e. for at least the next `capacity - 1`
+  /// acquires of OTHER keys. `cache_hit` (optional) reports which path ran.
+  /// Throws std::invalid_argument for a bad spec (unknown family/params).
+  Entry& acquire(const scenario::GraphSpec& spec, bool* cache_hit = nullptr);
+
+  /// The pool key `spec` resolves to (exposed for the serve layer's
+  /// coalescing groups and for tests).
+  static std::string pool_key(const scenario::GraphSpec& spec);
+
+  const PoolStats& stats() const { return stats_; }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::string cache_dir_;
+  std::list<Entry> entries_;  // front = most recently used
+  PoolStats stats_;
+};
+
+}  // namespace fc::serve

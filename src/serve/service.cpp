@@ -1,0 +1,397 @@
+#include "serve/service.hpp"
+
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "algo/bfs.hpp"
+#include "apps/batch_sssp.hpp"
+#include "congest/network.hpp"
+
+namespace fc::serve {
+
+Service::Service(ServiceOptions opts)
+    : opts_(std::move(opts)),
+      pool_(opts_.pool_capacity, opts_.cache_dir) {
+  if (opts_.window == 0)
+    throw std::invalid_argument("serve: window must be >= 1");
+}
+
+std::string Service::count(const std::string& response_line) {
+  ++stats_.responses;
+  // Error lines all share the literal prefix serialize() emits for ok=false.
+  if (response_line.find("\"ok\": false") != std::string::npos)
+    ++stats_.errors;
+  return response_line;
+}
+
+std::vector<std::string> Service::submit(const std::string& line) {
+  ++stats_.requests;
+  if (line.size() > opts_.max_request_bytes)
+    return {count(error_response(
+        0, ErrorCode::kOversized,
+        "request of " + std::to_string(line.size()) + " bytes exceeds the " +
+            std::to_string(opts_.max_request_bytes) + "-byte limit"))};
+
+  JsonValue parsed;
+  try {
+    parsed = parse_json(line);
+  } catch (const std::exception& err) {
+    return {count(error_response(0, ErrorCode::kParse, err.what()))};
+  }
+
+  Request req;
+  ErrorCode code = ErrorCode::kNone;
+  std::string message;
+  if (!parse_request(parsed, &req, &code, &message))
+    return {count(error_response(req.query.id, code, message))};
+
+  switch (req.command) {
+    case Command::kFlush:
+      return flush();
+    case Command::kStats:
+      return {count(stats_response(req.query.id))};
+    case Command::kShutdown: {
+      shutdown_ = true;
+      std::vector<std::string> out = flush();
+      JsonWriter w;
+      w.begin_object()
+          .field("id", req.query.id)
+          .field("ok", true)
+          .field("cmd", "shutdown")
+          .end_object();
+      out.push_back(count(w.take()));
+      return out;
+    }
+    case Command::kNone:
+      break;
+  }
+
+  // Validate what is checkable without a graph, so a doomed query errors
+  // NOW instead of poisoning the window it would have batched with.
+  PendingQuery p;
+  p.query = std::move(req.query);
+  if (!runner_.has(p.query.algo))
+    return {count(error_response(p.query.id, ErrorCode::kUnknownAlgo,
+                                 "unknown algorithm '" + p.query.algo +
+                                     "' (see scenario_runner --list)"))};
+  try {
+    p.spec = scenario::GraphSpec::parse(p.query.spec);
+    p.pool_key = EnginePool::pool_key(p.spec);
+    p.query.cfg = scenario::apply_spec_config(p.query.cfg, p.spec);
+  } catch (const std::exception& err) {
+    return {count(
+        error_response(p.query.id, ErrorCode::kBadSpec, err.what()))};
+  }
+  pending_.push_back(std::move(p));
+  if (pending_.size() >= opts_.window) return flush();
+  return {};
+}
+
+namespace {
+
+/// Queries a batch primitive can answer together: same warm graph, same
+/// engine knobs — and an algorithm with a documented bit-identical batch
+/// twin (bfs -> BatchBfs, sssp -> BatchBellmanFord).
+std::string coalesce_key(const std::string& pool_key,
+                         const scenario::ScenarioConfig& cfg,
+                         const std::string& algo) {
+  return algo + '\n' + pool_key + '\n' + (cfg.force_dense ? "d" : "e") +
+         '\n' + std::to_string(cfg.max_rounds);
+}
+
+}  // namespace
+
+std::vector<std::string> Service::flush() {
+  if (pending_.empty()) return {};
+  ++stats_.flushes;
+  std::vector<PendingQuery> batch = std::move(pending_);
+  pending_.clear();
+
+  congest::Telemetry telemetry(opts_.telemetry);
+  active_telemetry_ = telemetry.enabled() ? &telemetry : nullptr;
+
+  std::vector<std::string> responses(batch.size());
+
+  // Group coalescible queries; everything else runs individually in order.
+  std::map<std::string, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PendingQuery& p = batch[i];
+    if (p.query.algo == "bfs" || p.query.algo == "sssp")
+      groups[coalesce_key(p.pool_key, p.query.cfg, p.query.algo)]
+          .push_back(i);
+  }
+
+  std::vector<std::uint8_t> handled(batch.size(), 0);
+  for (const auto& [key, members] : groups) {
+    if (members.size() < 2) continue;
+    // sssp coalesces only on weighted specs: the batch twin needs the
+    // warm WeightedGraph (unit-weight wrapping would copy the topology).
+    if (batch[members.front()].query.algo == "sssp" &&
+        !batch[members.front()].spec.has_weights())
+      continue;
+    if (batch[members.front()].query.algo == "bfs")
+      run_coalesced_bfs(members, batch, responses);
+    else
+      run_coalesced_sssp(members, batch, responses);
+    for (const std::size_t i : members) handled[i] = 1;
+    ++stats_.coalesced_runs;
+    stats_.coalesced_queries += members.size();
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    if (!handled[i]) responses[i] = run_one(batch[i]);
+
+  active_telemetry_ = nullptr;
+  if (telemetry.enabled() && opts_.metrics != nullptr) {
+    congest::write_metrics_ndjson(*opts_.metrics, telemetry.snapshot());
+    opts_.metrics->flush();
+  }
+
+  for (std::string& r : responses) count(r);
+  return responses;
+}
+
+std::string Service::run_one(const PendingQuery& p) {
+  Response resp;
+  resp.id = p.query.id;
+  try {
+    EnginePool::Entry& entry = pool_.acquire(p.spec, &resp.cache_hit);
+    const Graph& g = entry.graph();
+    if (p.query.cfg.root >= g.node_count())
+      return error_response(
+          resp.id, ErrorCode::kBadSource,
+          "root " + std::to_string(p.query.cfg.root) +
+              " out of range for n=" + std::to_string(g.node_count()));
+    if (p.query.cfg.sources > g.node_count())
+      return error_response(
+          resp.id, ErrorCode::kBadSource,
+          "sources=" + std::to_string(p.query.cfg.sources) +
+              " exceeds the graph's n=" + std::to_string(g.node_count()));
+
+    scenario::ScenarioConfig cfg = p.query.cfg;
+    cfg.pool = opts_.pool;
+    cfg.network = entry.network.get();
+    cfg.telemetry = active_telemetry_;
+    scenario::ScenarioPayload payload;
+    if (p.query.want_payload) cfg.payload = &payload;
+
+    const std::uint64_t runs_before = entry.network->runs_started();
+    resp.result =
+        entry.is_weighted()
+            ? runner_.run(p.query.algo, entry.weighted_graph(), entry.key,
+                          cfg)
+            : runner_.run(p.query.algo, g, entry.key, cfg);
+    resp.engine_reused =
+        resp.cache_hit && entry.network->runs_started() > runs_before;
+    resp.ok = true;
+    if (p.query.want_payload) {
+      resp.has_payload = true;
+      resp.payload = std::move(payload);
+    }
+    return serialize(resp);
+  } catch (const std::invalid_argument& err) {
+    return error_response(resp.id, ErrorCode::kBadSpec, err.what());
+  } catch (const std::exception& err) {
+    return error_response(resp.id, ErrorCode::kInternal, err.what());
+  }
+}
+
+void Service::run_coalesced_bfs(const std::vector<std::size_t>& members,
+                                std::vector<PendingQuery>& batch,
+                                std::vector<std::string>& responses) {
+  const PendingQuery& first = batch[members.front()];
+  bool cache_hit = false;
+  EnginePool::Entry* entry = nullptr;
+  try {
+    entry = &pool_.acquire(first.spec, &cache_hit);
+  } catch (const std::exception& err) {
+    for (const std::size_t i : members)
+      responses[i] = error_response(batch[i].query.id, ErrorCode::kBadSpec,
+                                    err.what());
+    return;
+  }
+  const Graph& g = entry->graph();
+
+  // Per-query roots become the batch's source list; invalid roots error
+  // individually and drop out of the execution.
+  std::vector<NodeId> sources;
+  std::vector<std::size_t> live;
+  for (const std::size_t i : members) {
+    const NodeId root = batch[i].query.cfg.root;
+    if (root >= g.node_count()) {
+      responses[i] = error_response(
+          batch[i].query.id, ErrorCode::kBadSource,
+          "root " + std::to_string(root) +
+              " out of range for n=" + std::to_string(g.node_count()));
+      continue;
+    }
+    sources.push_back(root);
+    live.push_back(i);
+  }
+  if (live.empty()) return;
+
+  try {
+    congest::RunOptions ropts;
+    ropts.max_rounds = first.query.cfg.max_rounds;
+    ropts.force_dense = first.query.cfg.force_dense;
+    ropts.telemetry = active_telemetry_;
+    ropts.pool = opts_.pool;
+    algo::BatchBfs alg(g, sources);
+    const std::uint64_t runs_before = entry->network->runs_started();
+    const auto cost = entry->network->run(alg, ropts);
+    const congest::HistogramSummary h =
+        congest::summarize_counts(cost.arc_sends);
+
+    for (std::size_t s = 0; s < live.size(); ++s) {
+      const std::size_t i = live[s];
+      Response resp;
+      resp.id = batch[i].query.id;
+      resp.ok = true;
+      resp.cache_hit = cache_hit;
+      resp.engine_reused =
+          cache_hit && entry->network->runs_started() > runs_before;
+      resp.coalesced = static_cast<std::uint32_t>(live.size());
+      scenario::ScenarioResult& r = resp.result;
+      r.graph = entry->key;
+      r.algo = "bfs";
+      r.nodes = g.node_count();
+      r.edges = g.edge_count();
+      r.rounds = cost.rounds;
+      r.messages = cost.messages;
+      r.max_arc_congestion = congest::max_arc_congestion(cost.arc_sends);
+      r.max_edge_congestion =
+          congest::max_edge_congestion(g, cost.arc_sends);
+      r.arc_p50 = h.p50;
+      r.arc_p99 = h.p99;
+      r.finished = cost.finished;
+      r.note = "coalesced depth=" +
+               std::to_string(alg.depth(static_cast<std::uint32_t>(s))) +
+               " reached=" +
+               std::to_string(
+                   alg.reached_count(static_cast<std::uint32_t>(s)));
+      if (batch[i].query.want_payload) {
+        resp.has_payload = true;
+        resp.payload.hops.push_back(
+            alg.source_distances(static_cast<std::uint32_t>(s)));
+        resp.payload.sources = {sources[s]};
+      }
+      responses[i] = serialize(resp);
+    }
+  } catch (const std::exception& err) {
+    for (const std::size_t i : live)
+      responses[i] = error_response(batch[i].query.id, ErrorCode::kInternal,
+                                    err.what());
+  }
+}
+
+void Service::run_coalesced_sssp(const std::vector<std::size_t>& members,
+                                 std::vector<PendingQuery>& batch,
+                                 std::vector<std::string>& responses) {
+  const PendingQuery& first = batch[members.front()];
+  bool cache_hit = false;
+  EnginePool::Entry* entry = nullptr;
+  try {
+    entry = &pool_.acquire(first.spec, &cache_hit);
+  } catch (const std::exception& err) {
+    for (const std::size_t i : members)
+      responses[i] = error_response(batch[i].query.id, ErrorCode::kBadSpec,
+                                    err.what());
+    return;
+  }
+  const WeightedGraph& wg = entry->weighted_graph();
+  const Graph& g = wg.graph();
+
+  std::vector<NodeId> sources;
+  std::vector<std::size_t> live;
+  for (const std::size_t i : members) {
+    const NodeId root = batch[i].query.cfg.root;
+    if (root >= g.node_count()) {
+      responses[i] = error_response(
+          batch[i].query.id, ErrorCode::kBadSource,
+          "root " + std::to_string(root) +
+              " out of range for n=" + std::to_string(g.node_count()));
+      continue;
+    }
+    sources.push_back(root);
+    live.push_back(i);
+  }
+  if (live.empty()) return;
+
+  try {
+    apps::BatchSsspOptions opts;
+    opts.max_rounds = first.query.cfg.max_rounds;
+    opts.force_dense = first.query.cfg.force_dense;
+    opts.telemetry = active_telemetry_;
+    opts.pool = opts_.pool;
+    opts.network = entry->network.get();
+    const std::uint64_t runs_before = entry->network->runs_started();
+    auto rep = apps::batch_sssp(wg, sources, opts);
+    const congest::HistogramSummary h =
+        congest::summarize_counts(rep.arc_sends);
+
+    for (std::size_t s = 0; s < live.size(); ++s) {
+      const std::size_t i = live[s];
+      Response resp;
+      resp.id = batch[i].query.id;
+      resp.ok = true;
+      resp.cache_hit = cache_hit;
+      resp.engine_reused =
+          cache_hit && entry->network->runs_started() > runs_before;
+      resp.coalesced = static_cast<std::uint32_t>(live.size());
+      scenario::ScenarioResult& r = resp.result;
+      r.graph = entry->key;
+      r.algo = "sssp";
+      r.nodes = g.node_count();
+      r.edges = g.edge_count();
+      r.rounds = rep.rounds;
+      r.messages = rep.messages;
+      r.max_arc_congestion = congest::max_arc_congestion(rep.arc_sends);
+      r.max_edge_congestion = congest::max_edge_congestion(g, rep.arc_sends);
+      r.arc_p50 = h.p50;
+      r.arc_p99 = h.p99;
+      r.finished = rep.finished;
+      r.note = "coalesced reached=" + std::to_string(rep.reached[s]) +
+               " max_dist=" + std::to_string(rep.max_dist[s]);
+      if (batch[i].query.want_payload) {
+        resp.has_payload = true;
+        resp.payload.distances.push_back(std::move(rep.dist[s]));
+        resp.payload.sources = {sources[s]};
+      }
+      responses[i] = serialize(resp);
+    }
+  } catch (const std::exception& err) {
+    for (const std::size_t i : live)
+      responses[i] = error_response(batch[i].query.id, ErrorCode::kInternal,
+                                    err.what());
+  }
+}
+
+std::string Service::stats_response(std::uint64_t id) const {
+  const PoolStats& ps = pool_.stats();
+  JsonWriter w;
+  w.begin_object().field("id", id).field("ok", true);
+  w.key("stats").begin_object();
+  w.field("requests", stats_.requests)
+      .field("responses", stats_.responses)
+      .field("errors", stats_.errors)
+      .field("flushes", stats_.flushes)
+      .field("coalesced_queries", stats_.coalesced_queries)
+      .field("coalesced_runs", stats_.coalesced_runs)
+      .field("pending", std::uint64_t{pending_.size()});
+  w.key("pool").begin_object();
+  w.field("hits", ps.hits)
+      .field("misses", ps.misses)
+      .field("evictions", ps.evictions)
+      .field("graph_builds", ps.graph_builds)
+      .field("corpus_loads", ps.corpus_loads)
+      .field("size", std::uint64_t{pool_.size()})
+      .field("capacity", std::uint64_t{pool_.capacity()});
+  w.end_object();  // pool
+  w.end_object();  // stats
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace fc::serve

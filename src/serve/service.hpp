@@ -1,0 +1,130 @@
+#pragma once
+// The serving daemon's brain, factored away from any transport: feed it
+// request lines, get response lines back. scenario_serve wires it to a
+// stdio pipe or a TCP socket; tests drive it directly in-process.
+//
+// Three ideas compose here:
+//
+//  * Warm engines. Every query resolves through a serve::EnginePool — the
+//    corpus is loaded (or generated) once per graph identity, and the
+//    congest::Network with its adjacency-sized slot buffers is built once
+//    and reused run over run (Network::run resets per-run state, so reuse
+//    is bit-identical; responses report cache_hit / engine_reused).
+//
+//  * Windowed coalescing. Queries buffer until `window` of them are
+//    pending (or a flush/shutdown arrives). Within a flushed window,
+//    same-graph bfs queries collapse into ONE algo::BatchBfs execution and
+//    same-graph sssp queries (on weighted specs) into ONE
+//    apps::batch_sssp execution — the PR-4 pipelined batch primitives,
+//    whose per-query final answers are documented (and tested) to be
+//    bit-identical to individual runs. Coalesced responses share the batch
+//    execution's cost measures and say so via `coalesced=k`; window=1
+//    (the default) therefore reproduces ScenarioRunner exactly.
+//
+//  * Typed errors, always. A malformed line, unknown algorithm, bad spec or
+//    out-of-range source becomes an ok=false response with an ErrorCode —
+//    the daemon never dies on input and never leaks state from a failed
+//    query into the next one.
+//
+// Telemetry: when enabled, each flushed window records into one recorder
+// and the snapshot streams to the `metrics` sink as NDJSON (the PR-6
+// write_metrics_ndjson format), one header line + per-round lines per
+// flush — a live side channel, separate from the response stream.
+//
+// Thread-safety: none; one Service per connection/thread.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "congest/telemetry.hpp"
+#include "scenario/runner.hpp"
+#include "serve/engine_pool.hpp"
+#include "serve/protocol.hpp"
+
+namespace fc {
+class ThreadPool;
+}
+
+namespace fc::serve {
+
+struct ServiceOptions {
+  /// Binary graph corpus shared with the CLI tools ("" = build in memory).
+  std::string cache_dir;
+  /// Warm (graph, Network) pairs kept by the LRU pool.
+  std::size_t pool_capacity = 4;
+  /// Queries buffered before a flush; 1 = serve immediately (no batching).
+  std::size_t window = 1;
+  /// Hard cap on one request line; longer lines get ErrorCode::kOversized.
+  std::size_t max_request_bytes = 1 << 20;
+  /// Per-flush telemetry recording (kOff = none).
+  congest::TelemetryMode telemetry = congest::TelemetryMode::kOff;
+  /// NDJSON sink for per-flush telemetry (null = discard even when
+  /// recording). See docs/OBSERVABILITY.md for the line format.
+  std::ostream* metrics = nullptr;
+  /// Thread pool for engine rounds; null selects ThreadPool::global().
+  ThreadPool* pool = nullptr;
+};
+
+struct ServiceStats {
+  std::uint64_t requests = 0;   // lines submitted
+  std::uint64_t responses = 0;  // response lines produced (incl. errors)
+  std::uint64_t errors = 0;     // ok=false responses
+  std::uint64_t flushes = 0;    // windows executed
+  /// Queries answered through a shared batch execution (coalesced >= 2).
+  std::uint64_t coalesced_queries = 0;
+  /// Batch executions that replaced >= 2 individual runs.
+  std::uint64_t coalesced_runs = 0;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions opts);
+
+  /// Feed one request line (no trailing newline required). Returns the
+  /// response lines this input released, in request order: an immediate
+  /// error, a control response, or — when the window fills or a
+  /// flush/shutdown command arrives — the whole flushed window.
+  std::vector<std::string> submit(const std::string& line);
+
+  /// Execute every pending query now (EOF / window timeout in the daemon).
+  std::vector<std::string> flush();
+
+  /// True once a shutdown command was accepted; the transport loop exits.
+  bool shutdown_requested() const { return shutdown_; }
+
+  const ServiceStats& stats() const { return stats_; }
+  const PoolStats& pool_stats() const { return pool_.stats(); }
+  EnginePool& engine_pool() { return pool_; }
+
+ private:
+  struct PendingQuery {
+    Query query;
+    scenario::GraphSpec spec;  // parsed, pre-validated at submit time
+    std::string pool_key;
+  };
+
+  std::string run_one(const PendingQuery& p);
+  void run_coalesced_bfs(const std::vector<std::size_t>& members,
+                         std::vector<PendingQuery>& batch,
+                         std::vector<std::string>& responses);
+  void run_coalesced_sssp(const std::vector<std::size_t>& members,
+                          std::vector<PendingQuery>& batch,
+                          std::vector<std::string>& responses);
+  std::string stats_response(std::uint64_t id) const;
+  std::string count(const std::string& response_line);
+
+  ServiceOptions opts_;
+  scenario::ScenarioRunner runner_;
+  EnginePool pool_;
+  /// Per-flush recorder target; points at a local recorder only while a
+  /// flush is executing (null otherwise).
+  congest::Telemetry* active_telemetry_ = nullptr;
+  std::vector<PendingQuery> pending_;
+  ServiceStats stats_;
+  bool shutdown_ = false;
+};
+
+}  // namespace fc::serve

@@ -1,6 +1,7 @@
 #include "util/json.hpp"
 
 #include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -266,6 +267,40 @@ bool JsonValue::flag(std::string_view key, bool fallback) const {
 
 JsonValue parse_json(std::string_view text) {
   return Parser(text).parse_document();
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  // JSON has no NaN/Inf; emitters should not produce them, but a literal
+  // null beats an unparseable document if one slips through.
+  if (v != v || v > 1.7976931348623157e308 || v < -1.7976931348623157e308)
+    return null();
+  std::ostringstream s;
+  s << v;
+  return literal(s.str());
 }
 
 }  // namespace fc

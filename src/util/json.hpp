@@ -1,12 +1,14 @@
 #pragma once
-// Minimal JSON parser for tooling that reads the artifacts this repo
-// emits (telemetry NDJSON streams, Chrome trace-event files,
-// BENCH_*.json). Strict enough to reject malformed documents with a
-// useful error, small enough to stay dependency-free. Not a streaming
-// parser: the whole document is materialized, which is fine for the
+// Minimal JSON support shared across the repo: a strict parser for tooling
+// that reads the artifacts this repo emits (telemetry NDJSON streams,
+// Chrome trace-event files, BENCH_*.json) and a streaming writer used by
+// everything that emits JSON — the telemetry exporters and the serve
+// protocol responses. Both are dependency-free. The parser is not
+// streaming: the whole document is materialized, which is fine for the
 // megabyte-scale artifacts the tools consume.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -44,5 +46,109 @@ struct JsonValue {
 /// trailing whitespace). Throws std::runtime_error with a byte offset on
 /// malformed input.
 JsonValue parse_json(std::string_view text);
+
+/// JSON string escaping (quotes, backslashes, control characters). The one
+/// escaping rule for every emitter in the repo.
+std::string json_escape(std::string_view text);
+
+/// Streaming JSON writer: appends to an internal buffer with automatic
+/// comma/colon placement, so emitters state structure instead of
+/// hand-rolling punctuation. Scopes nest arbitrarily; field() is the
+/// object-member shorthand. The writer does not validate that scopes are
+/// balanced or that values appear where the grammar allows them — callers
+/// are trusted emitters — but what it emits for well-nested calls is
+/// always valid JSON (keys and string values are escaped).
+///
+///   JsonWriter w;
+///   w.begin_object().field("type", "round").field("sent", sent);
+///   w.key("spans").begin_array() ... .end_array();
+///   w.end_object();  out << w.str() << '\n';
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  /// Object member key; follow with exactly one value or scope.
+  JsonWriter& key(std::string_view name) {
+    comma();
+    out_ += '"';
+    out_ += json_escape(name);
+    out_ += "\": ";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) {
+    comma();
+    out_ += '"';
+    out_ += json_escape(s);
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b) { return literal(b ? "true" : "false"); }
+  JsonWriter& value(std::uint64_t v) { return literal(std::to_string(v)); }
+  JsonWriter& value(std::int64_t v) { return literal(std::to_string(v)); }
+  JsonWriter& value(std::uint32_t v) { return value(std::uint64_t{v}); }
+  JsonWriter& value(std::int32_t v) { return value(std::int64_t{v}); }
+  JsonWriter& value(double v);
+  JsonWriter& null() { return literal("null"); }
+  /// Pre-rendered literal (e.g. a fixed-point decimal); emitted verbatim.
+  JsonWriter& raw(std::string_view text) { return literal(text); }
+
+  template <typename V>
+  JsonWriter& field(std::string_view name, V v) {
+    return key(name).value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+  /// Reset for the next document (NDJSON emitters reuse one writer).
+  void clear() {
+    out_.clear();
+    depth_ = 0;
+    pending_value_ = false;
+  }
+
+ private:
+  JsonWriter& open(char c) {
+    comma();
+    out_ += c;
+    need_comma_ &= ~(std::uint64_t{1} << depth_);
+    ++depth_;
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    --depth_;
+    out_ += c;
+    return *this;
+  }
+  JsonWriter& literal(std::string_view text) {
+    comma();
+    out_ += text;
+    return *this;
+  }
+  /// Separator before a value or key: none right after a key (the value
+  /// position), ", " between siblings, nothing for the scope's first item.
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (depth_ == 0) return;
+    const std::uint64_t bit = std::uint64_t{1} << (depth_ - 1);
+    if (need_comma_ & bit)
+      out_ += ", ";
+    else
+      need_comma_ |= bit;
+  }
+
+  std::string out_;
+  std::size_t depth_ = 0;       // nesting depth, < 64 in practice
+  std::uint64_t need_comma_ = 0;  // per-depth "a sibling was emitted" bits
+  bool pending_value_ = false;
+};
 
 }  // namespace fc

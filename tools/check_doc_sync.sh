@@ -5,15 +5,18 @@
 # reference). Registering an algorithm without documenting it fails CI, so
 # the docs can't silently drift behind the registry again.
 #
-# Usage: check_doc_sync.sh <scenario_runner binary> <repo root>
+# Usage: check_doc_sync.sh <scenario_runner binary> <repo root> \
+#                          [scenario_serve binary]
 #
 # The algorithm list is read from the BINARY (`scenario_runner --list`), not
 # parsed out of the sources: whatever the registry actually exposes is what
-# the docs are held to.
+# the docs are held to. When the serving daemon binary is passed too, its
+# flag surface is held to docs/SERVING.md and the README the same way.
 set -euo pipefail
 
 runner="$1"
 root="$2"
+serve="${3:-}"
 
 list_output=$("$runner" --list)
 
@@ -68,8 +71,34 @@ if [ ! -s "$root/docs/OBSERVABILITY.md" ]; then
   status=1
 fi
 
+# The serving daemon's flag surface: scenario_serve polices unknown flags
+# and lists the known ones in the rejection, so the list comes from the
+# BINARY here too. Every serve flag must appear in docs/SERVING.md and the
+# README, and the protocol document itself must exist.
+if [ -n "$serve" ]; then
+  serve_flags=$("$serve" --doc-sync-probe 2>&1 |
+    sed -n 's/.*known options: //p') || true
+  if [ -z "$serve_flags" ]; then
+    echo "doc-sync: could not parse the flag list from '$serve'" >&2
+    exit 1
+  fi
+  for flag in $serve_flags; do
+    for doc in docs/SERVING.md README.md; do
+      if ! grep -q -- "\`$flag" "$root/$doc"; then
+        echo "doc-sync: scenario_serve $flag is undocumented in $doc" >&2
+        status=1
+      fi
+    done
+    checked=$((checked + 1))
+  done
+  if [ ! -s "$root/docs/SERVING.md" ]; then
+    echo "doc-sync: docs/SERVING.md is missing" >&2
+    status=1
+  fi
+fi
+
 if [ "$status" -eq 0 ]; then
-  echo "doc-sync: all $checked registered algorithms and telemetry flags" \
-       "documented"
+  echo "doc-sync: all $checked registered algorithms, telemetry flags, and" \
+       "serve flags documented"
 fi
 exit $status
