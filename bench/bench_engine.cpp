@@ -13,6 +13,11 @@
 //                    NOT regress here; activation bookkeeping is the only
 //                    delta.
 //   * star         — one hot hub, n leaves active for exactly one round.
+//   * messages>>n  — batch-bfs with k=256 sources on the expander: every
+//                    round delivers far more messages than there are
+//                    nodes, so delivery stamping (not handler dispatch)
+//                    is the bottleneck. The regime the parallel stamp
+//                    pass exists for; CI asserts its row stays identical.
 //
 // Both engines must produce bit-identical results (rounds, messages,
 // per-arc sends) — the harness checks and prints it. `--quick` shrinks n
@@ -24,6 +29,17 @@
 // CI guards "rounds" mode at <= 5% overhead on deep path, the contract
 // that makes the counter series safe to leave on (docs/OBSERVABILITY.md).
 //
+// Experiment N3 (built-in grid only): the delivery stamp pass itself —
+// serial loop (parallel_stamp_threshold = SIZE_MAX) vs the per-worker
+// parallel pass (threshold 0) on the messages>>n workload, sparse engine
+// both times. Results must be bit-identical; the speedup is the tentpole
+// measurement for the parallel stamp pass.
+//
+// Experiment N4 (built-in grid only): composite edge-disjoint execution —
+// run_edge_disjoint in legacy kSequential mode (one Network per instance)
+// vs kInterleaved (all instances in ONE engine run on the block-diagonal
+// union graph). Composite and per-instance costs must agree exactly.
+//
 // Flags: --quick, --graph=<spec> (repeatable; replaces the built-in
 // regimes), --sources=<k> (batch-bfs backlog width, default 64).
 
@@ -31,12 +47,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <memory>
 
 #include "algo/bfs.hpp"
 #include "algo/leader_election.hpp"
 #include "apps/batch_sssp.hpp"
 #include "congest/network.hpp"
+#include "congest/runner.hpp"
+#include "graph/partition.hpp"
 
 namespace fc::bench {
 namespace {
@@ -56,10 +75,15 @@ struct EngineRun {
 /// path runs cost one rep.
 EngineRun run_engine(const Graph& g, const AlgFactory& make, bool force_dense,
                      congest::TelemetryMode tmode =
-                         congest::TelemetryMode::kOff) {
+                         congest::TelemetryMode::kOff,
+                     std::size_t stamp_threshold =
+                         congest::RunOptions{}.parallel_stamp_threshold,
+                     ThreadPool* pool = nullptr) {
   EngineRun out;
   congest::RunOptions opts;
   opts.force_dense = force_dense;
+  opts.parallel_stamp_threshold = stamp_threshold;
+  opts.pool = pool;
   double total_ms = 0.0;
   std::uint64_t reps = 0;
   while (reps < 50 && (reps == 0 || total_ms < 200.0)) {
@@ -122,6 +146,12 @@ std::vector<Workload> builtin_workloads(bool quick, std::uint64_t sources) {
       {"expander", "margulis:side=" + side,
        "batch-bfs k=" + std::to_string(sources), make_batch_bfs(sources)},
       {"star", "complete_bipartite:a=1,b=" + leaves, "bfs", make_bfs()},
+      // Delivery-bound regime: 256 concurrent BFS waves keep every arc
+      // saturated, so per-round messages dwarf n and the stamp pass is
+      // where the time goes. Present in quick mode too — the CI smoke
+      // asserts this row exists and stays `identical`.
+      {"messages>>n", "margulis:side=" + side, "batch-bfs k=256",
+       make_batch_bfs(256)},
   };
 }
 
@@ -253,6 +283,157 @@ void run_telemetry_overhead(bool quick, const std::string& cache,
   table.print(std::cout);
 }
 
+/// Experiment N3: the delivery stamp pass in isolation. Sparse engine both
+/// times on the messages>>n workload; the only difference is
+/// RunOptions::parallel_stamp_threshold — SIZE_MAX pins the serial stamp
+/// loop, 0 routes every non-list round through the per-worker parallel
+/// pass. Bit-identical results are enforced (the engine's contract); the
+/// speedup is what the parallel pass buys on a delivery-bound round.
+void run_parallel_stamp(bool quick, const std::string& cache,
+                        JsonReport& report) {
+  banner("N3 / parallel delivery stamping",
+         "serial vs parallel receiver stamping on the messages>>n regime "
+         "(sparse engine, batch-bfs k=256): identical results required, "
+         "speedup = serial_ms / parallel_ms.");
+  const std::string side = quick ? "40" : "70";
+  const auto spec = scenario::GraphSpec::parse("margulis:side=" + side);
+  const Graph g = cache.empty() ? scenario::Registry::instance().build(spec)
+                                : scenario::load_or_generate(spec, cache);
+  const auto make = make_batch_bfs(256);
+  // At least two workers so the parallel branch actually executes even on
+  // a single-core runner (where it measures ~1.0x, honestly); both runs
+  // share the pool so handler dispatch costs cancel out of the ratio.
+  ThreadPool pool(std::max<std::size_t>(2, ThreadPool::global().size()));
+  const auto serial =
+      run_engine(g, make, /*force_dense=*/false, congest::TelemetryMode::kOff,
+                 std::numeric_limits<std::size_t>::max(), &pool);
+  const auto par =
+      run_engine(g, make, /*force_dense=*/false, congest::TelemetryMode::kOff,
+                 /*threshold=*/0, &pool);
+  const bool identical = serial.result.rounds == par.result.rounds &&
+                         serial.result.messages == par.result.messages &&
+                         serial.result.finished == par.result.finished &&
+                         serial.result.arc_sends == par.result.arc_sends;
+  const double speedup =
+      par.ms_per_run > 0.0 ? serial.ms_per_run / par.ms_per_run : 0.0;
+  Table table({"graph", "algo", "pool", "rounds", "messages", "serial ms",
+               "parallel ms", "speedup", "identical"});
+  table.add_row({spec.to_string(), "batch-bfs k=256",
+                 Table::num(std::size_t{pool.size()}),
+                 Table::num(std::size_t{par.result.rounds}),
+                 Table::num(std::size_t{par.result.messages}),
+                 Table::num(serial.ms_per_run, 2),
+                 Table::num(par.ms_per_run, 2), Table::num(speedup, 2),
+                 identical ? "yes" : "NO"});
+  table.print(std::cout);
+  report.row()
+      .add("regime", "parallel-stamp")
+      .add("graph", spec.to_string())
+      .add("algo", "batch-bfs k=256")
+      .add("pool", std::uint64_t{pool.size()})
+      .add("n", std::uint64_t{g.node_count()})
+      .add("m", std::uint64_t{g.edge_count()})
+      .add("rounds", par.result.rounds)
+      .add("messages", par.result.messages)
+      .add("serial_stamp_ms", serial.ms_per_run)
+      .add("parallel_stamp_ms", par.ms_per_run)
+      .add("stamp_speedup", speedup)
+      .add("identical", identical);
+  if (!identical)
+    throw std::runtime_error(
+        "bench_engine: serial and parallel stamp passes disagree on " +
+        spec.to_string());
+}
+
+/// Experiment N4: composite edge-disjoint execution. A 4-part
+/// communication-free edge partition of the expander, one BFS per part —
+/// legacy kSequential (one Network per instance, k round loops) vs the
+/// default kInterleaved (ONE engine run on the block-diagonal union
+/// graph). The two modes must agree on every composite and per-instance
+/// cost; the speedup is what interleaving saves in per-run fixed costs.
+void run_composite(bool quick, const std::string& cache, JsonReport& report) {
+  banner("N4 / interleaved edge-disjoint runs",
+         "run_edge_disjoint: sequential (one engine run per instance) vs "
+         "interleaved (all instances in one engine run on the union "
+         "graph); composite + per-instance costs must be identical.");
+  const std::string side = quick ? "40" : "70";
+  const auto spec = scenario::GraphSpec::parse("margulis:side=" + side);
+  const Graph g = cache.empty() ? scenario::Registry::instance().build(spec)
+                                : scenario::load_or_generate(spec, cache);
+  constexpr std::uint32_t kParts = 4;
+  const auto partition = random_edge_partition(g, kParts, /*seed=*/0x5eed);
+
+  // One timed composite run in `mode` (fresh algorithms every rep, like
+  // run_engine), repeated until >= 0.2 s accumulates.
+  const auto run_mode = [&](congest::CompositeMode mode) {
+    std::pair<congest::CompositeResult, double> out;
+    double total_ms = 0.0;
+    std::uint64_t reps = 0;
+    while (reps < 50 && (reps == 0 || total_ms < 200.0)) {
+      std::vector<std::unique_ptr<algo::DistributedBfs>> algs;
+      std::vector<congest::EdgeDisjointInstance> work;
+      for (const auto& part : partition.parts) {
+        algs.push_back(std::make_unique<algo::DistributedBfs>(part.graph, 0));
+        work.push_back({&part, algs.back().get()});
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      auto res = congest::run_edge_disjoint(g, work, {}, mode);
+      const auto t1 = std::chrono::steady_clock::now();
+      total_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+      out.first = std::move(res);
+      ++reps;
+    }
+    out.second = total_ms / static_cast<double>(reps);
+    return out;
+  };
+  const auto [seq, seq_ms] = run_mode(congest::CompositeMode::kSequential);
+  const auto [inter, inter_ms] = run_mode(congest::CompositeMode::kInterleaved);
+
+  bool identical = seq.rounds == inter.rounds &&
+                   seq.messages == inter.messages &&
+                   seq.finished == inter.finished &&
+                   seq.parent_edge_congestion == inter.parent_edge_congestion &&
+                   seq.per_instance.size() == inter.per_instance.size();
+  if (identical) {
+    for (std::size_t i = 0; i < seq.per_instance.size(); ++i) {
+      const auto& a = seq.per_instance[i];
+      const auto& b = inter.per_instance[i];
+      identical = identical && a.rounds == b.rounds &&
+                  a.messages == b.messages && a.finished == b.finished &&
+                  a.arc_sends == b.arc_sends;
+    }
+  }
+  const double speedup = inter_ms > 0.0 ? seq_ms / inter_ms : 0.0;
+  Table table({"graph", "parts", "rounds", "messages", "max congestion",
+               "sequential ms", "interleaved ms", "speedup", "identical"});
+  table.add_row({spec.to_string(), Table::num(std::size_t{kParts}),
+                 Table::num(std::size_t{inter.rounds}),
+                 Table::num(std::size_t{inter.messages}),
+                 Table::num(std::size_t{inter.max_parent_edge_congestion()}),
+                 Table::num(seq_ms, 2), Table::num(inter_ms, 2),
+                 Table::num(speedup, 2), identical ? "yes" : "NO"});
+  table.print(std::cout);
+  report.row()
+      .add("regime", "edge-disjoint composite")
+      .add("graph", spec.to_string())
+      .add("algo", "bfs x" + std::to_string(kParts))
+      .add("n", std::uint64_t{g.node_count()})
+      .add("m", std::uint64_t{g.edge_count()})
+      .add("rounds", inter.rounds)
+      .add("messages", inter.messages)
+      .add("max_parent_edge_congestion",
+           std::uint64_t{inter.max_parent_edge_congestion()})
+      .add("sequential_ms", seq_ms)
+      .add("interleaved_ms", inter_ms)
+      .add("composite_speedup", speedup)
+      .add("identical", identical);
+  if (!identical)
+    throw std::runtime_error(
+        "bench_engine: sequential and interleaved composite runs disagree "
+        "on " +
+        spec.to_string());
+}
+
 }  // namespace
 }  // namespace fc::bench
 
@@ -282,9 +463,13 @@ int main(int argc, char** argv) {
     report.meta("mode", quick ? "quick" : "full");
     bench::add_run_metadata(report);
     bench::run_comparison(work, cache, report);
-    // The overhead regime uses its own built-in graphs; custom --graph
-    // invocations stay a pure two-engine comparison.
-    if (custom.empty()) bench::run_telemetry_overhead(quick, cache, report);
+    // The overhead, stamp, and composite regimes use their own built-in
+    // graphs; custom --graph invocations stay a pure two-engine comparison.
+    if (custom.empty()) {
+      bench::run_telemetry_overhead(quick, cache, report);
+      bench::run_parallel_stamp(quick, cache, report);
+      bench::run_composite(quick, cache, report);
+    }
     std::cout << "wrote " << report.write() << "\n";
   } catch (const std::exception& err) {
     std::cerr << "bench_engine: " << err.what() << "\n";

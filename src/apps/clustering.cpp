@@ -29,6 +29,12 @@ class ClusterProtocol : public congest::Algorithm {
   std::string name() const override { return "clustering"; }
 
   void start(congest::Context& ctx) override {
+    // Every node must run rounds 1 (pick s(v), possibly with an empty
+    // inbox) and 2 (collect neighbour centers — a degree-0 node collects
+    // nothing but still has to count itself finished), so each round
+    // re-arms a wakeup for the next: the protocol is a fixed two-round
+    // schedule, not a message-driven one.
+    ctx.request_wakeup();
     if (!is_center_[ctx.id()]) return;
     for (ArcId a = ctx.arc_begin(); a < ctx.arc_end(); ++a)
       ctx.send(a, {kTagCenter, ctx.id(), 0});
@@ -37,6 +43,7 @@ class ClusterProtocol : public congest::Algorithm {
   void step(congest::Context& ctx) override {
     const NodeId v = ctx.id();
     if (ctx.round() == 1) {
+      ctx.request_wakeup();
       // Pick s(v): self if center, else the smallest announcing neighbour,
       // else self-promote.
       if (is_center_[v]) {
@@ -63,6 +70,8 @@ class ClusterProtocol : public congest::Algorithm {
   bool done() const override {
     return finished_.load(std::memory_order_relaxed) == s_.size();
   }
+
+  bool event_driven() const override { return true; }
 
   const std::vector<std::uint8_t>& is_center_;
   std::vector<NodeId> s_;
@@ -91,7 +100,7 @@ Clustering build_clustering(const Graph& g, std::uint32_t min_degree,
 
   congest::Network net(g);
   ClusterProtocol proto(g, is_center);
-  const auto res = net.run(proto);
+  const auto res = net.run(proto, opts.engine);
 
   Clustering out;
   out.rounds = res.rounds;

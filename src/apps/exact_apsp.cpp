@@ -30,7 +30,10 @@ class DelayedBfs : public congest::Algorithm {
   }
   std::size_t max_queue() const { return max_queue_; }
 
-  void start(congest::Context& ctx) override { act(ctx); }
+  void start(congest::Context& ctx) override {
+    act(ctx);
+    rearm(ctx);
+  }
   void step(congest::Context& ctx) override {
     const NodeId v = ctx.id();
     for (const auto& in : ctx.inbox()) {
@@ -44,11 +47,19 @@ class DelayedBfs : public congest::Algorithm {
       max_queue_ = std::max(max_queue_, queue_[v].size());
     }
     act(ctx);
+    rearm(ctx);
   }
   bool done() const override {
     return filled_.load(std::memory_order_relaxed) ==
            static_cast<std::uint64_t>(n_) * n_;
   }
+  // Event-driven via a wakeup chain: a node keeps itself scheduled while
+  // its round-2π(v) source timer is still pending (request_wakeup has no
+  // target round, so the chain ticks every round until the timer fires)
+  // or while its relay queue holds undelivered pairs. After that it runs
+  // only when a wave arrives. The chain's total activations are O(n) per
+  // node — the same order as the waves themselves.
+  bool event_driven() const override { return true; }
 
  private:
   struct Pending {
@@ -76,6 +87,12 @@ class DelayedBfs : public congest::Algorithm {
       ctx.send(a, {kTagWave, p.src, p.dist});
   }
 
+  void rearm(congest::Context& ctx) {
+    const NodeId v = ctx.id();
+    if (ctx.round() < 2ull * pi_[v] || !queue_[v].empty())
+      ctx.request_wakeup();
+  }
+
   std::vector<std::uint32_t> pi_;
   NodeId n_;
   std::vector<std::uint32_t> dist_;
@@ -88,6 +105,11 @@ class DelayedBfs : public congest::Algorithm {
 }  // namespace
 
 ExactApspReport exact_apsp_distributed(const Graph& g, NodeId dfs_root) {
+  return exact_apsp_distributed(g, dfs_root, congest::RunOptions{});
+}
+
+ExactApspReport exact_apsp_distributed(const Graph& g, NodeId dfs_root,
+                                       congest::RunOptions engine_opts) {
   if (!is_connected(g))
     throw std::invalid_argument("exact_apsp: disconnected graph");
   ExactApspReport report;
@@ -100,7 +122,7 @@ ExactApspReport exact_apsp_distributed(const Graph& g, NodeId dfs_root) {
 
   congest::Network net(g);
   DelayedBfs alg(g, pi);
-  congest::RunOptions opts;
+  congest::RunOptions opts = engine_opts;
   opts.max_rounds = 10ull * g.node_count() + 64;
   const auto res = net.run(alg, opts);
   if (!res.finished)

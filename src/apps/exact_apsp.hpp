@@ -37,4 +37,10 @@ struct ExactApspReport {
 /// Run the distributed exact APSP on a connected graph.
 ExactApspReport exact_apsp_distributed(const Graph& g, NodeId dfs_root = 0);
 
+/// Same, with engine knobs exposed (force_dense, pool, ...) so the
+/// dense-vs-sparse differential tests can drive the real entry point.
+/// `engine_opts.max_rounds` is overridden by the algorithm's own bound.
+ExactApspReport exact_apsp_distributed(const Graph& g, NodeId dfs_root,
+                                       congest::RunOptions engine_opts);
+
 }  // namespace fc::apps

@@ -40,6 +40,14 @@ inline std::uint64_t max_edge_congestion(
 struct RunResult {
   std::uint64_t rounds = 0;         // rounds executed (including round 0)
   std::uint64_t messages = 0;       // total messages sent
+  /// Messages sent in the final executed round: they sat in the flipped
+  /// write half when the loop exited and were never delivered to any
+  /// handler. Nonzero mostly on runs truncated by RunOptions::max_rounds
+  /// (a finished run's last round can also leave a few in flight — e.g. a
+  /// flood's last adopter announcing to its remaining neighbors).
+  /// Invariant per run: messages - undelivered == sum of inbox sizes ever
+  /// materialized == the telemetry series' summed `delivered` column.
+  std::uint64_t undelivered = 0;
   bool finished = false;            // algorithm reported done()
   /// Per-arc message counts; EMPTY when the run had count_sends off.
   std::vector<std::uint64_t> arc_sends;

@@ -1,18 +1,33 @@
 #include "congest/network.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
 namespace fc::congest {
 
-std::uint32_t Context::degree() const { return net_->graph().degree(node_); }
-ArcId Context::arc_begin() const { return net_->graph().arc_begin(node_); }
-ArcId Context::arc_end() const { return net_->graph().arc_end(node_); }
-NodeId Context::neighbor(ArcId a) const { return net_->graph().arc_head(a); }
-const Graph& Context::graph() const { return net_->graph(); }
+std::uint32_t Context::degree() const { return graph_->degree(id()); }
+ArcId Context::arc_begin() const { return graph_->arc_begin(id()); }
+ArcId Context::arc_end() const { return graph_->arc_end(id()); }
+NodeId Context::neighbor(ArcId a) const { return graph_->arc_head(a); }
+const Graph& Context::graph() const { return *graph_; }
 
 void Context::send(ArcId via, const Message& m) {
   net_->do_send(*this, via, m);
+}
+
+Context Context::block_view(NodeId node_base, ArcId arc_base,
+                            const Graph& local) const {
+  Context sub = *this;
+  sub.graph_ = &local;
+  sub.node_base_ = node_base;
+  sub.arc_base_ = arc_base;
+  // The inbox lives in this worker's scratch and this handler is its only
+  // reader, so the vias can be translated where they sit.
+  const std::span<Incoming> items(const_cast<Incoming*>(inbox_.data()),
+                                  inbox_.size());
+  for (Incoming& in : items) in.via -= arc_base;
+  return sub;
 }
 
 void Context::request_wakeup() {
@@ -28,17 +43,20 @@ Network::Network(const Graph& g) : graph_(&g), arcs_(g.arc_count()) {
 
 void Network::do_send(Context& ctx, ArcId via, const Message& m) {
   const Graph& g = *graph_;
-  if (via < g.arc_begin(ctx.node_) || via >= g.arc_end(ctx.node_))
+  // `via` is in the context's view; a block view offsets it back into the
+  // engine's arc space (the identity view has arc_base_ == 0).
+  const ArcId at = ctx.arc_base_ + via;
+  if (at < g.arc_begin(ctx.node_) || at >= g.arc_end(ctx.node_))
     throw std::logic_error("Context::send: arc does not leave this node");
-  const std::size_t w = write_off_ + via;
+  const std::size_t w = write_off_ + at;
   if (slot_full_[w])
     throw std::logic_error(
         "Context::send: second message on one arc in one round "
         "(CONGEST bandwidth violation)");
   slot_full_[w] = 1;
   slot_msg_[w] = m;
-  ctx.dirty_->push_back(via);
-  if (counting_) ++arc_sends_[via];
+  ctx.recv_->push_back(g.arc_head(at));
+  if (counting_) ++arc_sends_[at];
 }
 
 std::uint64_t Network::run_handlers(Algorithm& alg, std::uint64_t round,
@@ -59,8 +77,9 @@ std::uint64_t Network::run_handlers(Algorithm& alg, std::uint64_t round,
   auto body = [&](std::size_t worker, std::size_t begin, std::size_t end) {
     Context ctx;
     ctx.net_ = this;
+    ctx.graph_ = graph_;
     ctx.round_ = round;
-    ctx.dirty_ = &thread_dirty_[worker];
+    ctx.recv_ = &thread_recv_[worker];
     ctx.wakeup_ = record_wakeups ? &thread_wakeup_[worker] : nullptr;
     ctx.notes_ = tf != nullptr ? tf->worker_notes(worker) : nullptr;
     auto& scratch = inbox_scratch_[worker];
@@ -126,7 +145,7 @@ RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
   const bool sparse = alg.event_driven() && !opts.force_dense;
   ThreadPool& pool = opts.pool != nullptr ? *opts.pool : ThreadPool::global();
   const std::size_t workers = pool.size();
-  thread_dirty_.assign(workers, {});
+  thread_recv_.assign(workers, {});
   thread_wakeup_.assign(workers, {});
   inbox_scratch_.assign(workers, {});
 
@@ -150,16 +169,25 @@ RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
   // Telemetry carry: messages delivered this round == sent last round;
   // nodes with input this round were counted during last round's delivery.
   std::uint64_t delivered = 0, with_input = 0;
+  // Sends of the most recent round: whatever is left here when the loop
+  // exits (done() or max_rounds) sat in the flipped write half and was
+  // never delivered — RunResult::undelivered, the counter that reconciles
+  // result.messages with what handlers actually saw.
+  std::uint64_t in_flight = 0;
+  // Wakeups must be recorded whenever telemetry is on, even under the
+  // dense sweep (where they don't gate scheduling): the `wakeups` series
+  // column is meaningless in a dense-vs-sparse comparison otherwise.
+  const bool record_wakeups = sparse || tele_ != nullptr;
   for (; round < opts.max_rounds; ++round) {
     alg.round_started(round);
     const Sweep sweep = sparse && round > 0 ? sweep_next : Sweep::kAll;
     const std::uint64_t t0 = timing ? Telemetry::now_ns() : 0;
     const std::uint64_t active =
-        run_handlers(alg, round, sweep, sparse, pool, opts.parallel);
+        run_handlers(alg, round, sweep, record_wakeups, pool, opts.parallel);
     const std::uint64_t t1 = timing ? Telemetry::now_ns() : 0;
 
     // Delivery — O(messages + wakeups), no copies: stamp each receiver
-    // from the per-worker sent-arc lists, then flip the buffer halves.
+    // from the per-worker receiver lists, then flip the buffer halves.
     // The sweep decision is made up front from the sent + wakeup upper
     // bound on next round's active count: when >= 1/8 of the graph will
     // run anyway, stamping is a plain store (dense-equal delivery cost)
@@ -167,18 +195,18 @@ RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
     // pay the dedup branch that builds the active list.
     const std::uint64_t next = round + 1;
     std::size_t sent = 0, woken = 0;
-    for (const auto& list : thread_dirty_) sent += list.size();
-    if (sparse || tele_ != nullptr)
+    for (const auto& list : thread_recv_) sent += list.size();
+    if (record_wakeups)
       for (const auto& list : thread_wakeup_) woken += list.size();
     messages_ += sent;
+    in_flight = sent;
     std::uint64_t receivers = 0;  // unique message receivers (telemetry)
     const bool build_list = sparse && (sent + woken) * 8 < n;
     sweep_next = build_list ? Sweep::kActiveList : Sweep::kActiveScan;
     if (build_list) {
       active_.clear();
-      for (auto& list : thread_dirty_) {
-        for (const ArcId a : list) {
-          const NodeId to = g.arc_head(a);
+      for (auto& list : thread_recv_) {
+        for (const NodeId to : list) {
           if (sched_stamp_[to] != next) {
             sched_stamp_[to] = next;
             active_.push_back(to);
@@ -196,12 +224,49 @@ RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
         }
         list.clear();
       }
+    } else if (opts.parallel && workers > 1 &&
+               sent >= opts.parallel_stamp_threshold) {
+      // Parallel stamp: pool workers split the per-worker receiver lists.
+      // Every writer of one stamp writes the same value `next`, so relaxed
+      // atomic stores are enough; when telemetry wants the unique-receiver
+      // count, the first writer CAS-claims the stamp, counting each
+      // receiver exactly once — the size of a set, identical under every
+      // interleaving and pool size. Wakeup stamps follow serially (they
+      // are bounded by n, not messages) so that, as in the serial branch,
+      // a node that is both woken and a receiver counts as a receiver.
+      std::vector<std::uint64_t> uniq(tele_ != nullptr ? workers : 0, 0);
+      const bool want_receivers = tele_ != nullptr;
+      pool.parallel_chunks(
+          workers, [&](std::size_t w, std::size_t begin, std::size_t end) {
+            std::uint64_t mine = 0;
+            for (std::size_t li = begin; li < end; ++li) {
+              for (const NodeId to : thread_recv_[li]) {
+                std::atomic_ref<std::uint64_t> stamp(sched_stamp_[to]);
+                if (!want_receivers) {
+                  stamp.store(next, std::memory_order_relaxed);
+                  continue;
+                }
+                std::uint64_t seen = stamp.load(std::memory_order_relaxed);
+                while (seen != next &&
+                       !stamp.compare_exchange_weak(
+                           seen, next, std::memory_order_relaxed)) {
+                }
+                if (seen != next) ++mine;  // this worker claimed the stamp
+              }
+            }
+            if (want_receivers) uniq[w] = mine;
+          });
+      for (auto& list : thread_recv_) list.clear();
+      for (auto& list : thread_wakeup_) {
+        for (const NodeId v : list) sched_stamp_[v] = next;
+        list.clear();
+      }
+      for (const std::uint64_t u : uniq) receivers += u;
     } else if (tele_ != nullptr) {
       // Telemetry needs the unique-receiver count, so the stamp pass pays
       // the dedup branch the plain path below avoids.
-      for (auto& list : thread_dirty_) {
-        for (const ArcId a : list) {
-          const NodeId to = g.arc_head(a);
+      for (auto& list : thread_recv_) {
+        for (const NodeId to : list) {
           if (sched_stamp_[to] != next) {
             sched_stamp_[to] = next;
             ++receivers;
@@ -214,8 +279,8 @@ RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
         list.clear();
       }
     } else {
-      for (auto& list : thread_dirty_) {
-        for (const ArcId a : list) sched_stamp_[g.arc_head(a)] = next;
+      for (auto& list : thread_recv_) {
+        for (const NodeId to : list) sched_stamp_[to] = next;
         list.clear();
       }
       for (auto& list : thread_wakeup_) {
@@ -249,6 +314,7 @@ RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
   }
   result.rounds = round;
   result.messages = messages_;
+  result.undelivered = in_flight;
   if (counting_) result.arc_sends = std::move(arc_sends_);
   if (tele_ != nullptr) {
     if (!timing) tele_->commit_counters(cursor);

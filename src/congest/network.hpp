@@ -16,8 +16,13 @@
 //  * Message slots are per-directed-edge and DOUBLE-BUFFERED: one half of
 //    the flat slot array receives this round's sends while handlers read
 //    last round's half. End-of-round delivery is an O(1) offset flip plus
-//    an O(messages) pass over the per-worker sent-arc lists that stamps
-//    each receiver; nothing is copied, merged, or sorted.
+//    an O(messages) pass over the per-worker receiver lists that stamps
+//    each receiver; nothing is copied, merged, or sorted. Once a round's
+//    send volume crosses RunOptions::parallel_stamp_threshold the stamp
+//    pass itself runs on the pool — receiver stamps become relaxed atomic
+//    stores (every writer writes the same round number, so the value is
+//    well-defined under any interleaving), which keeps the messages >> n
+//    regime at memory bandwidth instead of single-core store throughput.
 //  * A node's inbox is materialized on the worker thread that runs its
 //    handler, by scanning the node's contiguous arc range for full
 //    reverse-arc slots (skipped entirely when the receiver stamp says the
@@ -64,7 +69,7 @@ class Network;
 /// of one handler call (the inbox span points into per-worker scratch).
 class Context {
  public:
-  NodeId id() const { return node_; }
+  NodeId id() const { return node_ - node_base_; }
   std::uint64_t round() const { return round_; }
 
   /// Local topology.
@@ -92,6 +97,17 @@ class Context {
   /// every node runs anyway.
   void request_wakeup();
 
+  /// Composite-algorithm support (congest::run_edge_disjoint): a view of
+  /// this context translated into a node/arc-contiguous block of the
+  /// engine's graph whose CSR layout mirrors `local` exactly. id(), the
+  /// topology accessors, graph(), the inbox `via` fields, and send() all
+  /// speak `local` ids; the engine keeps accounting (slots, arc_sends,
+  /// receiver stamps) in engine ids. Rewrites the delivered vias IN PLACE
+  /// (this handler owns its inbox scratch), so build at most one view per
+  /// handler call and stop using the parent context's inbox afterwards.
+  Context block_view(NodeId node_base, ArcId arc_base,
+                     const Graph& local) const;
+
   /// Mark this round with a named instant event in the run's telemetry
   /// (kFull mode; a single null-check otherwise). The hook that makes
   /// algorithm structure — MST fragment phases, batch-SSSP query launches —
@@ -106,10 +122,13 @@ class Context {
  private:
   friend class Network;
   Network* net_ = nullptr;
-  NodeId node_ = kInvalidNode;
+  const Graph* graph_ = nullptr;  // view graph: engine graph, or a block's
+  NodeId node_ = kInvalidNode;    // ENGINE node id (node_base_ + id())
+  NodeId node_base_ = 0;          // block_view translation offsets; 0 = the
+  ArcId arc_base_ = 0;            //   identity view over the engine graph
   std::uint64_t round_ = 0;
   std::span<const Incoming> inbox_;
-  std::vector<ArcId>* dirty_ = nullptr;    // this worker's sent-arc list
+  std::vector<NodeId>* recv_ = nullptr;    // worker receiver list (stamping)
   std::vector<NodeId>* wakeup_ = nullptr;  // worker wakeup list; null = dense
   std::vector<Annotation>* notes_ = nullptr;  // telemetry sink; null = off
   bool woke_ = false;                      // wakeup already recorded
@@ -163,6 +182,16 @@ struct RunOptions {
   /// Pool for the handler rounds; null selects ThreadPool::global(). The
   /// run is bit-identical for every pool size by construction.
   ThreadPool* pool = nullptr;
+  /// Delivery goes parallel once a round sends at least this many messages:
+  /// below it the serial stamp loop wins (no pool dispatch), above it the
+  /// per-worker receiver lists are stamped concurrently with relaxed atomic
+  /// stores (CAS-claimed when telemetry needs the unique-receiver count).
+  /// Rounds that build an active list (< n/8 activity) always stamp
+  /// serially — they are cheap by definition and keep the list's
+  /// construction order pool-independent. Results are bit-identical either
+  /// way; the knob exists for benchmarks (SIZE_MAX = measure the serial
+  /// pass) and tests (small = force the parallel pass on tiny graphs).
+  std::size_t parallel_stamp_threshold = 4096;
   /// Telemetry recorder (null or kOff = record nothing, the hot paths keep
   /// a single null-check). The recorder may be shared across several run()
   /// calls to build one multi-span trace; the run's own slice also lands in
@@ -213,9 +242,10 @@ class Network {
   std::vector<Message> slot_msg_;        // size 2 * arcs_
   std::vector<std::uint8_t> slot_full_;  // size 2 * arcs_
   std::size_t write_off_ = 0;
-  // Per-worker scratch: sent-arc lists (delivery stamps), wakeup requests,
-  // and the inbox buffers the Context spans point into.
-  std::vector<std::vector<ArcId>> thread_dirty_;
+  // Per-worker scratch: receiver lists (send() resolves the head node so
+  // the stamp pass never touches the graph), wakeup requests, and the
+  // inbox buffers the Context spans point into.
+  std::vector<std::vector<NodeId>> thread_recv_;
   std::vector<std::vector<NodeId>> thread_wakeup_;
   std::vector<std::vector<Incoming>> inbox_scratch_;
   // sched_stamp_[v] == r: v is scheduled for round r (received a message

@@ -5,11 +5,32 @@
 // spanning subgraph. Because the subgraphs share no edges, executing all
 // instances simultaneously is a single valid CONGEST execution on the
 // parent graph: in any global round every edge carries at most the one
-// message of the unique instance that owns it. The runner exploits this:
-// it executes each instance on its own Network and combines the costs —
-// rounds = max over instances (they run concurrently), messages = sum,
-// and per-parent-edge congestion is folded back through the subgraphs'
-// parent_edge maps. Edge-disjointness is verified, not assumed.
+// message of the unique instance that owns it. The runner exploits this
+// literally: the default kInterleaved mode runs ALL instances inside ONE
+// engine execution on the block-diagonal union of the instance graphs —
+// one round loop, one delivery pass, one pool — with a composite Algorithm
+// multiplexing start/step/done into the per-instance blocks. Each
+// instance's block mirrors its subgraph's CSR at a fixed node/arc offset
+// (Graph::from_edges lays arcs out in input-edge order, so the offsets are
+// exact), which makes the per-instance translation pure arithmetic:
+// Context::block_view. kSequential keeps the legacy one-Network-per-
+// instance execution; the two modes are bit-identical in composite rounds,
+// messages, parent congestion, and per-instance rounds/finished/arc_sends
+// (the differential tests hold them to that). Edge-disjointness is
+// verified, not assumed.
+//
+// Costs combine the same way in both modes: rounds = max over instances
+// (they run concurrently), messages = sum, and per-parent-edge congestion
+// is folded back through the subgraphs' parent_edge maps.
+//
+// kInterleaved caveats (documented asymmetries, not accounting bugs):
+//  * per_instance[i].messages and arc_sends are sliced out of the union
+//    run's per-arc counts, so they need RunOptions::count_sends (the
+//    default); with counting off only the composite totals are reported.
+//  * per_instance[i].undelivered is 0 — in-flight sends of the union run's
+//    final round are not split per instance.
+//  * a telemetry recorder sees ONE span for the whole composite instead of
+//    one span per instance.
 
 #include <cstdint>
 #include <memory>
@@ -39,10 +60,22 @@ struct EdgeDisjointInstance {
   Algorithm* algorithm = nullptr;
 };
 
+/// How run_edge_disjoint executes its instances.
+enum class CompositeMode : std::uint8_t {
+  /// One engine run on the block-diagonal union graph; event-driven when
+  /// every instance is. The default: k instances pay one round loop.
+  kInterleaved,
+  /// Legacy: each instance on its own Network, one after another. Kept
+  /// selectable as the differential baseline for the interleaved mode.
+  kSequential,
+};
+
 /// Run all instances as one concurrent execution. Throws std::logic_error
 /// if two instances claim the same parent edge.
 CompositeResult run_edge_disjoint(const Graph& parent,
                                   std::span<const EdgeDisjointInstance> work,
-                                  const RunOptions& opts = {});
+                                  const RunOptions& opts = {},
+                                  CompositeMode mode =
+                                      CompositeMode::kInterleaved);
 
 }  // namespace fc::congest

@@ -62,7 +62,10 @@ const char* to_string(SweepMode sweep);
 ///   active     — nodes whose handler ran (dense: every node).
 ///   sent       — messages sent this round.
 ///   wakeups    — Context::request_wakeup() calls this round (pending for
-///                the NEXT round; always 0 for dense-swept algorithms).
+///                the NEXT round). Recorded under BOTH engines whenever a
+///                recorder is attached: the dense sweep ignores wakeups
+///                for scheduling but reports the same counts the sparse
+///                engine would, keeping the columns comparable.
 /// The *_ns phase timers are populated in kFull mode only (0 in kRounds):
 /// step = the handler sweep, delivery = receiver stamping + active-list
 /// build, bookkeep = buffer flip + termination check + sampling.

@@ -13,13 +13,19 @@
 #include <atomic>
 #include <memory>
 
+#include <limits>
+
 #include "algo/bfs.hpp"
 #include "algo/convergecast.hpp"
+#include "algo/id_assignment.hpp"
 #include "algo/leader_election.hpp"
 #include "algo/pipeline_broadcast.hpp"
 #include "apps/batch_sssp.hpp"
+#include "apps/clustering.hpp"
+#include "apps/exact_apsp.hpp"
 #include "apps/mst.hpp"
 #include "apps/sssp.hpp"
+#include "congest/runner.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
 #include "util/thread_pool.hpp"
@@ -46,6 +52,7 @@ const std::size_t kThreads[] = {1, 2, 8};
 void expect_same_cost(const RunResult& dense, const RunResult& sparse) {
   EXPECT_EQ(dense.rounds, sparse.rounds);
   EXPECT_EQ(dense.messages, sparse.messages);
+  EXPECT_EQ(dense.undelivered, sparse.undelivered);
   EXPECT_EQ(dense.finished, sparse.finished);
   EXPECT_EQ(dense.arc_sends, sparse.arc_sends);
 }
@@ -348,6 +355,210 @@ TEST(SparseEngine, RequestWakeupKeepsSilentNodesScheduled) {
     // Silent for rounds 1..9, flood at round 10, heard at round 11.
     EXPECT_EQ(res.rounds, 12u);
     EXPECT_EQ(res.messages, 15u);
+  }
+}
+
+TEST(SparseEngine, IdAssignmentDifferential) {
+  // First of the three former dense holdouts: the up/down tree passes are
+  // purely message-driven, so the sparse engine must reproduce the dense
+  // id ranges exactly.
+  for (const std::string spec : kSpecs) {
+    SCOPED_TRACE(spec);
+    const Graph g = scenario::build_graph(spec);
+    const auto tree = algo::run_bfs(g, 0).tree;
+    if (tree.covered != g.node_count()) continue;  // needs a spanning tree
+    std::vector<std::uint64_t> counts(g.node_count());
+    for (NodeId v = 0; v < g.node_count(); ++v) counts[v] = v % 3 + 1;
+    differential(
+        g,
+        [&] { return std::make_unique<algo::IdAssignment>(g, tree, counts); },
+        [&](const algo::IdAssignment& alg) {
+          std::vector<std::uint64_t> out{alg.total()};
+          for (NodeId v = 0; v < g.node_count(); ++v)
+            out.push_back(alg.first_id(v));
+          return out;
+        });
+  }
+}
+
+TEST(SparseEngine, ExactApspDifferentialThroughEntryPoint) {
+  // Second holdout: DelayedBfs keeps itself scheduled through a wakeup
+  // chain until its round-2π(v) source timer fires; the whole report —
+  // including max_queue, the PRT12 certificate — must survive the engine
+  // swap at every pool size.
+  for (const std::string spec :
+       {std::string("harary:n=64,k=5"),
+        std::string("random_regular:n=96,d=6,seed=3")}) {
+    SCOPED_TRACE(spec);
+    const Graph g = scenario::build_graph(spec);
+    RunOptions dense;
+    dense.force_dense = true;
+    const auto baseline = apps::exact_apsp_distributed(g, 0, dense);
+    for (const std::size_t threads : kThreads) {
+      SCOPED_TRACE(threads);
+      ThreadPool pool(threads);
+      RunOptions opts;
+      opts.pool = &pool;
+      const auto sparse = apps::exact_apsp_distributed(g, 0, opts);
+      EXPECT_EQ(baseline.dist, sparse.dist);
+      EXPECT_EQ(baseline.bfs_rounds, sparse.bfs_rounds);
+      EXPECT_EQ(baseline.total_rounds, sparse.total_rounds);
+      EXPECT_EQ(baseline.messages, sparse.messages);
+      EXPECT_EQ(baseline.max_queue, sparse.max_queue);
+    }
+  }
+}
+
+TEST(SparseEngine, ClusteringDifferentialThroughEntryPoint) {
+  // Third holdout: the two-round clustering schedule is wakeup-driven (a
+  // degree-0 node must still pick s(v) and count itself finished), so the
+  // full clustering — centers, assignments, Gc — must be engine-invariant.
+  for (const std::string spec : kSpecs) {
+    SCOPED_TRACE(spec);
+    const Graph g = scenario::build_graph(spec);
+    apps::ClusteringOptions dense;
+    dense.engine.force_dense = true;
+    const auto baseline = apps::build_clustering(g, 4, dense);
+    for (const std::size_t threads : kThreads) {
+      SCOPED_TRACE(threads);
+      ThreadPool pool(threads);
+      apps::ClusteringOptions opts;
+      opts.engine.pool = &pool;
+      const auto sparse = apps::build_clustering(g, 4, opts);
+      EXPECT_EQ(baseline.s, sparse.s);
+      EXPECT_EQ(baseline.centers, sparse.centers);
+      EXPECT_EQ(baseline.cluster_of, sparse.cluster_of);
+      EXPECT_EQ(baseline.rounds, sparse.rounds);
+      EXPECT_EQ(baseline.self_promoted, sparse.self_promoted);
+      EXPECT_EQ(baseline.cluster_graph.edge_count(),
+                sparse.cluster_graph.edge_count());
+    }
+  }
+}
+
+TEST(SparseEngine, ParallelStampDeliveryBitIdentical) {
+  // The parallel delivery stamp: threshold 1 forces every stamping round
+  // onto the pool (atomic stores; CAS-claims when telemetry wants the
+  // unique-receiver count), and a threshold no round can reach pins the
+  // serial baseline. Cost, outputs, AND the telemetry counter series must
+  // be bit-identical — the with_input column is exactly the CAS-claimed
+  // receiver count. This is the test the TSAN CI job re-runs to hold the
+  // concurrent stamp stores race-free.
+  const Graph g = scenario::build_graph("random_regular:n=600,d=4,seed=9");
+  const auto sources = apps::default_sources(g, 8);
+  const auto outputs = [](const algo::BatchBfs& alg) {
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t s = 0; s < alg.k(); ++s) {
+      const auto d = alg.source_distances(s);
+      out.insert(out.end(), d.begin(), d.end());
+    }
+    return out;
+  };
+  Telemetry tele_serial(TelemetryMode::kRounds);
+  RunOptions serial;
+  serial.parallel_stamp_threshold = std::numeric_limits<std::size_t>::max();
+  serial.telemetry = &tele_serial;
+  algo::BatchBfs base_alg(g, sources);
+  Network base_net(g);
+  const RunResult baseline = base_net.run(base_alg, serial);
+  const auto baseline_out = outputs(base_alg);
+  const auto baseline_series = tele_serial.snapshot().series;
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    for (const bool force_dense : {false, true}) {
+      for (const bool with_tele : {false, true}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "threads=" << threads << " dense=" << force_dense
+                     << " tele=" << with_tele);
+        ThreadPool pool(threads);
+        Telemetry tele(TelemetryMode::kRounds);
+        RunOptions opts;
+        opts.pool = &pool;
+        opts.force_dense = force_dense;
+        opts.parallel_stamp_threshold = 1;
+        if (with_tele) opts.telemetry = &tele;
+        algo::BatchBfs alg(g, sources);
+        Network net(g);
+        const RunResult res = net.run(alg, opts);
+        expect_same_cost(baseline, res);
+        EXPECT_EQ(baseline_out, outputs(alg));
+        if (with_tele) {
+          const auto series = tele.snapshot().series;
+          ASSERT_EQ(series.size(), baseline_series.size());
+          for (std::size_t i = 0; i < series.size(); ++i) {
+            EXPECT_EQ(baseline_series[i].with_input, series[i].with_input);
+            EXPECT_EQ(baseline_series[i].delivered, series[i].delivered);
+            EXPECT_EQ(baseline_series[i].sent, series[i].sent);
+            EXPECT_EQ(baseline_series[i].wakeups, series[i].wakeups);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SparseEngine, RunnerInterleavedMatchesSequential) {
+  // The composite runner's two modes must be bit-identical in composite
+  // cost, parent congestion, per-instance results, and algorithm outputs —
+  // kSequential is the legacy baseline, kInterleaved the one-engine-run
+  // default, at every pool size, under both engines.
+  for (const std::string spec :
+       {std::string("thick_cycle:groups=8,width=4"),
+        std::string("harary:n=64,k=5")}) {
+    SCOPED_TRACE(spec);
+    const Graph g = scenario::build_graph(spec);
+    std::vector<std::vector<EdgeId>> keep(3);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) keep[e % 3].push_back(e);
+    std::vector<Subgraph> parts;
+    for (const auto& k : keep) parts.push_back(make_subgraph(g, k));
+
+    const auto run_mode = [&](CompositeMode mode, ThreadPool* pool,
+                              bool force_dense) {
+      std::vector<std::unique_ptr<algo::DistributedBfs>> algs;
+      std::vector<EdgeDisjointInstance> work;
+      for (const auto& p : parts) {
+        algs.push_back(std::make_unique<algo::DistributedBfs>(p.graph, 0));
+        work.push_back({&p, algs.back().get()});
+      }
+      RunOptions opts;
+      opts.pool = pool;
+      opts.force_dense = force_dense;
+      CompositeResult res = run_edge_disjoint(g, work, opts, mode);
+      std::vector<std::uint32_t> out;
+      for (const auto& a : algs) {
+        const auto d = a->distances();
+        out.insert(out.end(), d.begin(), d.end());
+      }
+      return std::pair(std::move(res), std::move(out));
+    };
+
+    const auto [base, base_out] =
+        run_mode(CompositeMode::kSequential, nullptr, false);
+    for (const std::size_t threads : kThreads) {
+      for (const bool force_dense : {false, true}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "threads=" << threads << " dense=" << force_dense);
+        ThreadPool pool(threads);
+        const auto [res, out] =
+            run_mode(CompositeMode::kInterleaved, &pool, force_dense);
+        EXPECT_EQ(base.rounds, res.rounds);
+        EXPECT_EQ(base.messages, res.messages);
+        EXPECT_EQ(base.finished, res.finished);
+        EXPECT_EQ(base.parent_edge_congestion, res.parent_edge_congestion);
+        ASSERT_EQ(base.per_instance.size(), res.per_instance.size());
+        for (std::size_t i = 0; i < base.per_instance.size(); ++i) {
+          SCOPED_TRACE(i);
+          EXPECT_EQ(base.per_instance[i].rounds, res.per_instance[i].rounds);
+          EXPECT_EQ(base.per_instance[i].messages,
+                    res.per_instance[i].messages);
+          EXPECT_EQ(base.per_instance[i].finished,
+                    res.per_instance[i].finished);
+          EXPECT_EQ(base.per_instance[i].arc_sends,
+                    res.per_instance[i].arc_sends);
+        }
+        EXPECT_EQ(base_out, out);
+      }
+    }
   }
 }
 

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "algo/bfs.hpp"
 #include "apps/batch_sssp.hpp"
 #include "apps/mst.hpp"
 #include "apps/sssp.hpp"
@@ -130,9 +131,89 @@ TEST(Telemetry, TotalsAgreeWithRunResultOnDifferentialGrid) {
   }
 }
 
+TEST(Telemetry, DenseRunsRecordWakeupsToo) {
+  // Regression: run_handlers used to be called with record_wakeups=sparse,
+  // so dense-engine runs silently dropped wakeup telemetry — the series'
+  // wakeups column was always 0 under --engine=dense while sparse runs
+  // reported real values, breaking dense-vs-sparse comparability. BatchBfs
+  // drives real request_wakeup traffic (per-node FIFO backlogs); the two
+  // engines must now report identical, nonzero wakeup columns.
+  const Graph g = scenario::build_graph(kSpecs[0]);
+  const auto sources = apps::default_sources(g, 8);
+  const auto series_of = [&](bool force_dense) {
+    Telemetry tele(TelemetryMode::kRounds);
+    algo::BatchBfs alg(g, sources);
+    RunOptions opts;
+    opts.force_dense = force_dense;
+    opts.telemetry = &tele;
+    Network net(g);
+    net.run(alg, opts);
+    return tele.series();
+  };
+  const std::vector<RoundSample> dense = series_of(true);
+  const std::vector<RoundSample> sparse = series_of(false);
+  ASSERT_EQ(dense.size(), sparse.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    EXPECT_EQ(dense[i].wakeups, sparse[i].wakeups) << i;
+    total += dense[i].wakeups;
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Telemetry, TruncatedRunAccountsUndeliveredSends) {
+  // max_rounds truncation mid-flight: the final round's sends are counted
+  // in result.messages but sit in the flipped write half, never delivered
+  // to any handler. RunResult::undelivered reconciles the books, and the
+  // recorder agrees: sum(sent) == messages, sum(delivered) == messages -
+  // undelivered, undelivered == the final round's sent.
+  const WeightedGraph g = scenario::build_weighted_graph(kSpecs[0]);
+  const auto check_books = [](const Telemetry& tele, const RunResult& res) {
+    std::uint64_t sent = 0, delivered = 0;
+    for (const RoundSample& r : tele.series()) {
+      sent += r.sent;
+      delivered += r.delivered;
+    }
+    EXPECT_EQ(sent, res.messages);
+    EXPECT_EQ(delivered, res.messages - res.undelivered);
+    ASSERT_FALSE(tele.series().empty());
+    EXPECT_EQ(res.undelivered, tele.series().back().sent);
+  };
+  RunResult dense_res, sparse_res;
+  for (const bool force_dense : {false, true}) {
+    SCOPED_TRACE(force_dense);
+    Telemetry tele(TelemetryMode::kRounds);
+    apps::DistributedBellmanFord alg(g, 0);
+    RunOptions opts;
+    opts.max_rounds = 6;  // well inside the flood: waves still in flight
+    opts.force_dense = force_dense;
+    opts.telemetry = &tele;
+    Network net(g.graph());
+    const RunResult res = net.run(alg, opts);
+    EXPECT_FALSE(res.finished);
+    EXPECT_EQ(res.rounds, 6u);
+    EXPECT_GT(res.undelivered, 0u);
+    check_books(tele, res);
+    (force_dense ? dense_res : sparse_res) = res;
+  }
+  EXPECT_EQ(dense_res.undelivered, sparse_res.undelivered);
+  // Finished runs keep the same invariant (the final round may or may not
+  // leave messages in flight — quiescence-terminated floods leave none).
+  Telemetry tele(TelemetryMode::kRounds);
+  apps::DistributedBellmanFord alg(g, 0);
+  RunOptions opts;
+  opts.telemetry = &tele;
+  Network net(g.graph());
+  const RunResult res = net.run(alg, opts);
+  ASSERT_TRUE(res.finished);
+  check_books(tele, res);
+}
+
 TEST(Telemetry, SweepModesMatchTheEngine) {
   const WeightedGraph g = scenario::build_weighted_graph(kSpecs[0]);
-  // Dense sweep: every round records kDense and zero wakeups.
+  // Dense sweep: every round records kDense; Bellman–Ford is purely
+  // message-driven, so its wakeup column is genuinely zero (the dense
+  // engine still RECORDS wakeups — see DenseRunsRecordWakeupsToo).
   {
     Telemetry tele(TelemetryMode::kRounds);
     apps::DistributedBellmanFord alg(g, 0);
