@@ -1,0 +1,224 @@
+// Dynamic-scenario experiment: incremental re-execution vs full recompute.
+//
+//   ./bench_dynamic                 # the built-in churn grid
+//   ./bench_dynamic --smoke         # tiny CI mode: every row must be
+//                                   # identical to the full recompute, else
+//                                   # exit 1
+//   ./bench_dynamic --graph=rmat:n=4096,deg=8,churn=0.01,updates=4
+//
+// For every dynamic spec the harness replays the seed-keyed churn schedule
+// batch by batch. After each batch it repairs BFS / SSSP with the
+// incremental engine path (orphan cascade + label-correcting flood over the
+// woken region — src/dynamic/incremental.hpp) AND recomputes from scratch,
+// then checks the distance vectors are BIT-IDENTICAL; the MST row repairs
+// with the candidate Kruskal against the full kruskal_msf. Each row reports
+// wall time for both paths, the message/work ratio, and the identity bit —
+// the row is the differential test run at bench scale.
+//
+// The paper-relevant claim (ROADMAP "dynamics" axis): at churn p <= 0.01
+// the incremental path does asymptotically less work than the recompute —
+// the affected region is O(p * m) endpoints plus the orphaned subtrees, not
+// n — so `speedup` (time) and `work_ratio` (messages, deterministic) both
+// clear 2x on the default grid. CI asserts that from BENCH_dynamic.json.
+//
+// Results land in BENCH_dynamic.json (one row per spec x algo).
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dynamic/incremental.hpp"
+#include "dynamic/scenario.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace {
+
+using fc::bench::JsonReport;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct RowTotals {
+  double inc_ms = 0;
+  double full_ms = 0;
+  std::uint64_t inc_messages = 0;
+  std::uint64_t full_messages = 0;
+  std::uint64_t deleted = 0;
+  std::uint64_t inserted = 0;
+  std::uint64_t woken = 0;
+  std::uint64_t orphaned = 0;
+  bool identical = true;
+};
+
+void emit(JsonReport& report, const std::string& spec, const char* algo,
+          std::uint64_t batches, double churn_p, const RowTotals& t,
+          bool* all_identical, RowTotals* grand) {
+  grand->inc_ms += t.inc_ms;
+  grand->full_ms += t.full_ms;
+  const double speedup = t.inc_ms > 0 ? t.full_ms / t.inc_ms : 0;
+  const double work_ratio =
+      static_cast<double>(t.full_messages) /
+      static_cast<double>(t.inc_messages > 0 ? t.inc_messages : 1);
+  report.row()
+      .add("spec", spec)
+      .add("algo", algo)
+      .add("batches", batches)
+      .add("churn", churn_p)
+      .add("deleted", t.deleted)
+      .add("inserted", t.inserted)
+      .add("woken", t.woken)
+      .add("orphaned", t.orphaned)
+      .add("incremental_ms", t.inc_ms)
+      .add("full_ms", t.full_ms)
+      .add("incremental_messages", t.inc_messages)
+      .add("full_messages", t.full_messages)
+      .add("speedup", speedup)
+      .add("work_ratio", work_ratio)
+      .add("identical", t.identical);
+  std::cout << "  " << algo << ": batches=" << batches
+            << " inc=" << t.inc_ms << "ms full=" << t.full_ms
+            << "ms speedup=" << speedup << " work_ratio=" << work_ratio
+            << (t.identical ? "" : "  MISMATCH") << "\n";
+  *all_identical = *all_identical && t.identical;
+}
+
+/// Replay one dynamic spec: per batch, incremental repair vs full
+/// recompute for BFS, SSSP, and MST, verifying bit-identity as we go.
+void run_spec(const std::string& spec_text, JsonReport& report,
+              bool* all_identical, RowTotals* grand) {
+  fc::dynamic::DynamicScenario sc =
+      fc::dynamic::DynamicScenario::parse(spec_text);
+  const std::string canon = sc.spec().to_string();
+  std::cout << canon << " (n=" << sc.graph().node_count()
+            << ", m=" << sc.graph().edge_count() << ")\n";
+
+  const fc::NodeId source = 0;
+  fc::dynamic::DynamicBfs bfs(source);
+  fc::dynamic::DynamicSssp sssp(source);
+  fc::dynamic::DynamicMst mst;
+  bfs.recompute(sc.graph());
+  sssp.recompute(sc.weighted());
+  mst.recompute(sc.weighted());
+
+  RowTotals bfs_t, sssp_t, mst_t;
+  const std::uint64_t batches = sc.batches_declared();
+  for (std::uint64_t b = 0; b < batches; ++b) {
+    const fc::dynamic::UpdateBatch batch = sc.advance();
+    const fc::Graph& g = sc.graph();
+    const fc::WeightedGraph& wg = sc.weighted();
+    bfs_t.deleted += batch.deleted.size();
+    bfs_t.inserted += batch.inserted.size();
+
+    // BFS: incremental repair, then a from-scratch engine flood.
+    auto t0 = std::chrono::steady_clock::now();
+    const auto inc_bfs = bfs.apply_batch(g, batch);
+    bfs_t.inc_ms += ms_since(t0);
+    bfs_t.inc_messages += inc_bfs.run.messages;
+    bfs_t.woken += inc_bfs.woken;
+    bfs_t.orphaned += inc_bfs.orphaned;
+    fc::dynamic::DynamicBfs full_bfs(source);
+    t0 = std::chrono::steady_clock::now();
+    const auto full_bfs_run = full_bfs.recompute(g);
+    bfs_t.full_ms += ms_since(t0);
+    bfs_t.full_messages += full_bfs_run.run.messages;
+    bfs_t.identical =
+        bfs_t.identical && bfs.distances() == full_bfs.distances();
+
+    // SSSP: same shape over the endpoint-keyed weights.
+    t0 = std::chrono::steady_clock::now();
+    const auto inc_sssp = sssp.apply_batch(wg, batch);
+    sssp_t.inc_ms += ms_since(t0);
+    sssp_t.inc_messages += inc_sssp.run.messages;
+    sssp_t.woken += inc_sssp.woken;
+    sssp_t.orphaned += inc_sssp.orphaned;
+    fc::dynamic::DynamicSssp full_sssp(source);
+    t0 = std::chrono::steady_clock::now();
+    const auto full_sssp_run = full_sssp.recompute(wg);
+    sssp_t.full_ms += ms_since(t0);
+    sssp_t.full_messages += full_sssp_run.run.messages;
+    sssp_t.identical =
+        sssp_t.identical && sssp.distances() == full_sssp.distances();
+
+    // MST: candidate Kruskal vs full Kruskal; "messages" are edges scanned.
+    t0 = std::chrono::steady_clock::now();
+    mst.apply_batch(wg, batch);
+    mst_t.inc_ms += ms_since(t0);
+    mst_t.inc_messages += mst.last_candidates();
+    t0 = std::chrono::steady_clock::now();
+    const std::vector<fc::EdgeId> full_forest = fc::kruskal_msf(wg);
+    mst_t.full_ms += ms_since(t0);
+    mst_t.full_messages += g.edge_count();
+    mst_t.identical = mst_t.identical && mst.forest() == full_forest;
+  }
+  sssp_t.deleted = mst_t.deleted = bfs_t.deleted;
+  sssp_t.inserted = mst_t.inserted = bfs_t.inserted;
+
+  const double p = sc.churn().p;
+  emit(report, canon, "bfs", batches, p, bfs_t, all_identical, grand);
+  emit(report, canon, "sssp", batches, p, sssp_t, all_identical, grand);
+  emit(report, canon, "mst", batches, p, mst_t, all_identical, grand);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fc;
+  const Options opts(argc, argv);
+  const bool smoke = opts.get_bool("smoke");
+
+  bench::banner("bench_dynamic",
+                "Incremental re-execution after seed-keyed churn batches vs "
+                "full recompute: identical results, a fraction of the work.");
+
+  std::vector<std::string> specs = opts.get_all("graph");
+  if (specs.empty()) {
+    if (smoke) {
+      specs = {
+          "rmat:n=256,deg=6,seed=5,churn=0.02,updates=3",
+          "torus:rows=16,cols=16,weights=1..64,churn=0.02,updates=3",
+      };
+    } else {
+      specs = {
+          "rmat:n=4096,deg=8,seed=5,churn=0.01,updates=4",
+          "rmat:n=4096,deg=8,seed=5,weights=1..100,churn=0.01,updates=4",
+          "torus:rows=64,cols=64,weights=1..64,churn=0.01,updates=4",
+          "dumbbell:s=2048,bridges=8,churn=0.005,updates=4",
+      };
+    }
+  }
+
+  JsonReport report("dynamic");
+  bench::add_run_metadata(report);
+  report.meta("mode", smoke ? "smoke" : "full");
+
+  bool all_identical = true;
+  RowTotals grand;
+  try {
+    for (const std::string& spec : specs)
+      run_spec(spec, report, &all_identical, &grand);
+  } catch (const std::exception& err) {
+    std::cerr << "bench_dynamic: " << err.what() << "\n";
+    return 2;
+  }
+
+  // Headline number: total wall time across every (spec, algo) row. CI can
+  // assert on this without re-aggregating rows.
+  const double overall =
+      grand.inc_ms > 0 ? grand.full_ms / grand.inc_ms : 0;
+  report.meta("overall_speedup", overall);
+  std::cout << "\noverall speedup (all rows): " << overall << "x\n";
+
+  const std::string path = report.write();
+  std::cout << "\nartifact written: " << path << "\n";
+  if (!all_identical) {
+    std::cerr << "bench_dynamic: incremental result diverged from full "
+                 "recompute (see rows with identical=false)\n";
+    return 1;
+  }
+  return 0;
+}

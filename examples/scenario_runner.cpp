@@ -30,6 +30,14 @@
 //                    source_mode= parameter)
 //   --seed=<seed>    seed for message placement (default 1)
 //   --root=<node>    root node for bfs/broadcast/convergecast (default 0)
+//   --fault=<f>      mid-run fault, repeatable: "node:<v>@<r>" crashes node
+//                    v at round r, "edge:<e>@<r>" / "arc:<a>@<r>" drop an
+//                    edge (both directions) / one arc from round r on,
+//                    "corrupt:<e>@<r>" flips payloads crossing edge e in
+//                    exactly round r. Supported by bfs, batch-bfs,
+//                    leader-election, broadcast, convergecast, sssp; other
+//                    algorithms reject the flag. Ids are in the run graph's
+//                    id space (see ScenarioConfig::faults).
 //   --stretch=<k>    weighted-apsp stretch parameter (default 3: 5-approx)
 //   --cache=<dir>    binary graph corpus + manifest: generate once, reload
 //   --cache-gc       garbage-collect --cache first: evict .fcg files the
@@ -57,6 +65,7 @@
 #include <string>
 #include <vector>
 
+#include "congest/faults.hpp"
 #include "congest/telemetry.hpp"
 #include "scenario/graph_io.hpp"
 #include "scenario/runner.hpp"
@@ -94,15 +103,15 @@ int main(int argc, char** argv) {
   static const std::vector<std::string> known_flags = {
       "graph",    "algo", "k",        "seed",    "root",    "cache",
       "cache-gc", "list", "markdown", "stretch", "sources", "engine",
-      "telemetry", "trace-out", "metrics-out", "source-mode"};
+      "telemetry", "trace-out", "metrics-out", "source-mode", "fault"};
   for (const auto& key : opts.keys()) {
     if (std::find(known_flags.begin(), known_flags.end(), key) ==
         known_flags.end()) {
       std::cerr << "scenario_runner: unknown option '--" << key
                 << "'; known options: --graph --algo --k --sources "
                    "--source-mode --seed --root --stretch --engine "
-                   "--telemetry --trace-out --metrics-out --cache --cache-gc "
-                   "--markdown --list\n";
+                   "--fault --telemetry --trace-out --metrics-out --cache "
+                   "--cache-gc --markdown --list\n";
       return 2;
     }
   }
@@ -185,6 +194,62 @@ int main(int argc, char** argv) {
   cfg.force_dense = engine == "dense";
   congest::Telemetry telemetry(tmode);
   if (tmode != congest::TelemetryMode::kOff) cfg.telemetry = &telemetry;
+
+  // --fault=kind:id@round, repeatable. Ids are validated by the engine
+  // against the graph each run actually executes on.
+  congest::FaultPlan fault_plan;
+  for (const std::string& f : opts.get_all("fault")) {
+    const auto colon = f.find(':');
+    const auto at = f.find('@');
+    std::uint64_t id = 0, round = 0;
+    bool shape_ok = colon != std::string::npos && at != std::string::npos &&
+                    colon < at;
+    if (shape_ok) {
+      try {
+        std::size_t used = 0;
+        const std::string id_text = f.substr(colon + 1, at - colon - 1);
+        id = std::stoull(id_text, &used);
+        shape_ok = used == id_text.size();
+        const std::string round_text = f.substr(at + 1);
+        round = std::stoull(round_text, &used);
+        shape_ok = shape_ok && used == round_text.size() &&
+                   !round_text.empty();
+      } catch (const std::exception&) {
+        shape_ok = false;
+      }
+    }
+    const std::string kind = shape_ok ? f.substr(0, colon) : "";
+    if (kind == "node") {
+      fault_plan.crash_node(round, static_cast<NodeId>(id));
+    } else if (kind == "edge") {
+      fault_plan.drop_edge(round, static_cast<EdgeId>(id));
+    } else if (kind == "arc") {
+      fault_plan.drop_arc(round, static_cast<ArcId>(id));
+    } else if (kind == "corrupt") {
+      fault_plan.corrupt_edge(round, static_cast<EdgeId>(id));
+    } else {
+      std::cerr << "scenario_runner: --fault must be node:<v>@<r>, "
+                   "edge:<e>@<r>, arc:<a>@<r> or corrupt:<e>@<r>, got '"
+                << f << "'\n";
+      return 2;
+    }
+  }
+  if (!fault_plan.empty()) {
+    static const std::vector<std::string> faultable = {
+        "bfs", "batch-bfs", "leader-election", "broadcast", "convergecast",
+        "sssp"};
+    for (const auto& algo : algos) {
+      if (std::find(faultable.begin(), faultable.end(), algo) ==
+          faultable.end()) {
+        std::cerr << "scenario_runner: --fault is not supported by '" << algo
+                  << "' (composite multi-phase apps have no single fault "
+                     "clock); faultable: bfs batch-bfs leader-election "
+                     "broadcast convergecast sssp\n";
+        return 2;
+      }
+    }
+    cfg.faults = &fault_plan;
+  }
 
   std::vector<scenario::ScenarioResult> results;
   try {

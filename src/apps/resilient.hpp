@@ -38,10 +38,29 @@ enum class AdversaryKind {
   kCutFocused,  // f edges of a fixed small cut per round
 };
 
+/// How the broadcast is executed.
+///  * kAnalytic — closed-form replay: walk every (node, message, tree) path
+///    and test which hops coincide with the adversary's schedule. Fast; no
+///    engine involved. The historical default.
+///  * kEngine — actually run the per-tree pipelined broadcast on the
+///    CONGEST engine, with the adversary lowered onto the engine's
+///    fault-injection hook (one kEdgeCorrupt fault per scheduled
+///    (edge, round) pair, clocks aligned per tree window). A copy counts
+///    as corrupted when the payload that ARRIVES differs from the payload
+///    sent. The two drives produce identical ResilientReports — pinned by
+///    the differential test — the engine drive existing precisely to keep
+///    the analytic shortcut honest. (Caveat: a copy hit j > 0 times
+///    arrives at corrupt_word^j(x), which equals x only on a permutation
+///    cycle of length dividing j — astronomically unlikely and
+///    deterministic, so a divergence would be a reproducible test failure,
+///    not flakiness.)
+enum class ResilientDrive { kAnalytic, kEngine };
+
 struct ResilientOptions {
   AdversaryKind adversary = AdversaryKind::kRandom;
   std::uint32_t f = 0;         // corrupted edges per round
   std::uint64_t seed = 1;
+  ResilientDrive drive = ResilientDrive::kAnalytic;
   /// For kCutFocused: one side of the attacked cut (empty = first half).
   std::vector<bool> attacked_cut;
 };

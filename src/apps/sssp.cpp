@@ -74,6 +74,7 @@ SsspReport distributed_sssp(const WeightedGraph& g, NodeId source,
   ropts.force_dense = opts.force_dense;
   ropts.telemetry = opts.telemetry;
   ropts.pool = opts.pool;
+  ropts.faults = opts.faults;
   const auto cost = net.run(alg, ropts);
   r.dist = alg.distances();
   r.parent_arc.assign(g.graph().node_count(), kInvalidArc);

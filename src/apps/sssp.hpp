@@ -69,6 +69,9 @@ struct SsspOptions {
   /// Warm engine to reuse; engaged only when bound to EXACTLY g.graph()
   /// (the serve layer's pooled Network), otherwise a fresh engine is built.
   congest::Network* network = nullptr;
+  /// Mid-run fault injection (null = fault-free); ids are in g.graph()'s
+  /// id space. See congest/faults.hpp.
+  const congest::FaultPlan* faults = nullptr;
 };
 
 struct SsspReport {

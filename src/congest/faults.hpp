@@ -1,0 +1,85 @@
+#pragma once
+// Mid-run fault injection for the CONGEST engine.
+//
+// A FaultPlan is a declarative list of (round, kind, id) events the engine
+// applies while executing RunOptions::faults:
+//
+//  * kNodeCrash  — the node is gone from the START of `round`: it never
+//    steps again, messages in flight toward it are lost, and every later
+//    send toward it is dropped at send time.
+//  * kArcDrop    — one direction of an edge fails: messages SENT on the arc
+//    at rounds >= `round` are lost (a message already in flight still
+//    delivers — the link died after it crossed).
+//  * kEdgeDrop   — both directions fail, same semantics as kArcDrop.
+//  * kEdgeCorrupt— a transient payload fault: every message sent across the
+//    edge (either direction) in exactly `round` has its `Message::a` word
+//    passed through corrupt_word(). The tag and `b` stay intact, so a
+//    corrupted message is still well-formed protocol-wise — the adversary
+//    flips value bits, not framing (the FP23 mobile-adversary model that
+//    apps/resilient drives against this hook).
+//
+// Accounting: sends dropped at send time never enter RunResult::messages /
+// arc_sends — from the engine's cost ledger they did not occupy the link.
+// Messages already in flight toward a node when it crashes WERE counted at
+// send time but are never delivered. Both populations land in
+// RunResult::fault_dropped. Corrupted sends are normal sends (counted
+// normally) plus RunResult::fault_corrupted.
+//
+// Determinism: faults fire at fixed rounds against fixed ids, so a faulted
+// run stays bit-identical across thread counts, pool sizes, and the
+// dense/sparse engines — the differential grid in tests/test_dynamic.cpp
+// pins exactly that.
+//
+// Caveat: CONGEST bandwidth enforcement (the double-send throw) does not
+// apply to dead arcs — a failed link silently swallows any number of sends.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace fc::congest {
+
+enum class FaultKind : std::uint8_t {
+  kNodeCrash,
+  kArcDrop,
+  kEdgeDrop,
+  kEdgeCorrupt,
+};
+
+struct Fault {
+  std::uint64_t round = 0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  std::uint32_t id = 0;  // NodeId, ArcId, or EdgeId depending on kind
+};
+
+/// The corruption transform: a fixed 64-bit bijection (the SplitMix64
+/// finalizer over a salted input), so corrupted copies of one value agree
+/// on the same wrong value — the colluding-adversary assumption of the
+/// analytic resilient-broadcast model — while corrupt_word(x) == x is
+/// impossible for the rounds any run executes.
+inline std::uint64_t corrupt_word(std::uint64_t w) noexcept {
+  std::uint64_t s = w ^ 0x8af6f4d1e5b29c47ULL;
+  return splitmix64(s);
+}
+
+struct FaultPlan {
+  std::vector<Fault> faults;
+
+  bool empty() const { return faults.empty(); }
+  void crash_node(std::uint64_t round, NodeId v) {
+    faults.push_back({round, FaultKind::kNodeCrash, v});
+  }
+  void drop_arc(std::uint64_t round, ArcId a) {
+    faults.push_back({round, FaultKind::kArcDrop, a});
+  }
+  void drop_edge(std::uint64_t round, EdgeId e) {
+    faults.push_back({round, FaultKind::kEdgeDrop, e});
+  }
+  void corrupt_edge(std::uint64_t round, EdgeId e) {
+    faults.push_back({round, FaultKind::kEdgeCorrupt, e});
+  }
+};
+
+}  // namespace fc::congest

@@ -48,6 +48,12 @@ struct RunResult {
   /// Invariant per run: messages - undelivered == sum of inbox sizes ever
   /// materialized == the telemetry series' summed `delivered` column.
   std::uint64_t undelivered = 0;
+  /// Fault-injection ledger (0 unless the run had RunOptions::faults):
+  /// sends lost to a dead arc / crashed node (swallowed at send time — not
+  /// part of `messages` — or caught in flight by a crash, which were), and
+  /// sends whose payload crossed a corrupted edge (those ARE normal sends).
+  std::uint64_t fault_dropped = 0;
+  std::uint64_t fault_corrupted = 0;
   bool finished = false;            // algorithm reported done()
   /// Per-arc message counts; EMPTY when the run had count_sends off.
   std::vector<std::uint64_t> arc_sends;

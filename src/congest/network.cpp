@@ -48,15 +48,71 @@ void Network::do_send(Context& ctx, ArcId via, const Message& m) {
   const ArcId at = ctx.arc_base_ + via;
   if (at < g.arc_begin(ctx.node_) || at >= g.arc_end(ctx.node_))
     throw std::logic_error("Context::send: arc does not leave this node");
+  if (faults_on_ && arc_dead_[at]) {
+    // A failed link (or a link into a crashed node) swallows the send: it
+    // never occupies a slot and never enters the message ledger.
+    fault_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const std::size_t w = write_off_ + at;
   if (slot_full_[w])
     throw std::logic_error(
         "Context::send: second message on one arc in one round "
         "(CONGEST bandwidth violation)");
   slot_full_[w] = 1;
-  slot_msg_[w] = m;
+  if (faults_on_ && corrupt_stamp_[at] == ctx.round_ + 1) {
+    Message c = m;
+    c.a = corrupt_word(c.a);
+    slot_msg_[w] = c;
+    fault_corrupted_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    slot_msg_[w] = m;
+  }
   ctx.recv_->push_back(g.arc_head(at));
   if (counting_) ++arc_sends_[at];
+}
+
+void Network::apply_faults(std::uint64_t round) {
+  const Graph& g = *graph_;
+  const std::size_t read_off = arcs_ - write_off_;
+  while (fault_cursor_ < fault_queue_.size() &&
+         fault_queue_[fault_cursor_].round == round) {
+    const Fault& f = fault_queue_[fault_cursor_++];
+    switch (f.kind) {
+      case FaultKind::kNodeCrash: {
+        const NodeId v = f.id;
+        node_dead_[v] = 1;
+        for (ArcId a = g.arc_begin(v); a < g.arc_end(v); ++a) {
+          const ArcId in = g.arc_reverse(a);  // the direction INTO v
+          arc_dead_[in] = 1;
+          // Messages in flight toward the crashed node (sent last round,
+          // sitting in the read half) are lost with it; clearing the flags
+          // here also keeps the half clean for its next write role.
+          const std::size_t slot = read_off + in;
+          if (slot_full_[slot]) {
+            slot_full_[slot] = 0;
+            fault_dropped_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        break;
+      }
+      case FaultKind::kArcDrop:
+        arc_dead_[f.id] = 1;
+        break;
+      case FaultKind::kEdgeDrop: {
+        const auto [a, b] = g.edge_arcs(f.id);
+        arc_dead_[a] = 1;
+        arc_dead_[b] = 1;
+        break;
+      }
+      case FaultKind::kEdgeCorrupt: {
+        const auto [a, b] = g.edge_arcs(f.id);
+        corrupt_stamp_[a] = round + 1;
+        corrupt_stamp_[b] = round + 1;
+        break;
+      }
+    }
+  }
 }
 
 std::uint64_t Network::run_handlers(Algorithm& alg, std::uint64_t round,
@@ -89,6 +145,7 @@ std::uint64_t Network::run_handlers(Algorithm& alg, std::uint64_t round,
                            ? active_[i]
                            : static_cast<NodeId>(i);
       if (sweep == Sweep::kActiveScan && sched_stamp_[v] != round) continue;
+      if (faults_on_ && node_dead_[v]) continue;  // crashed: never steps
       ctx.node_ = v;
       ctx.woke_ = false;
       ++stepped;
@@ -142,6 +199,30 @@ RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
   sched_stamp_.assign(n, 0);
   active_.clear();
 
+  faults_on_ = opts.faults != nullptr && !opts.faults->empty();
+  fault_cursor_ = 0;
+  fault_dropped_.store(0, std::memory_order_relaxed);
+  fault_corrupted_.store(0, std::memory_order_relaxed);
+  if (faults_on_) {
+    fault_queue_ = opts.faults->faults;
+    for (const Fault& f : fault_queue_) {
+      const bool node = f.kind == FaultKind::kNodeCrash;
+      const bool arc = f.kind == FaultKind::kArcDrop;
+      const std::uint64_t limit =
+          node ? n : arc ? arcs_ : g.edge_count();
+      if (f.id >= limit)
+        throw std::invalid_argument("FaultPlan: id out of range");
+    }
+    std::stable_sort(
+        fault_queue_.begin(), fault_queue_.end(),
+        [](const Fault& x, const Fault& y) { return x.round < y.round; });
+    node_dead_.assign(n, 0);
+    arc_dead_.assign(arcs_, 0);
+    corrupt_stamp_.assign(arcs_, 0);
+  } else {
+    fault_queue_.clear();
+  }
+
   const bool sparse = alg.event_driven() && !opts.force_dense;
   ThreadPool& pool = opts.pool != nullptr ? *opts.pool : ThreadPool::global();
   const std::size_t workers = pool.size();
@@ -180,6 +261,9 @@ RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
   const bool record_wakeups = sparse || tele_ != nullptr;
   for (; round < opts.max_rounds; ++round) {
     alg.round_started(round);
+    // Faults land between rounds: state written here is only read by the
+    // (possibly parallel) handler/send phases that follow.
+    if (faults_on_) apply_faults(round);
     const Sweep sweep = sparse && round > 0 ? sweep_next : Sweep::kAll;
     const std::uint64_t t0 = timing ? Telemetry::now_ns() : 0;
     const std::uint64_t active =
@@ -315,6 +399,10 @@ RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
   result.rounds = round;
   result.messages = messages_;
   result.undelivered = in_flight;
+  if (faults_on_) {
+    result.fault_dropped = fault_dropped_.load(std::memory_order_relaxed);
+    result.fault_corrupted = fault_corrupted_.load(std::memory_order_relaxed);
+  }
   if (counting_) result.arc_sends = std::move(arc_sends_);
   if (tele_ != nullptr) {
     if (!timing) tele_->commit_counters(cursor);

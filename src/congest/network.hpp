@@ -41,6 +41,7 @@
 //    data-race-free by construction and bit-identical at every thread
 //    count — sparse or dense.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -48,6 +49,7 @@
 #include <string_view>
 #include <vector>
 
+#include "congest/faults.hpp"
 #include "congest/message.hpp"
 #include "congest/metrics.hpp"
 #include "graph/graph.hpp"
@@ -198,6 +200,11 @@ struct RunOptions {
   /// RunResult::telemetry. Recording never changes the execution: rounds,
   /// messages, and per-arc sends are bit-identical in every mode.
   Telemetry* telemetry = nullptr;
+  /// Mid-run fault injection (null = fault-free; the hot paths then keep a
+  /// single bool check). Faults fire at fixed rounds against fixed ids, so
+  /// a faulted run stays bit-identical across engines, pools, and thread
+  /// counts. See congest/faults.hpp for the exact semantics per kind.
+  const FaultPlan* faults = nullptr;
 };
 
 class Network {
@@ -254,6 +261,19 @@ class Network {
   std::vector<std::uint64_t> sched_stamp_;
   std::vector<NodeId> active_;
   std::vector<std::uint64_t> arc_sends_;
+  // Fault-injection state, engaged only when the run carries a FaultPlan
+  // (faults_on_). The dead/corrupt maps are written single-threaded between
+  // rounds (apply_faults) and read by concurrent handlers; the counters are
+  // relaxed atomics because do_send runs on pool workers.
+  void apply_faults(std::uint64_t round);
+  bool faults_on_ = false;
+  std::vector<Fault> fault_queue_;  // sorted by round; cursor-advanced
+  std::size_t fault_cursor_ = 0;
+  std::vector<std::uint8_t> node_dead_;
+  std::vector<std::uint8_t> arc_dead_;
+  std::vector<std::uint64_t> corrupt_stamp_;  // == round+1: corrupt sends now
+  std::atomic<std::uint64_t> fault_dropped_{0};
+  std::atomic<std::uint64_t> fault_corrupted_{0};
   std::uint64_t messages_ = 0;
   std::uint64_t runs_started_ = 0;
   bool counting_ = true;

@@ -131,9 +131,13 @@ CompositeResult run_sequential(const Graph& parent,
   out.per_instance.reserve(work.size());
   for (const auto& inst : work) {
     Network net(inst.part->graph);
-    RunResult res = net.run(*inst.algorithm, opts);
+    RunOptions local = opts;
+    local.faults = inst.faults;
+    RunResult res = net.run(*inst.algorithm, local);
     out.rounds = std::max(out.rounds, res.rounds);
     out.messages += res.messages;
+    out.fault_dropped += res.fault_dropped;
+    out.fault_corrupted += res.fault_corrupted;
     out.finished = out.finished && res.finished;
     const Graph& sub = inst.part->graph;
     for (EdgeId e = 0; e < sub.edge_count(); ++e)
@@ -178,15 +182,36 @@ CompositeResult run_interleaved(const Graph& parent,
   }
   const Graph uni = Graph::from_edges(total_n, edges);
 
+  // Merge the per-instance fault plans into one union-id plan. Edge ids
+  // translate by the edge prefix (= arc_base/2) because the union edge
+  // list is the concatenation of the instance edge lists.
+  FaultPlan merged;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    if (work[i].faults == nullptr) continue;
+    for (Fault f : work[i].faults->faults) {
+      if (f.kind == FaultKind::kNodeCrash)
+        f.id += node_base[i];
+      else if (f.kind == FaultKind::kArcDrop)
+        f.id += arc_base[i];
+      else
+        f.id += arc_base[i] / 2;
+      merged.faults.push_back(f);
+    }
+  }
+
   const std::vector<ArcId> arc_base_of = arc_base;
   InterleavedComposite comp(work, std::move(node_base), std::move(arc_base),
                             std::move(inst_of_node));
   Network net(uni);
-  const RunResult ures = net.run(comp, opts);
+  RunOptions local = opts;
+  if (!merged.empty()) local.faults = &merged;
+  const RunResult ures = net.run(comp, local);
 
   CompositeResult out;
   out.rounds = ures.rounds;
   out.messages = ures.messages;
+  out.fault_dropped = ures.fault_dropped;
+  out.fault_corrupted = ures.fault_corrupted;
   out.finished = ures.finished;
   out.parent_edge_congestion.assign(parent.edge_count(), 0);
   out.per_instance.reserve(work.size());
@@ -215,6 +240,10 @@ CompositeResult run_edge_disjoint(const Graph& parent,
                                   std::span<const EdgeDisjointInstance> work,
                                   const RunOptions& opts,
                                   CompositeMode mode) {
+  if (opts.faults != nullptr && !opts.faults->empty())
+    throw std::logic_error(
+        "run_edge_disjoint: set per-instance EdgeDisjointInstance::faults, "
+        "not RunOptions::faults (composite ids are internal)");
   verify_edge_disjoint(parent, work);
   if (work.empty()) {
     CompositeResult out;

@@ -31,6 +31,21 @@
 //    final round are not split per instance.
 //  * a telemetry recorder sees ONE span for the whole composite instead of
 //    one span per instance.
+//  * per_instance[i].fault_dropped / fault_corrupted are 0 — fault
+//    accounting of the union run is reported only as composite totals
+//    (CompositeResult::fault_dropped / fault_corrupted, which both modes
+//    fill identically).
+//
+// Faults: a composite run injects faults per instance, never globally —
+// EdgeDisjointInstance::faults carries a plan whose ids are LOCAL to that
+// instance's subgraph (node/arc/edge ids of `part->graph`). Setting
+// RunOptions::faults on the composite throws: union-graph ids are an
+// internal layout, and a global plan could not be replayed by the
+// sequential baseline. The interleaved mode translates each local plan
+// into the union's id space (node += node_base[i], arc += arc_base[i],
+// edge += edge_base[i]); block-diagonal disjointness makes a fault in one
+// block invisible to every other, so the two modes stay bit-identical
+// under faults too.
 
 #include <cstdint>
 #include <memory>
@@ -47,6 +62,10 @@ struct CompositeResult {
   std::uint64_t messages = 0;  // sum over instances
   bool finished = false;       // all instances finished
   std::vector<RunResult> per_instance;
+  /// Fault totals summed over instances (see the header note: interleaved
+  /// mode reports them only here, not per instance).
+  std::uint64_t fault_dropped = 0;
+  std::uint64_t fault_corrupted = 0;
   /// Congestion per PARENT edge (messages in both directions).
   std::vector<std::uint64_t> parent_edge_congestion;
 
@@ -58,6 +77,8 @@ struct CompositeResult {
 struct EdgeDisjointInstance {
   const Subgraph* part = nullptr;
   Algorithm* algorithm = nullptr;
+  /// Optional fault plan for THIS instance; ids are local to part->graph.
+  const FaultPlan* faults = nullptr;
 };
 
 /// How run_edge_disjoint executes its instances.
@@ -71,7 +92,8 @@ enum class CompositeMode : std::uint8_t {
 };
 
 /// Run all instances as one concurrent execution. Throws std::logic_error
-/// if two instances claim the same parent edge.
+/// if two instances claim the same parent edge, or if opts.faults is set
+/// (faults are per instance: EdgeDisjointInstance::faults).
 CompositeResult run_edge_disjoint(const Graph& parent,
                                   std::span<const EdgeDisjointInstance> work,
                                   const RunOptions& opts = {},

@@ -1,0 +1,101 @@
+#pragma once
+// Seed-keyed churn schedules: the dynamic-scenario half of the `churn=p` /
+// `updates=b[xop]` spec grammar (scenario::ChurnSpec).
+//
+// A ChurnSchedule owns the evolving edge list of one dynamic scenario. The
+// batch-0 list is the base graph's, in its exact edge order, so the batch-0
+// rebuild is bit-identical to the Registry-built topology. Each advance()
+// samples one update batch from an Rng keyed (seed, stream, batch index) —
+// the batch-t edit is a pure function of (spec, t), independent of how many
+// times or in which process the schedule is replayed:
+//
+//  * deletions draw max(1, floor(p * m)) DISTINCT positions of the
+//    pre-batch edge list (m = its size), then compact the list preserving
+//    order — surviving edges keep their relative order, so the rebuilt
+//    graph's layout is deterministic;
+//  * insertions rejection-sample non-edges uniformly over unordered node
+//    pairs and APPEND them (attempts are bounded, so a near-complete graph
+//    degrades to fewer insertions instead of spinning — deterministically,
+//    since the attempt sequence is part of the keyed stream);
+//  * kMix batches do both (deletions first; an insertion may re-add an
+//    edge deleted in the same batch — it is then a new edge at a new
+//    position).
+//
+// EdgeIds are POSITIONS in the current list and therefore shift across
+// batches. Anything that must survive churn is keyed by endpoints instead —
+// most importantly weights: dynamic_weight(u, v) replaces the static
+// spec rule gen::with_hashed_weights (EdgeId-keyed, which would reshuffle
+// every weight on every batch). A dynamic spec's weighted graphs must
+// always be built through this file, never through apply_spec_weights.
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
+#include "scenario/spec.hpp"
+#include "util/rng.hpp"
+
+namespace fc::dynamic {
+
+/// One applied update batch, as endpoint pairs. `deleted` is in ascending
+/// pre-batch EdgeId order; `inserted` in insertion order.
+struct UpdateBatch {
+  std::vector<std::pair<NodeId, NodeId>> deleted;
+  /// The deleted edges' POSITIONS in the pre-batch edge list, ascending
+  /// (parallel to `deleted`). Because compaction preserves order and
+  /// insertions append, a surviving pre-batch EdgeId e maps to the
+  /// post-batch id e - |{d in deleted_ids : d < e}| and the inserted edges
+  /// occupy the last `inserted.size()` ids — consumers re-anchor ids
+  /// arithmetically instead of re-hashing the whole edge list
+  /// (DynamicMst::apply_batch relies on this).
+  std::vector<EdgeId> deleted_ids;
+  std::vector<std::pair<NodeId, NodeId>> inserted;
+};
+
+/// THE weight rule for dynamic scenarios: a pure hash of (seed, {u, v})
+/// into [range.lo, range.hi], symmetric in the endpoints and independent
+/// of EdgeId — an edge keeps its weight across any sequence of updates,
+/// and a deleted-then-reinserted edge comes back at the same weight.
+Weight dynamic_weight(NodeId u, NodeId v, const scenario::WeightRange& range,
+                      std::uint64_t seed);
+
+class ChurnSchedule {
+ public:
+  /// Snapshot `base`'s edge list as batch 0. `seed` keys every batch's
+  /// sampling (use the spec's seed so the schedule is part of the spec
+  /// identity).
+  ChurnSchedule(const Graph& base, scenario::ChurnSpec churn,
+                std::uint64_t seed);
+
+  NodeId node_count() const { return n_; }
+  const std::vector<std::pair<NodeId, NodeId>>& edges() const {
+    return edges_;
+  }
+  /// Batches applied so far (0 = the untouched base).
+  std::uint64_t batch() const { return batch_; }
+  const scenario::ChurnSpec& churn() const { return churn_; }
+
+  /// Sample and apply the next batch; returns what changed.
+  UpdateBatch advance();
+
+  /// Rebuild the current topology (Graph::from_edges over the current
+  /// list; deterministic layout).
+  Graph build_graph() const;
+  /// Current topology plus dynamic_weight() weights.
+  WeightedGraph build_weighted(const scenario::WeightRange& range) const;
+
+ private:
+  NodeId n_ = 0;
+  scenario::ChurnSpec churn_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t batch_ = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  /// Packed (min << 32 | max) keys of the current edge set, for O(1)
+  /// non-edge tests during insertion sampling.
+  std::unordered_set<std::uint64_t> keys_;
+};
+
+}  // namespace fc::dynamic

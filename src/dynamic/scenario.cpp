@@ -1,0 +1,36 @@
+#include "dynamic/scenario.hpp"
+
+#include <stdexcept>
+
+namespace fc::dynamic {
+
+namespace {
+
+ChurnSchedule make_schedule(const scenario::GraphSpec& spec,
+                            const scenario::ChurnSpec& churn) {
+  // Registry::build applies family defaults, validation, and largest_cc —
+  // the base of a dynamic scenario is exactly the static spec's topology.
+  Graph base = scenario::Registry::instance().build(spec);
+  return ChurnSchedule(base, churn, spec.get_uint("seed", 1));
+}
+
+}  // namespace
+
+DynamicScenario::DynamicScenario(const scenario::GraphSpec& spec)
+    : spec_(spec),
+      churn_(scenario::parse_churn(spec)),  // throws on a static spec
+      seed_(spec.get_uint("seed", 1)),
+      schedule_(make_schedule(spec, churn_)) {
+  if (spec_.has_weights()) range_ = spec_.weight_range();
+  weighted_ = schedule_.build_weighted(range_);
+}
+
+UpdateBatch DynamicScenario::advance() {
+  UpdateBatch batch = schedule_.advance();
+  deleted_ += batch.deleted.size();
+  inserted_ += batch.inserted.size();
+  weighted_ = schedule_.build_weighted(range_);
+  return batch;
+}
+
+}  // namespace fc::dynamic

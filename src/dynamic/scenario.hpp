@@ -1,0 +1,65 @@
+#pragma once
+// A dynamic scenario bound to a spec: the base graph built through the
+// scenario Registry (so `largest_cc=`, family defaults, and validation all
+// apply), plus the churn schedule its `churn=` / `updates=` parameters
+// declare. One DynamicScenario is the unit of state the serve layer keeps
+// per pooled spec and the unit the benches/tests replay.
+//
+// advance() applies one update batch and rebuilds the weighted graph.
+// Weights are ALWAYS endpoint-keyed (dynamic_weight) — including batch 0 —
+// which deliberately diverges from the static `weights=` rule
+// (EdgeId-keyed apply_spec_weights): a dynamic spec's weights must be
+// stable under churn, so its graphs must never be resolved through the
+// static build path. Specs without `weights=` get unit weights; graph()
+// is the plain topology either way.
+
+#include <cstdint>
+#include <string>
+
+#include "dynamic/churn.hpp"
+#include "scenario/spec.hpp"
+
+namespace fc::dynamic {
+
+class DynamicScenario {
+ public:
+  /// Throws std::invalid_argument unless the spec parses, builds, and is
+  /// dynamic (scenario::spec_is_dynamic).
+  explicit DynamicScenario(const scenario::GraphSpec& spec);
+  static DynamicScenario parse(const std::string& text) {
+    return DynamicScenario(scenario::GraphSpec::parse(text));
+  }
+
+  const scenario::GraphSpec& spec() const { return spec_; }
+  const scenario::ChurnSpec& churn() const { return churn_; }
+  std::uint64_t seed() const { return seed_; }
+  /// Batches applied so far (0 = the base graph).
+  std::uint64_t batch() const { return schedule_.batch(); }
+  /// The `updates=b` batch count (1 when only `churn=` was given).
+  std::uint64_t batches_declared() const { return churn_.batches; }
+
+  /// Current topology / weighted view. Both refer to the SAME Graph
+  /// object; references are invalidated by advance().
+  const Graph& graph() const { return weighted_.graph(); }
+  const WeightedGraph& weighted() const { return weighted_; }
+  bool has_weights() const { return spec_.has_weights(); }
+
+  /// Apply one churn batch and rebuild the graphs.
+  UpdateBatch advance();
+
+  /// Lifetime edit counters (telemetry surface).
+  std::uint64_t edges_deleted() const { return deleted_; }
+  std::uint64_t edges_inserted() const { return inserted_; }
+
+ private:
+  scenario::GraphSpec spec_;
+  scenario::ChurnSpec churn_;
+  scenario::WeightRange range_{1, 1};
+  std::uint64_t seed_ = 1;
+  ChurnSchedule schedule_;
+  WeightedGraph weighted_;
+  std::uint64_t deleted_ = 0;
+  std::uint64_t inserted_ = 0;
+};
+
+}  // namespace fc::dynamic

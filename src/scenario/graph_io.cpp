@@ -191,7 +191,9 @@ GraphSpec corpus_spec(const GraphSpec& spec) {
       .canonical(spec)
       .without("weights")
       .without("sources")
-      .without("source_mode");
+      .without("source_mode")
+      .without("churn")
+      .without("updates");
 }
 
 constexpr const char* kManifestName = "manifest.txt";

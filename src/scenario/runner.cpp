@@ -27,6 +27,7 @@ congest::RunOptions run_options(const ScenarioConfig& cfg) {
   opts.force_dense = cfg.force_dense;
   opts.telemetry = cfg.telemetry;
   opts.pool = cfg.pool;
+  opts.faults = cfg.faults;
   return opts;
 }
 
@@ -401,6 +402,7 @@ ScenarioResult run_sssp_scenario(const WeightedGraph& full,
   opts.telemetry = cfg.telemetry;
   opts.pool = cfg.pool;
   opts.network = cfg.network;
+  opts.faults = cfg.faults;
   const auto rep = apps::distributed_sssp(g, w.root, opts);
   r.rounds = rep.rounds;
   r.messages = rep.messages;

@@ -22,6 +22,7 @@ class ThreadPool;
 namespace fc::congest {
 class Network;
 class Telemetry;
+struct FaultPlan;
 }
 
 namespace fc::scenario {
@@ -102,6 +103,20 @@ struct ScenarioConfig {
   /// Typed-result capture (null = off); see ScenarioPayload. The runner
   /// clear()s it before filling.
   ScenarioPayload* payload = nullptr;
+  /// Mid-run fault injection (null = fault-free; see congest/faults.hpp).
+  /// Supported by the single-engine workloads — bfs, batch-bfs,
+  /// leader-election, broadcast, convergecast, sssp — and IGNORED by the
+  /// composite apps (mst, weighted-apsp, batch-sssp), whose multi-phase
+  /// round structure has no single well-defined fault clock yet. The
+  /// two-phase scenarios (broadcast, convergecast) re-apply the plan from
+  /// round 0 of EACH phase's engine run — the fault clock is per run, so a
+  /// permanent fault (crash/drop) at round r recurs at each phase's round
+  /// r rather than persisting across the phase boundary. Fault ids
+  /// are interpreted against the graph the engine actually runs on: a
+  /// scenario that restricts to the root's component applies them to the
+  /// RESTRICTED ids, so plans are best paired with connected graphs
+  /// (`largest_cc=1`).
+  const congest::FaultPlan* faults = nullptr;
 };
 
 /// One algorithm run on one graph, in paper cost measures.

@@ -194,7 +194,7 @@ Graph Registry::build(const GraphSpec& spec) const {
   for (const auto& [key, _] : spec.params()) {
     // Registry-level parameters, valid for every family.
     if (key == "weights" || key == "largest_cc" || key == "sources" ||
-        key == "source_mode")
+        key == "source_mode" || key == "churn" || key == "updates")
       continue;
     bool ok = false;
     for (const auto& k : info->keys) ok = ok || k == key;
@@ -202,7 +202,7 @@ Graph Registry::build(const GraphSpec& spec) const {
       bad("family '" + spec.family() + "' does not take parameter '" + key +
           "'; accepted: " + info->params_help +
           " (and weights=lo..hi, largest_cc=1, sources=k, "
-          "source_mode=first|random)");
+          "source_mode=first|random, churn=p, updates=b[xdel|xins|xmix])");
   }
   // Fail fast on malformed registry-level parameters even for builds that
   // would not use them.
@@ -219,6 +219,7 @@ Graph Registry::build(const GraphSpec& spec) const {
       bad("parameter 'source_mode' expects 'first' or 'random', got '" +
           mode + "'");
   }
+  if (spec_is_dynamic(spec)) (void)parse_churn(spec);
   Graph g = info->build(spec);
   if (largest_cc == 1 && g.node_count() > 0) {
     auto restricted = restrict_to_component(g, largest_component_member(g));
@@ -266,6 +267,42 @@ Graph build_graph(const std::string& spec_text) {
 
 WeightedGraph build_weighted_graph(const std::string& spec_text) {
   return Registry::instance().build_weighted(spec_text);
+}
+
+bool spec_is_dynamic(const GraphSpec& spec) {
+  return spec.has("churn") || spec.has("updates");
+}
+
+ChurnSpec parse_churn(const GraphSpec& spec) {
+  if (!spec.has("churn")) {
+    if (spec.has("updates"))
+      bad("parameter 'updates' requires 'churn=p' (the per-batch rate)");
+    bad("spec '" + spec.to_string() + "' has no 'churn=' parameter");
+  }
+  ChurnSpec out;
+  out.p = spec.require_double("churn");
+  if (!(out.p > 0.0) || out.p > 0.5)
+    bad("parameter 'churn' expects a rate in (0, 0.5], got '" +
+        spec.params().at("churn") + "'");
+  if (spec.has("updates")) {
+    const std::string& v = spec.params().at("updates");
+    std::size_t digits = 0;
+    while (digits < v.size() && v[digits] >= '0' && v[digits] <= '9')
+      ++digits;
+    std::uint64_t batches = 0;
+    if (digits > 0 && digits <= 18) batches = std::stoull(v.substr(0, digits));
+    const std::string suffix = v.substr(digits);
+    if (digits == 0 || batches == 0 ||
+        (!suffix.empty() && suffix != "xmix" && suffix != "xdel" &&
+         suffix != "xins"))
+      bad("parameter 'updates' expects b[xdel|xins|xmix] with b >= 1, "
+          "got '" + v + "'");
+    out.batches = batches;
+    out.op = suffix == "xdel"   ? ChurnSpec::Op::kDelete
+             : suffix == "xins" ? ChurnSpec::Op::kInsert
+                                : ChurnSpec::Op::kMix;
+  }
+  return out;
 }
 
 WeightedGraph apply_spec_weights(Graph g, const GraphSpec& spec) {

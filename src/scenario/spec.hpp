@@ -14,7 +14,7 @@
 // message, so a typo in an experiment grid fails fast instead of silently
 // running the wrong workload.
 //
-// Three registry-level parameters are accepted by EVERY family:
+// A handful of registry-level parameters are accepted by EVERY family:
 //  * `weights=lo..hi` attaches uniform integer edge weights in [lo, hi],
 //    derived per edge as a pure hash of (seed, EdgeId) (see
 //    gen::with_hashed_weights), so a weighted workload is reproducible from
@@ -39,6 +39,16 @@
 //    the spec seed — see ScenarioConfig::seed). Like `sources=` it is
 //    validated here, consumed by the runner, and stripped from the corpus
 //    cache identity.
+//  * `churn=p` + `updates=b[xdel|xins|xmix]` declare a DYNAMIC scenario:
+//    the spec'd graph is the batch-0 base, and each of the b update batches
+//    (default 1 when `updates=` is omitted) deletes/inserts max(1,
+//    floor(p*m)) edges, seed-keyed and deterministic (see dynamic/churn).
+//    `updates=` without `churn=` is an error. Like `sources=`, both keys
+//    are validated here, consumed by the dynamic layer, and stripped from
+//    the corpus cache identity (the cached artifact is the base topology).
+//    Dynamic specs weight edges by ENDPOINTS, not EdgeId — see
+//    dynamic::dynamic_weight — so plain build_weighted() must not be used
+//    for them.
 //
 // Two renderings exist:
 //  * GraphSpec::to_string() — exactly the parameters given, keys sorted.
@@ -190,6 +200,26 @@ Graph build_graph(const std::string& spec_text);
 
 /// Convenience: Registry::instance().build_weighted(spec_text).
 WeightedGraph build_weighted_graph(const std::string& spec_text);
+
+/// The parsed dynamics parameters of a spec (`churn=p`, `updates=b[xop]`).
+struct ChurnSpec {
+  /// Per-batch update rate: each batch targets max(1, floor(p * m)) edge
+  /// operations. Valid range (0, 0.5].
+  double p = 0.0;
+  std::uint64_t batches = 1;
+  /// What a batch does: kMix deletes AND inserts that many edges each,
+  /// kDelete / kInsert do only one side (`updates=4xdel` etc.).
+  enum class Op : std::uint8_t { kMix, kDelete, kInsert } op = Op::kMix;
+};
+
+/// True when the spec carries dynamics parameters (`churn=` / `updates=`).
+bool spec_is_dynamic(const GraphSpec& spec);
+
+/// Parse + validate the dynamics parameters. Throws std::invalid_argument
+/// when `churn=` is absent (including the `updates=` without `churn=`
+/// case) or either value is malformed. Exported so the dynamic/ layer and
+/// the registry validate with one grammar.
+ChurnSpec parse_churn(const GraphSpec& spec);
 
 /// Attach a spec's `weights=lo..hi` to an already-built topology (unit
 /// weights when absent). This is THE weighting rule: every weighted-spec

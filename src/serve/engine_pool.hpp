@@ -23,6 +23,20 @@
 // the entry's whole pool lifetime — the serve layer hands &entry.network to
 // runs and the scenario layer compares that Network's bound graph address.
 //
+// DYNAMIC graphs (scenario/dynamic churn): a graph that mutates between
+// batches is fed to the pool through install(), which replaces the entry's
+// graph IN PLACE and bumps its graph_revision. The warm Network is then
+// STALE — its buffers are sized for the old topology, and because the new
+// graph reuses the old one's storage, the scenario layer's address check
+// (&network->graph() == &g) would PASS and happily serve wrong results.
+// acquire() therefore re-checks network_revision against graph_revision on
+// every hit and rebuilds the engine before handing the entry out
+// (PoolStats::stale_rebuilds): a mutated entry always misses the warm
+// engine, never serves it. Dynamic specs must come in via install() — an
+// acquire() miss on one throws rather than Registry-building, because
+// dynamic weights are endpoint-keyed (dynamic_weight), not edge-id-keyed
+// (apply_spec_weights), and a plain build would silently disagree.
+//
 // Thread-safety: none (the daemon serves one connection from one thread).
 
 #include <cstddef>
@@ -50,6 +64,11 @@ struct PoolStats {
   std::uint64_t graph_builds = 0;
   /// Topologies reloaded from the binary corpus.
   std::uint64_t corpus_loads = 0;
+  /// Graphs pushed in via install() (dynamic-scenario batches).
+  std::uint64_t installs = 0;
+  /// Warm Networks discarded and rebuilt because their entry's graph was
+  /// mutated by install() after the Network was built.
+  std::uint64_t stale_rebuilds = 0;
 };
 
 class EnginePool {
@@ -64,6 +83,11 @@ class EnginePool {
     std::optional<WeightedGraph> weighted;
     std::unique_ptr<congest::Network> network;
     std::uint64_t uses = 0;  // acquire() count, for stats/tests
+    /// Mutation clock: install() bumps graph_revision; acquire() rebuilds
+    /// `network` whenever network_revision lags and then catches it up. An
+    /// entry is handed out only with the two equal.
+    std::uint64_t graph_revision = 0;
+    std::uint64_t network_revision = 0;
 
     bool is_weighted() const { return weighted.has_value(); }
     const Graph& graph() const {
@@ -87,11 +111,29 @@ class EnginePool {
   /// coalescing groups and for tests).
   static std::string pool_key(const scenario::GraphSpec& spec);
 
+  /// Pool lookup without building: the entry `spec`'s key currently maps
+  /// to, or nullptr. Touches neither the LRU order nor the hit/miss stats —
+  /// the serve layer uses this to decide whether a dynamic scenario must
+  /// (re)install its current graph before acquiring.
+  Entry* find(const scenario::GraphSpec& spec);
+
+  /// Install (or replace) the graph behind `spec`'s pool key — the dynamic
+  /// scenario path, where the caller owns graph evolution and the Registry
+  /// must NOT be consulted. Replaces the graph in place, bumps the entry's
+  /// graph_revision, and leaves the (now stale) Network for the next
+  /// acquire() to rebuild. The entry moves to the front of the LRU; normal
+  /// eviction applies. The weighted overload is for specs with `weights=`.
+  Entry& install(const scenario::GraphSpec& spec, Graph g);
+  Entry& install(const scenario::GraphSpec& spec, WeightedGraph g);
+
   const PoolStats& stats() const { return stats_; }
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
 
  private:
+  /// Find-or-create the LRU slot for `spec`'s key (no graph build).
+  Entry& install_slot(const scenario::GraphSpec& spec);
+
   std::size_t capacity_;
   std::string cache_dir_;
   std::list<Entry> entries_;  // front = most recently used

@@ -77,23 +77,42 @@ bool parse_request(const JsonValue& line, Request* out, ErrorCode* error,
     std::string cmd;
     if (!read_string(line, "cmd", &cmd, message))
       return fail(ErrorCode::kBadRequest, *message, error, message);
-    for (const auto& [key, _] : line.fields)
-      if (key != "cmd" && key != "id")
-        return fail(ErrorCode::kBadRequest,
-                    "control line accepts only 'cmd' and 'id', got '" + key +
-                        "'",
-                    error, message);
-    if (cmd == "flush")
+    // "update" is the one control command with arguments of its own.
+    const bool is_update = cmd == "update";
+    for (const auto& [key, _] : line.fields) {
+      if (key == "cmd" || key == "id") continue;
+      if (is_update && (key == "spec" || key == "batches")) continue;
+      return fail(ErrorCode::kBadRequest,
+                  is_update
+                      ? "update accepts only 'cmd', 'id', 'spec' and "
+                        "'batches', got '" + key + "'"
+                      : "control line accepts only 'cmd' and 'id', got '" +
+                            key + "'",
+                  error, message);
+    }
+    if (cmd == "flush") {
       out->command = Command::kFlush;
-    else if (cmd == "stats")
+    } else if (cmd == "stats") {
       out->command = Command::kStats;
-    else if (cmd == "shutdown")
+    } else if (cmd == "shutdown") {
       out->command = Command::kShutdown;
-    else
+    } else if (is_update) {
+      out->command = Command::kUpdate;
+      if (!read_string(line, "spec", &out->update_spec, message) ||
+          !read_uint(line, "batches", &out->update_batches, message))
+        return fail(ErrorCode::kBadRequest, *message, error, message);
+      if (out->update_spec.empty())
+        return fail(ErrorCode::kBadRequest, "update requires 'spec'", error,
+                    message);
+      if (out->update_batches == 0)
+        return fail(ErrorCode::kBadRequest, "field 'batches' must be >= 1",
+                    error, message);
+    } else {
       return fail(ErrorCode::kBadRequest,
                   "unknown cmd '" + cmd +
-                      "'; known: flush, stats, shutdown",
+                      "'; known: flush, stats, shutdown, update",
                   error, message);
+    }
     return true;
   }
 

@@ -27,7 +27,17 @@
 //
 // Control lines use {"cmd": ...}: "flush" forces the current batching
 // window out early, "stats" reports pool/service counters, "shutdown"
-// flushes and asks the daemon to exit.
+// flushes and asks the daemon to exit. "update" advances a DYNAMIC spec's
+// churn schedule (specs carrying churn=/updates=):
+//
+//   {"id": 9, "cmd": "update", "spec": "rmat:n=128,churn=0.05", "batches": 2}
+//
+// The daemon flushes pending queries first (they were submitted against the
+// pre-update graph), applies the batches, and installs the mutated graph
+// into the engine pool; the response reports the new batch index and the
+// edge delta. Subsequent queries on the same spec run against the updated
+// topology — with the dynamic weight rule (endpoint-keyed), never a plain
+// rebuild.
 //
 // Responses echo the id and carry ok=true plus the ScenarioResult cost
 // measures (and, on request, the typed payload: distances / hops with -1
@@ -72,12 +82,15 @@ struct Query {
 };
 
 /// Daemon control commands (the {"cmd": ...} lines).
-enum class Command { kNone, kFlush, kStats, kShutdown };
+enum class Command { kNone, kFlush, kStats, kShutdown, kUpdate };
 
 /// Outcome of parsing one request line.
 struct Request {
   Command command = Command::kNone;  // kNone => `query` is meaningful
   Query query;
+  /// kUpdate only: the dynamic spec to advance, and by how many batches.
+  std::string update_spec;
+  std::uint64_t update_batches = 1;
 };
 
 /// Parse one already-JSON-parsed request. Returns kNone and fills `error`

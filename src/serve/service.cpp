@@ -64,6 +64,13 @@ std::vector<std::string> Service::submit(const std::string& line) {
       out.push_back(count(w.take()));
       return out;
     }
+    case Command::kUpdate: {
+      // Pending queries were submitted against the pre-update graph: flush
+      // them first so responses never mix topologies within one window.
+      std::vector<std::string> out = flush();
+      out.push_back(count(update_response(req)));
+      return out;
+    }
     case Command::kNone:
       break;
   }
@@ -153,10 +160,83 @@ std::vector<std::string> Service::flush() {
   return responses;
 }
 
+void Service::prepare_dynamic(const scenario::GraphSpec& spec) {
+  if (!scenario::spec_is_dynamic(spec)) return;
+  const std::string key = EnginePool::pool_key(spec);
+  auto it = scenarios_.find(key);
+  if (it == scenarios_.end())
+    it = scenarios_.try_emplace(key, scenario::GraphSpec::parse(key)).first;
+  if (pool_.find(spec) != nullptr) return;  // current graph already pooled
+  const dynamic::DynamicScenario& sc = it->second;
+  if (sc.has_weights())
+    pool_.install(spec, sc.weighted());
+  else
+    pool_.install(spec, sc.graph());
+}
+
+std::string Service::update_response(const Request& req) {
+  const std::uint64_t id = req.query.id;
+  // One command advances at most this many batches: a typo'd batch count
+  // must not wedge the daemon in a churn loop.
+  constexpr std::uint64_t kMaxBatchesPerCommand = 4096;
+  try {
+    const scenario::GraphSpec spec =
+        scenario::GraphSpec::parse(req.update_spec);
+    if (!scenario::spec_is_dynamic(spec))
+      return error_response(id, ErrorCode::kBadSpec,
+                            "update requires a dynamic spec "
+                            "(churn=/updates=); got '" +
+                                req.update_spec + "'");
+    if (req.update_batches > kMaxBatchesPerCommand)
+      return error_response(
+          id, ErrorCode::kBadRequest,
+          "batches=" + std::to_string(req.update_batches) +
+              " exceeds the per-command cap of " +
+              std::to_string(kMaxBatchesPerCommand));
+    const std::string key = EnginePool::pool_key(spec);
+    auto it = scenarios_.find(key);
+    if (it == scenarios_.end())
+      it = scenarios_.try_emplace(key, scenario::GraphSpec::parse(key)).first;
+    dynamic::DynamicScenario& sc = it->second;
+    std::uint64_t deleted = 0, inserted = 0;
+    for (std::uint64_t b = 0; b < req.update_batches; ++b) {
+      const dynamic::UpdateBatch batch = sc.advance();
+      deleted += batch.deleted.size();
+      inserted += batch.inserted.size();
+    }
+    if (sc.has_weights())
+      pool_.install(spec, sc.weighted());
+    else
+      pool_.install(spec, sc.graph());
+    ++stats_.updates;
+    stats_.update_batches += req.update_batches;
+    stats_.edges_deleted += deleted;
+    stats_.edges_inserted += inserted;
+    JsonWriter w;
+    w.begin_object()
+        .field("id", id)
+        .field("ok", true)
+        .field("cmd", "update")
+        .field("spec", key)
+        .field("batch", sc.batch())
+        .field("deleted", deleted)
+        .field("inserted", inserted)
+        .field("nodes", std::uint64_t{sc.graph().node_count()})
+        .field("edges", std::uint64_t{sc.graph().edge_count()})
+        .end_object();
+    return w.take();
+  } catch (const std::invalid_argument& err) {
+    return error_response(id, ErrorCode::kBadSpec, err.what());
+  } catch (const std::exception& err) {
+    return error_response(id, ErrorCode::kInternal, err.what());
+  }
+}
+
 std::string Service::run_one(const PendingQuery& p) {
   Response resp;
   resp.id = p.query.id;
   try {
+    prepare_dynamic(p.spec);
     EnginePool::Entry& entry = pool_.acquire(p.spec, &resp.cache_hit);
     const Graph& g = entry.graph();
     if (p.query.cfg.root >= g.node_count())
@@ -205,6 +285,7 @@ void Service::run_coalesced_bfs(const std::vector<std::size_t>& members,
   bool cache_hit = false;
   EnginePool::Entry* entry = nullptr;
   try {
+    prepare_dynamic(first.spec);
     entry = &pool_.acquire(first.spec, &cache_hit);
   } catch (const std::exception& err) {
     for (const std::size_t i : members)
@@ -293,6 +374,7 @@ void Service::run_coalesced_sssp(const std::vector<std::size_t>& members,
   bool cache_hit = false;
   EnginePool::Entry* entry = nullptr;
   try {
+    prepare_dynamic(first.spec);
     entry = &pool_.acquire(first.spec, &cache_hit);
   } catch (const std::exception& err) {
     for (const std::size_t i : members)
@@ -379,6 +461,11 @@ std::string Service::stats_response(std::uint64_t id) const {
       .field("flushes", stats_.flushes)
       .field("coalesced_queries", stats_.coalesced_queries)
       .field("coalesced_runs", stats_.coalesced_runs)
+      .field("updates", stats_.updates)
+      .field("update_batches", stats_.update_batches)
+      .field("edges_deleted", stats_.edges_deleted)
+      .field("edges_inserted", stats_.edges_inserted)
+      .field("dynamic_scenarios", std::uint64_t{scenarios_.size()})
       .field("pending", std::uint64_t{pending_.size()});
   w.key("pool").begin_object();
   w.field("hits", ps.hits)
@@ -386,6 +473,8 @@ std::string Service::stats_response(std::uint64_t id) const {
       .field("evictions", ps.evictions)
       .field("graph_builds", ps.graph_builds)
       .field("corpus_loads", ps.corpus_loads)
+      .field("installs", ps.installs)
+      .field("stale_rebuilds", ps.stale_rebuilds)
       .field("size", std::uint64_t{pool_.size()})
       .field("capacity", std::uint64_t{pool_.capacity()});
   w.end_object();  // pool

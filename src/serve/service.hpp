@@ -36,10 +36,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "congest/telemetry.hpp"
+#include "dynamic/scenario.hpp"
 #include "scenario/runner.hpp"
 #include "serve/engine_pool.hpp"
 #include "serve/protocol.hpp"
@@ -77,6 +79,12 @@ struct ServiceStats {
   std::uint64_t coalesced_queries = 0;
   /// Batch executions that replaced >= 2 individual runs.
   std::uint64_t coalesced_runs = 0;
+  /// Accepted update commands, and the churn batches they applied.
+  std::uint64_t updates = 0;
+  std::uint64_t update_batches = 0;
+  /// Lifetime edge churn across all dynamic scenarios served.
+  std::uint64_t edges_deleted = 0;
+  std::uint64_t edges_inserted = 0;
 };
 
 class Service {
@@ -107,6 +115,15 @@ class Service {
   };
 
   std::string run_one(const PendingQuery& p);
+  /// Dynamic specs resolve through their DynamicScenario, never a Registry
+  /// build: get-or-create the scenario for `spec`'s pool key and, if the
+  /// pool lacks the entry (first touch, or evicted), install the CURRENT
+  /// batch's graph so the subsequent acquire() hits it. No-op for static
+  /// specs. Throws std::invalid_argument when the spec fails to build.
+  void prepare_dynamic(const scenario::GraphSpec& spec);
+  /// Apply one update command: flush happens in submit(); this advances the
+  /// scenario and installs the mutated graph into the pool.
+  std::string update_response(const Request& req);
   void run_coalesced_bfs(const std::vector<std::size_t>& members,
                          std::vector<PendingQuery>& batch,
                          std::vector<std::string>& responses);
@@ -123,6 +140,9 @@ class Service {
   /// flush is executing (null otherwise).
   congest::Telemetry* active_telemetry_ = nullptr;
   std::vector<PendingQuery> pending_;
+  /// Dynamic-scenario state, keyed by pool key: the churn schedule position
+  /// survives pool eviction (the pool holds graphs, this holds history).
+  std::map<std::string, dynamic::DynamicScenario> scenarios_;
   ServiceStats stats_;
   bool shutdown_ = false;
 };

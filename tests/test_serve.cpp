@@ -25,7 +25,9 @@
 #include <vector>
 
 #include "apps/batch_sssp.hpp"
+#include "dynamic/scenario.hpp"
 #include "scenario/runner.hpp"
+#include "serve/engine_pool.hpp"
 #include "scenario/spec.hpp"
 #include "serve/protocol.hpp"
 #include "util/json.hpp"
@@ -436,6 +438,155 @@ TEST(RandomSources, ServedPayloadEchoesRandomPlacement) {
   ASSERT_EQ(got->items.size(), want.size());
   for (std::size_t i = 0; i < want.size(); ++i)
     EXPECT_EQ(got->items[i].number, want[i]);
+}
+
+// ------------------------------------------------------- dynamic specs --
+
+const char* const kDynSpec = "rmat:n=128,deg=6,seed=7,churn=0.05,updates=2";
+
+std::string update_line(const std::string& spec,
+                        const std::string& extra = "") {
+  return "{\"cmd\": \"update\", \"spec\": " + quoted(spec) +
+         (extra.empty() ? "" : ", " + extra) + "}";
+}
+
+TEST(ServeDynamic, AcquireMissOnDynamicSpecThrows) {
+  // A dynamic spec's graphs carry endpoint-keyed weights only its scenario
+  // can rebuild; a Registry fallback after eviction would silently serve a
+  // differently-weighted twin. The pool refuses instead.
+  EnginePool pool(4);
+  EXPECT_THROW(pool.acquire(scenario::GraphSpec::parse(kDynSpec)),
+               std::invalid_argument);
+}
+
+TEST(ServeDynamic, InstallMutationForcesEngineRebuild) {
+  const scenario::GraphSpec spec = scenario::GraphSpec::parse(kDynSpec);
+  dynamic::DynamicScenario sc(spec);
+  EnginePool pool(4);
+  pool.install(spec, sc.graph());
+  bool hit = true;
+  pool.acquire(spec, &hit);
+  EXPECT_FALSE(hit);  // first acquire builds the Network
+  EXPECT_EQ(pool.stats().stale_rebuilds, 0u);
+  pool.acquire(spec, &hit);
+  EXPECT_TRUE(hit);  // warm now
+
+  sc.advance();
+  pool.install(spec, sc.graph());  // mutate the pooled graph in place
+  EnginePool::Entry& entry = pool.acquire(spec, &hit);
+  // The engine built for the old topology must MISS, not serve: install()
+  // reuses the entry's graph storage, so an address check could not tell
+  // the graphs apart — the revision check does.
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(pool.stats().stale_rebuilds, 1u);
+  EXPECT_EQ(entry.network_revision, entry.graph_revision);
+  EXPECT_EQ(entry.graph().edge_count(), sc.graph().edge_count());
+  EXPECT_EQ(&entry.network->graph(), &entry.graph());
+  EXPECT_EQ(pool.stats().installs, 2u);
+  pool.acquire(spec, &hit);
+  EXPECT_TRUE(hit);  // rebuilt once, warm again
+}
+
+TEST(ServeDynamic, ServedQueriesTrackUpdateCommands) {
+  Service service(ServiceOptions{});
+  const std::string line = query_line(kDynSpec, "bfs");
+  // Replay the same scenario out-of-band as the oracle.
+  dynamic::DynamicScenario oracle = dynamic::DynamicScenario::parse(kDynSpec);
+  scenario::ScenarioRunner runner;
+
+  const JsonValue cold = submit_one(service, line);
+  EXPECT_TRUE(cold.flag("ok")) << cold.str("message", "");
+  {
+    const auto want = runner.run("bfs", oracle.graph(), "dyn");
+    EXPECT_EQ(cold.num("rounds"), want.rounds);
+    EXPECT_EQ(cold.num("messages"), want.messages);
+    EXPECT_EQ(cold.num("edges"), want.edges);
+  }
+  EXPECT_TRUE(submit_one(service, line).flag("cache_hit"));
+
+  // Advance one batch over the wire; the oracle follows.
+  const JsonValue upd = submit_one(service, update_line(kDynSpec));
+  oracle.advance();
+  EXPECT_TRUE(upd.flag("ok")) << upd.str("message", "");
+  EXPECT_EQ(upd.str("cmd", ""), "update");
+  EXPECT_EQ(upd.num("batch"), 1);
+  EXPECT_GT(upd.num("deleted") + upd.num("inserted"), 0);
+  EXPECT_EQ(upd.num("nodes"), oracle.graph().node_count());
+  EXPECT_EQ(upd.num("edges"), oracle.graph().edge_count());
+
+  // The next query answers from the mutated topology, and the stale warm
+  // engine was rebuilt, not served.
+  const JsonValue after = submit_one(service, line);
+  EXPECT_TRUE(after.flag("ok"));
+  EXPECT_FALSE(after.flag("cache_hit"));
+  const auto want = runner.run("bfs", oracle.graph(), "dyn");
+  EXPECT_EQ(after.num("rounds"), want.rounds);
+  EXPECT_EQ(after.num("messages"), want.messages);
+  EXPECT_EQ(after.num("edges"), want.edges);
+  EXPECT_EQ(service.pool_stats().stale_rebuilds, 1u);
+
+  // batches=k advances k times in one command.
+  const JsonValue upd2 =
+      submit_one(service, update_line(kDynSpec, "\"batches\": 2"));
+  oracle.advance();
+  oracle.advance();
+  EXPECT_EQ(upd2.num("batch"), 3);
+  EXPECT_EQ(upd2.num("edges"), oracle.graph().edge_count());
+
+  // The stats surface accounts the dynamics traffic.
+  const JsonValue stats = submit_one(service, "{\"cmd\": \"stats\"}");
+  const JsonValue* s = stats.find("stats");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->num("updates"), 2);
+  EXPECT_EQ(s->num("update_batches"), 3);
+  EXPECT_EQ(s->num("dynamic_scenarios"), 1);
+  EXPECT_GT(s->num("edges_deleted") + s->num("edges_inserted"), 0);
+}
+
+TEST(ServeDynamic, UpdateFlushesThePendingWindowFirst) {
+  // Queries submitted before an update must run against the topology they
+  // were submitted under — the update flushes the window before mutating.
+  ServiceOptions sopts;
+  sopts.window = 4;
+  Service service(std::move(sopts));
+  EXPECT_TRUE(service.submit(query_line(kDynSpec, "bfs")).empty());
+  const std::vector<std::string> out =
+      service.submit(update_line(kDynSpec));
+  ASSERT_EQ(out.size(), 2u);  // the flushed query, then the update ack
+  const JsonValue q = parse_json(out[0]);
+  const JsonValue u = parse_json(out[1]);
+  EXPECT_TRUE(q.flag("ok")) << q.str("message", "");
+  EXPECT_TRUE(u.flag("ok")) << u.str("message", "");
+  dynamic::DynamicScenario oracle = dynamic::DynamicScenario::parse(kDynSpec);
+  EXPECT_EQ(q.num("edges"), oracle.graph().edge_count());  // pre-update
+  oracle.advance();
+  EXPECT_EQ(u.num("edges"), oracle.graph().edge_count());  // post-update
+}
+
+TEST(ServeDynamic, UpdateErrorsAreTypedAndTheServiceKeepsServing) {
+  Service service(ServiceOptions{});
+  JsonValue r = submit_one(
+      service, update_line("thick_cycle:groups=8,width=4"));  // static spec
+  EXPECT_FALSE(r.flag("ok"));
+  EXPECT_EQ(r.str("error", ""), "bad-spec");
+
+  r = submit_one(service, update_line(kDynSpec, "\"batches\": 0"));
+  EXPECT_FALSE(r.flag("ok"));
+  EXPECT_EQ(r.str("error", ""), "bad-request");
+
+  r = submit_one(service, update_line(kDynSpec, "\"root\": 1"));
+  EXPECT_FALSE(r.flag("ok"));  // update takes no query fields
+  EXPECT_EQ(r.str("error", ""), "bad-request");
+
+  r = submit_one(service, update_line("nope:x=1,churn=0.1"));
+  EXPECT_FALSE(r.flag("ok"));
+  EXPECT_EQ(r.str("error", ""), "bad-spec");
+
+  r = submit_one(service, update_line(kDynSpec, "\"batches\": 5000"));
+  EXPECT_FALSE(r.flag("ok"));  // per-command batch cap
+  EXPECT_EQ(r.str("error", ""), "bad-request");
+
+  EXPECT_TRUE(submit_one(service, query_line(kPlainSpec, "bfs")).flag("ok"));
 }
 
 }  // namespace

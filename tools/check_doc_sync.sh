@@ -53,7 +53,7 @@ fi
 # usage string advertises for telemetry, in the scenario reference AND the
 # README, plus the observability contract document itself.
 usage_output=$("$runner" --help 2>&1 || true)
-for flag in --telemetry --trace-out --metrics-out; do
+for flag in --telemetry --trace-out --metrics-out --fault; do
   if ! printf '%s' "$usage_output" | grep -q -- "$flag"; then
     echo "doc-sync: $flag missing from 'scenario_runner --help' usage" >&2
     status=1
@@ -70,6 +70,24 @@ if [ ! -s "$root/docs/OBSERVABILITY.md" ]; then
   echo "doc-sync: docs/OBSERVABILITY.md is missing" >&2
   status=1
 fi
+
+# The dynamics surface: the churn=/updates= spec keys must be documented in
+# the scenario reference and the README, and the serve protocol's update
+# command in the protocol document.
+for key in 'churn=' 'updates='; do
+  for doc in docs/SCENARIOS.md README.md; do
+    if ! grep -q -- "\`$key" "$root/$doc"; then
+      echo "doc-sync: spec key $key is undocumented in $doc" >&2
+      status=1
+    fi
+  done
+  checked=$((checked + 1))
+done
+if ! grep -q '"cmd": "update"' "$root/docs/SERVING.md"; then
+  echo "doc-sync: the update command is undocumented in docs/SERVING.md" >&2
+  status=1
+fi
+checked=$((checked + 1))
 
 # The serving daemon's flag surface: scenario_serve polices unknown flags
 # and lists the known ones in the rejection, so the list comes from the
