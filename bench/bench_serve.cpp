@@ -5,6 +5,7 @@
 //   ./bench_serve                          # closed loop, default workload
 //   ./bench_serve --smoke                  # tiny CI smoke (validates too)
 //   ./bench_serve --mode=open --burst=16   # open loop: burst + drain
+//   ./bench_serve --mode=overload          # saturation: shed vs no-shed
 //
 // Closed loop sends one query and waits for its response — per-request
 // latency percentiles (nearest-rank, like every histogram in the repo) and
@@ -12,6 +13,18 @@
 // then drains the burst's responses — with --window > 1 the daemon
 // coalesces same-graph bfs/sssp queries inside a window into one batch
 // execution, so open-loop throughput shows what the batching window buys.
+//
+// Overload mode measures serving under duress: an unloaded closed-loop
+// baseline, then the same workload offered in back-to-back bursts (well
+// beyond the daemon's serial capacity) against a daemon WITHOUT admission
+// control and against one WITH --max-pending shedding. Without shedding,
+// per-response p99 grows with the offered burst (every query queues behind
+// the whole burst); with it, responses stay bounded — accepted queries
+// wait behind at most max-pending others, shed queries answer immediately
+// with the typed `overloaded` error, and the client retries them with
+// exponential backoff seeded by the response's retry_after_ms hint (the
+// same policy the closed loop applies). The three rows land side by side
+// in BENCH_serve.json.
 //
 // Every response line is JSON-validated (fc::parse_json + ok check): the
 // benchmark doubles as an end-to-end protocol check, and --smoke exits
@@ -27,9 +40,10 @@
 //   --algo=<name>    repeatable; queried round-robin (default bfs, sssp)
 //   --requests=<n>   measured queries per phase (default 200)
 //   --warmup=<n>     unmeasured warm-up queries (default 10)
-//   --mode=<m>       "closed" (default) or "open"
-//   --burst=<n>      open-loop in-flight burst (default 32)
+//   --mode=<m>       "closed" (default), "open", or "overload"
+//   --burst=<n>      open/overload in-flight burst (default 32)
 //   --window=<n>     daemon batching window (default 1 closed, burst open)
+//   --max-pending=<n> admission bound of the overload shed phase (default 2)
 //   --cache=<dir>    corpus directory handed to the daemon
 //   --smoke          CI mode: tiny counts, strict validation
 
@@ -40,7 +54,9 @@
 #include <chrono>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -91,13 +107,20 @@ class DaemonPipe {
   bool send(const std::string& line) {
     std::string out = line;
     out += '\n';
-    std::size_t off = 0;
-    while (off < out.size()) {
-      const ssize_t n = write(in_, out.data() + off, out.size() - off);
-      if (n <= 0) return false;
-      off += static_cast<std::size_t>(n);
+    return send_raw(out);
+  }
+
+  /// One write() for a whole burst: the daemon's drain-read then sees the
+  /// full round before going idle, instead of mini-flushing a partial
+  /// window per pipe chunk (which would serialize the round into several
+  /// back-to-back executions and smear every measured latency).
+  bool send_batch(const std::vector<std::string>& lines) {
+    std::string out;
+    for (const std::string& l : lines) {
+      out += l;
+      out += '\n';
     }
-    return true;
+    return send_raw(out);
   }
 
   bool recv(std::string& line) {
@@ -128,6 +151,16 @@ class DaemonPipe {
   }
 
  private:
+  bool send_raw(const std::string& out) {
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = write(in_, out.data() + off, out.size() - off);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
   pid_t pid_ = -1;
   int in_ = -1;
   int out_ = -1;
@@ -143,8 +176,14 @@ struct PhaseResult {
   std::uint64_t cache_hits = 0;
   std::uint64_t engine_reused = 0;
   std::uint64_t coalesced_max = 1;
+  /// Duress tallies: typed `overloaded` responses (shed at admission),
+  /// typed `deadline-exceeded` responses, and client-side resends after an
+  /// overloaded answer (exponential backoff).
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t retries = 0;
   double seconds = 0;
-  fc::congest::HistogramSummary latency_us;  // closed loop only
+  fc::congest::HistogramSummary latency_us;  // closed + overload loops
 };
 
 /// Validate one response line; tallies into `r`. Returns false only on a
@@ -165,6 +204,9 @@ bool tally(const std::string& line, PhaseResult& r) {
         r.coalesced_max, static_cast<std::uint64_t>(v.num("coalesced", 1)));
   } else {
     ++r.errors;
+    const std::string code = v.str("error", "");
+    if (code == "overloaded") ++r.shed;
+    if (code == "deadline-exceeded") ++r.deadline_exceeded;
   }
   return true;
 }
@@ -188,14 +230,15 @@ int main(int argc, char** argv) {
   const Options opts(argc, argv);
 
   static const std::vector<std::string> known_flags = {
-      "daemon", "spec",  "algo",   "requests", "warmup",
-      "mode",   "burst", "window", "cache",    "smoke"};
+      "daemon", "spec",   "algo",  "requests",    "warmup", "mode",
+      "burst",  "window", "cache", "max-pending", "smoke"};
   for (const auto& key : opts.keys()) {
     if (std::find(known_flags.begin(), known_flags.end(), key) ==
         known_flags.end()) {
       std::cerr << "bench_serve: unknown option '--" << key
                 << "'; known options: --daemon --spec --algo --requests "
-                   "--warmup --mode --burst --window --cache --smoke\n";
+                   "--warmup --mode --burst --window --cache --max-pending "
+                   "--smoke\n";
       return 2;
     }
   }
@@ -212,14 +255,17 @@ int main(int argc, char** argv) {
   const std::uint64_t warmup =
       static_cast<std::uint64_t>(opts.get_int("warmup", smoke ? 4 : 10));
   const std::string mode = opts.get("mode", "closed");
-  if (mode != "closed" && mode != "open") {
-    std::cerr << "bench_serve: --mode must be 'closed' or 'open'\n";
+  if (mode != "closed" && mode != "open" && mode != "overload") {
+    std::cerr
+        << "bench_serve: --mode must be 'closed', 'open', or 'overload'\n";
     return 2;
   }
-  const std::uint64_t burst =
-      static_cast<std::uint64_t>(opts.get_int("burst", 32));
+  const std::uint64_t burst = static_cast<std::uint64_t>(
+      opts.get_int("burst", mode == "overload" && smoke ? 8 : 32));
   const std::uint64_t window = static_cast<std::uint64_t>(
       opts.get_int("window", mode == "open" ? static_cast<int>(burst) : 1));
+  const std::uint64_t max_pending =
+      static_cast<std::uint64_t>(opts.get_int("max-pending", 2));
   const std::string cache = opts.get("cache", "");
 
   bench::banner("serve",
@@ -241,9 +287,11 @@ int main(int argc, char** argv) {
       .meta("spec", spec)
       .meta("window", window)
       .meta("daemon", daemon);
+  if (mode == "overload")
+    report.meta("burst", burst).meta("max_pending", max_pending);
 
-  Table table({"phase", "requests", "ok", "err", "hits", "reused", "qps",
-               "p50 us", "p99 us", "max us", "coalesced"});
+  Table table({"phase", "requests", "ok", "err", "shed", "retries", "hits",
+               "reused", "qps", "p50 us", "p99 us", "max us", "coalesced"});
   bool protocol_ok = true;
   std::uint64_t next_id = 1;
 
@@ -265,29 +313,178 @@ int main(int argc, char** argv) {
   }
 
   std::vector<PhaseResult> phases;
-  if (mode == "closed") {
+  bool daemon_live = true;
+  auto stop_daemon = [&]() {
+    if (!daemon_live) return;
+    daemon_live = false;
+    const int rc = pipe.stop();
+    pipe = DaemonPipe();
+    if (rc != 0) {
+      std::cerr << "bench_serve: daemon exited with status " << rc << "\n";
+      protocol_ok = false;
+    }
+  };
+
+  // Closed loop with the client-side duress policy: a typed `overloaded`
+  // response is resent after an exponential backoff seeded by the daemon's
+  // retry_after_ms hint. A lone closed-loop client never trips admission
+  // control, but the policy belongs to the client, not the phase — the
+  // overload mode reuses this loop as its unloaded baseline. Latency is
+  // measured first-send to final answer, backoff included.
+  auto run_closed = [&](const std::string& label,
+                        std::uint64_t n) -> PhaseResult {
     PhaseResult r;
-    r.label = "closed";
-    r.requests = requests;
+    r.label = label;
+    r.requests = n;
     std::vector<std::uint64_t> lat_us;
-    lat_us.reserve(requests);
+    lat_us.reserve(n);
     const auto begin = Clock::now();
-    for (std::uint64_t i = 0; i < requests; ++i) {
+    for (std::uint64_t i = 0; i < n && protocol_ok; ++i) {
+      const std::string line =
+          query_line(next_id++, spec, algos[i % algos.size()], i);
       const auto t0 = Clock::now();
-      std::string resp;
-      if (!pipe.send(query_line(next_id++, spec, algos[i % algos.size()],
-                                i)) ||
-          !pipe.recv(resp)) {
-        protocol_ok = false;
+      std::uint64_t backoff_ms = 0;
+      for (int attempt = 0; attempt < 10 && protocol_ok; ++attempt) {
+        std::string resp;
+        if (!pipe.send(line) || !pipe.recv(resp)) {
+          protocol_ok = false;
+          break;
+        }
+        bool retry = false;
+        try {
+          const JsonValue v = parse_json(resp);
+          if (!v.flag("ok") && v.str("error", "") == "overloaded" &&
+              attempt + 1 < 10) {
+            retry = true;
+            ++r.shed;
+            ++r.retries;
+            const auto hint =
+                static_cast<std::uint64_t>(v.num("retry_after_ms", 1));
+            backoff_ms = backoff_ms == 0 ? std::max<std::uint64_t>(hint, 1)
+                                         : backoff_ms * 2;
+          }
+        } catch (const std::exception&) {
+          // tally() below records the invalid line.
+        }
+        if (retry) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+          continue;
+        }
+        lat_us.push_back(ns_since(t0) / 1000);
+        if (!tally(resp, r)) protocol_ok = false;
         break;
       }
-      lat_us.push_back(ns_since(t0) / 1000);
-      if (!tally(resp, r)) protocol_ok = false;
     }
     r.seconds = static_cast<double>(ns_since(begin)) * 1e-9;
     r.latency_us = congest::summarize_counts(lat_us);
-    phases.push_back(std::move(r));
-  } else {
+    return r;
+  };
+
+  // One overload phase: offer `n` queries in back-to-back bursts of `burst`
+  // — far past the daemon's serial capacity — and record the latency of
+  // EVERY request/response exchange, shed answers included: a fast typed
+  // `overloaded` IS the product of admission control, and its latency is
+  // what a real client experiences per attempt. Shed queries are retried
+  // with per-query exponential backoff until they complete, so `ok`
+  // converges to `n` and the goodput cost of shedding shows up in
+  // `seconds`, not in lost answers.
+  auto run_overload = [&](const std::string& label,
+                          std::uint64_t n) -> PhaseResult {
+    struct Outstanding {
+      std::string line;
+      std::uint64_t backoff_ms = 0;
+      int attempts = 0;
+      Clock::time_point sent_at;
+    };
+    PhaseResult r;
+    r.label = label;
+    r.requests = n;
+    std::vector<std::uint64_t> lat_us;
+    lat_us.reserve(n);
+    std::map<std::uint64_t, Outstanding> inflight;
+    std::vector<std::uint64_t> retry_ids;
+    std::uint64_t issued = 0, completed = 0;
+    const auto begin = Clock::now();
+    while (completed < n && protocol_ok) {
+      // Retries lead the next burst; one sleep covers the largest backoff.
+      std::vector<std::uint64_t> round = std::move(retry_ids);
+      retry_ids.clear();
+      std::uint64_t wait_ms = 0;
+      for (const std::uint64_t id : round)
+        wait_ms = std::max(wait_ms, inflight[id].backoff_ms);
+      if (wait_ms > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+      while (round.size() < burst && issued < n) {
+        const std::uint64_t id = next_id++;
+        inflight[id] = {
+            query_line(id, spec, algos[issued % algos.size()], issued), 0, 0,
+            {}};
+        round.push_back(id);
+        ++issued;
+      }
+      std::vector<std::string> lines;
+      lines.reserve(round.size());
+      for (const std::uint64_t id : round) {
+        Outstanding& o = inflight[id];
+        o.sent_at = Clock::now();
+        ++o.attempts;
+        lines.push_back(o.line);
+      }
+      if (!pipe.send_batch(lines)) protocol_ok = false;
+      // Shed responses arrive immediately, accepted ones after the flush;
+      // match by id, not send order.
+      for (std::size_t i = 0; i < round.size() && protocol_ok; ++i) {
+        std::string resp;
+        if (!pipe.recv(resp)) {
+          protocol_ok = false;
+          break;
+        }
+        std::uint64_t id = 0;
+        std::uint64_t hint = 1;
+        bool shed_resp = false;
+        try {
+          const JsonValue v = parse_json(resp);
+          id = static_cast<std::uint64_t>(v.num("id"));
+          shed_resp = !v.flag("ok") && v.str("error", "") == "overloaded";
+          if (shed_resp)
+            hint = static_cast<std::uint64_t>(v.num("retry_after_ms", 1));
+        } catch (const std::exception&) {
+        }
+        const auto it = inflight.find(id);
+        if (it == inflight.end()) {
+          ++r.invalid;
+          protocol_ok = false;
+          break;
+        }
+        lat_us.push_back(ns_since(it->second.sent_at) / 1000);
+        // Retries lead the next round, so the daemon admits the oldest
+        // queries first and every query completes eventually; the attempt
+        // ceiling is a livelock safety net, not a give-up policy. Backoff
+        // doubles from the daemon's hint up to a ceiling — an offered load
+        // this far past capacity would otherwise sleep for seconds.
+        if (shed_resp && it->second.attempts < 1000) {
+          ++r.shed;
+          ++r.retries;
+          it->second.backoff_ms = std::min<std::uint64_t>(
+              it->second.backoff_ms == 0 ? std::max<std::uint64_t>(hint, 1)
+                                         : it->second.backoff_ms * 2,
+              64);
+          retry_ids.push_back(id);
+          continue;
+        }
+        if (!tally(resp, r)) protocol_ok = false;
+        inflight.erase(it);
+        ++completed;
+      }
+    }
+    r.seconds = static_cast<double>(ns_since(begin)) * 1e-9;
+    r.latency_us = congest::summarize_counts(lat_us);
+    return r;
+  };
+
+  if (mode == "closed") {
+    phases.push_back(run_closed("closed", requests));
+  } else if (mode == "open") {
     PhaseResult r;
     r.label = "open burst=" + std::to_string(burst);
     r.requests = requests;
@@ -314,21 +511,58 @@ int main(int argc, char** argv) {
     }
     r.seconds = static_cast<double>(ns_since(begin)) * 1e-9;
     phases.push_back(std::move(r));
+  } else {
+    // Unloaded baseline and the no-shed overload run share the default
+    // daemon (window=1, unbounded admission): every burst query is
+    // accepted and queues behind the whole outstanding burst, so response
+    // p99 grows with the offered load.
+    phases.push_back(run_closed("unloaded", requests));
+    if (protocol_ok) phases.push_back(run_overload("overload no-shed",
+                                                   requests));
+    stop_daemon();
+    if (protocol_ok) {
+      // Fresh daemon WITH admission control: at most max-pending queries
+      // queue, the rest shed instantly with the typed `overloaded` error —
+      // response p99 stays bounded no matter the offered burst.
+      std::vector<std::string> shed_args = {
+          "--window=" + std::to_string(burst),
+          "--max-pending=" + std::to_string(max_pending)};
+      if (!cache.empty()) shed_args.push_back("--cache=" + cache);
+      if (!pipe.start(daemon, shed_args)) {
+        std::cerr << "bench_serve: cannot restart daemon with shedding\n";
+        protocol_ok = false;
+      } else {
+        daemon_live = true;
+        for (std::uint64_t i = 0; i < warmup && protocol_ok; ++i) {
+          PhaseResult sink;
+          std::string resp;
+          protocol_ok = pipe.send(query_line(next_id++, spec,
+                                             algos[i % algos.size()], i)) &&
+                        pipe.send("{\"cmd\": \"flush\"}") && pipe.recv(resp) &&
+                        tally(resp, sink);
+        }
+        if (protocol_ok)
+          phases.push_back(run_overload(
+              "overload shed=" + std::to_string(max_pending), requests));
+      }
+    }
   }
 
-  const int daemon_rc = pipe.stop();
-  if (daemon_rc != 0) {
-    std::cerr << "bench_serve: daemon exited with status " << daemon_rc
-              << "\n";
-    protocol_ok = false;
-  }
+  stop_daemon();
 
   for (const PhaseResult& r : phases) {
+    // Exchanges = every request/response round-trip, resends included;
+    // goodput counts only final ok answers.
+    const std::uint64_t exchanges = r.ok + r.errors + r.retries;
     const double qps =
-        r.seconds > 0 ? static_cast<double>(r.ok + r.errors) / r.seconds : 0;
+        r.seconds > 0 ? static_cast<double>(exchanges) / r.seconds : 0;
+    const double goodput =
+        r.seconds > 0 ? static_cast<double>(r.ok) / r.seconds : 0;
     table.add_row({r.label, Table::num(std::size_t{r.requests}),
                    Table::num(std::size_t{r.ok}),
                    Table::num(std::size_t{r.errors}),
+                   Table::num(std::size_t{r.shed}),
+                   Table::num(std::size_t{r.retries}),
                    Table::num(std::size_t{r.cache_hits}),
                    Table::num(std::size_t{r.engine_reused}),
                    std::to_string(static_cast<std::uint64_t>(qps)),
@@ -342,11 +576,15 @@ int main(int argc, char** argv) {
         .add("ok", r.ok)
         .add("errors", r.errors)
         .add("invalid", r.invalid)
+        .add("shed", r.shed)
+        .add("deadline_exceeded", r.deadline_exceeded)
+        .add("retries", r.retries)
         .add("cache_hits", r.cache_hits)
         .add("engine_reused", r.engine_reused)
         .add("coalesced_max", r.coalesced_max)
         .add("seconds", r.seconds)
         .add("throughput_qps", qps)
+        .add("goodput_qps", goodput)
         .add("lat_p50_us", r.latency_us.p50)
         .add("lat_p99_us", r.latency_us.p99)
         .add("lat_max_us", r.latency_us.max);

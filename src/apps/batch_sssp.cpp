@@ -126,6 +126,7 @@ BatchSsspReport batch_sssp(const WeightedGraph& g,
   ropts.force_dense = opts.force_dense;
   ropts.telemetry = opts.telemetry;
   ropts.pool = opts.pool;
+  ropts.cancel = opts.cancel;
   const auto cost = net.run(alg, ropts);
   r.sources = alg.sources();
   const std::uint32_t k = alg.k();
@@ -144,6 +145,7 @@ BatchSsspReport batch_sssp(const WeightedGraph& g,
   r.messages = cost.messages;
   r.arc_sends = cost.arc_sends;
   r.finished = cost.finished;
+  r.cancelled = cost.cancelled;
   return r;
 }
 

@@ -95,6 +95,9 @@ struct BatchSsspOptions {
   /// Warm engine to reuse; engaged only when bound to EXACTLY g.graph()
   /// (the serve layer's pooled Network), otherwise a fresh engine is built.
   congest::Network* network = nullptr;
+  /// Cooperative cancellation/deadline token for the engine run (null =
+  /// never cancels). See congest/cancel.hpp.
+  const congest::CancelToken* cancel = nullptr;
 };
 
 /// Per-query outcome plus the shared engine costs of the one batched run.
@@ -109,6 +112,9 @@ struct BatchSsspReport {
   std::uint64_t messages = 0;
   std::vector<std::uint64_t> arc_sends;
   bool finished = false;
+  /// The run was truncated by an expired BatchSsspOptions::cancel token;
+  /// per-query distances are a valid partial relaxation, not the fixpoint.
+  bool cancelled = false;
 
   std::uint64_t max_arc_congestion() const;
   std::uint64_t max_edge_congestion(const Graph& g) const;

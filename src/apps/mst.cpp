@@ -250,6 +250,7 @@ void accumulate(MstReport& r, const congest::RunResult& cost) {
   r.rounds += cost.rounds;
   r.messages += cost.messages;
   r.finished = r.finished && cost.finished;
+  r.cancelled = r.cancelled || cost.cancelled;
   if (r.arc_sends.empty()) r.arc_sends.assign(cost.arc_sends.size(), 0);
   for (std::size_t a = 0; a < cost.arc_sends.size(); ++a)
     r.arc_sends[a] += cost.arc_sends[a];
@@ -287,6 +288,7 @@ MstReport distributed_mst(const WeightedGraph& g, const MstOptions& opts) {
   ropts.force_dense = opts.force_dense;
   ropts.telemetry = opts.telemetry;
   ropts.pool = opts.pool;
+  ropts.cancel = opts.cancel;
   // ONE engine serves every phase execution: run() fully resets per-run
   // state, so this is bit-identical to the former per-phase Networks and
   // drops their repeated adjacency-sized allocations.

@@ -50,6 +50,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "congest/cancel.hpp"
 #include "congest/metrics.hpp"
 #include "graph/weighted_graph.hpp"
 
@@ -81,6 +82,10 @@ struct MstOptions {
   /// Thread pool for every phase's engine rounds; null selects
   /// ThreadPool::global().
   ThreadPool* pool = nullptr;
+  /// Cooperative cancellation/deadline token, threaded through every phase
+  /// execution (null = never cancels). A cancelled phase stops the Borůvka
+  /// loop; the report carries the forest built so far. congest/cancel.hpp.
+  const congest::CancelToken* cancel = nullptr;
 };
 
 struct MstReport {
@@ -101,6 +106,9 @@ struct MstReport {
   /// Per-arc sends summed over every phase (whole-execution congestion).
   std::vector<std::uint64_t> arc_sends;
   bool finished = false;
+  /// Some phase execution was truncated by an expired MstOptions::cancel
+  /// token; tree_edges hold the merges committed before the cut.
+  bool cancelled = false;
   /// Final fragment id per node: the minimum NodeId of its component.
   std::vector<NodeId> fragment;
 

@@ -75,6 +75,7 @@ SsspReport distributed_sssp(const WeightedGraph& g, NodeId source,
   ropts.telemetry = opts.telemetry;
   ropts.pool = opts.pool;
   ropts.faults = opts.faults;
+  ropts.cancel = opts.cancel;
   const auto cost = net.run(alg, ropts);
   r.dist = alg.distances();
   r.parent_arc.assign(g.graph().node_count(), kInvalidArc);
@@ -89,6 +90,7 @@ SsspReport distributed_sssp(const WeightedGraph& g, NodeId source,
   r.messages = cost.messages;
   r.arc_sends = cost.arc_sends;
   r.finished = cost.finished;
+  r.cancelled = cost.cancelled;
   return r;
 }
 

@@ -72,6 +72,9 @@ struct SsspOptions {
   /// Mid-run fault injection (null = fault-free); ids are in g.graph()'s
   /// id space. See congest/faults.hpp.
   const congest::FaultPlan* faults = nullptr;
+  /// Cooperative cancellation/deadline token for the engine run (null =
+  /// never cancels). See congest/cancel.hpp.
+  const congest::CancelToken* cancel = nullptr;
 };
 
 struct SsspReport {
@@ -83,6 +86,9 @@ struct SsspReport {
   std::uint64_t messages = 0;
   std::vector<std::uint64_t> arc_sends;
   bool finished = false;
+  /// The run was truncated by an expired SsspOptions::cancel token; the
+  /// distances are a valid partial relaxation, not the fixpoint.
+  bool cancelled = false;
 
   std::uint64_t max_arc_congestion() const;
   std::uint64_t max_edge_congestion(const Graph& g) const;

@@ -1,0 +1,64 @@
+#pragma once
+// Cooperative cancellation and deadlines for engine runs.
+//
+// A CancelToken is shared between a run() caller and the engine: the caller
+// flags it (from any thread) or arms it with a steady-clock deadline, and
+// Network::run checks it ONCE at the top of every round — the same
+// zero-overhead discipline as telemetry kOff: a null RunOptions::cancel
+// costs a single branch per round, a deadline-free token a single relaxed
+// atomic load, and only a token carrying a deadline pays one clock read per
+// round. A run that observes an expired token stops before executing the
+// next round and returns a truncated RunResult with `cancelled = true`
+// (`finished` stays false); messages already in flight land in
+// `undelivered`, keeping the messages/delivered reconciliation exact.
+//
+// Cooperative means round-granular: a round that has started always
+// completes (handlers never observe a half-delivered round), so the engine
+// stops within one round of the cancellation signal.
+
+#include <atomic>
+#include <chrono>
+
+namespace fc::congest {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  explicit CancelToken(Clock::time_point deadline)
+      : deadline_(deadline), has_deadline_(true) {}
+
+  /// Token that expires `budget` from now.
+  static CancelToken after(std::chrono::nanoseconds budget) {
+    return CancelToken(Clock::now() + budget);
+  }
+
+  /// Flag the token from any thread; takes effect at the next round check.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arm (or move) the deadline. Not thread-safe against a concurrent
+  /// run() — set it before handing the token to the engine.
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+  /// The engine's per-round check: cancelled, or past the deadline.
+  bool expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+}  // namespace fc::congest

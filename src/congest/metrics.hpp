@@ -43,10 +43,12 @@ struct RunResult {
   /// Messages sent in the final executed round: they sat in the flipped
   /// write half when the loop exited and were never delivered to any
   /// handler. Nonzero mostly on runs truncated by RunOptions::max_rounds
-  /// (a finished run's last round can also leave a few in flight — e.g. a
-  /// flood's last adopter announcing to its remaining neighbors).
-  /// Invariant per run: messages - undelivered == sum of inbox sizes ever
-  /// materialized == the telemetry series' summed `delivered` column.
+  /// or an expired CancelToken (a finished run's last round can also leave
+  /// a few in flight — e.g. a flood's last adopter announcing to its
+  /// remaining neighbors).
+  /// Invariant per run — cancelled or not: messages - undelivered == sum of
+  /// inbox sizes ever materialized == the telemetry series' summed
+  /// `delivered` column.
   std::uint64_t undelivered = 0;
   /// Fault-injection ledger (0 unless the run had RunOptions::faults):
   /// sends lost to a dead arc / crashed node (swallowed at send time — not
@@ -55,6 +57,10 @@ struct RunResult {
   std::uint64_t fault_dropped = 0;
   std::uint64_t fault_corrupted = 0;
   bool finished = false;            // algorithm reported done()
+  /// The run was truncated by an expired RunOptions::cancel token (flag or
+  /// deadline) before `finished`. Mutually exclusive with `finished`; a
+  /// run that merely hits max_rounds reports neither.
+  bool cancelled = false;
   /// Per-arc message counts; EMPTY when the run had count_sends off.
   std::vector<std::uint64_t> arc_sends;
   /// THIS run's telemetry (series, span, histograms); engaged only when the

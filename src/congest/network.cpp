@@ -259,7 +259,15 @@ RunResult Network::run(Algorithm& alg, const RunOptions& opts) {
   // dense sweep (where they don't gate scheduling): the `wakeups` series
   // column is meaningless in a dense-vs-sparse comparison otherwise.
   const bool record_wakeups = sparse || tele_ != nullptr;
+  const CancelToken* const cancel = opts.cancel;
   for (; round < opts.max_rounds; ++round) {
+    // Cancellation gate: checked BEFORE the round starts, so a round never
+    // half-executes, and last round's sends — flipped into the read half
+    // but never consumed — land in `undelivered` like any truncation.
+    if (cancel != nullptr && cancel->expired()) {
+      result.cancelled = true;
+      break;
+    }
     alg.round_started(round);
     // Faults land between rounds: state written here is only read by the
     // (possibly parallel) handler/send phases that follow.

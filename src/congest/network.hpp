@@ -49,6 +49,7 @@
 #include <string_view>
 #include <vector>
 
+#include "congest/cancel.hpp"
 #include "congest/faults.hpp"
 #include "congest/message.hpp"
 #include "congest/metrics.hpp"
@@ -205,6 +206,12 @@ struct RunOptions {
   /// a faulted run stays bit-identical across engines, pools, and thread
   /// counts. See congest/faults.hpp for the exact semantics per kind.
   const FaultPlan* faults = nullptr;
+  /// Cooperative cancellation/deadline token, checked once at the top of
+  /// every round under BOTH engines (null = one branch per round, like
+  /// telemetry kOff). An expired token truncates the run before the next
+  /// round starts: RunResult::cancelled is set, `finished` stays false, and
+  /// in-flight sends land in `undelivered`. See congest/cancel.hpp.
+  const CancelToken* cancel = nullptr;
 };
 
 class Network {

@@ -112,27 +112,34 @@ Graph load_edge_list(const std::string& path) {
 }
 
 void save_binary(const Graph& g, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) io_fail(path, "cannot open for writing");
-  Digest d;
-  write_u32(out, kMagic);
-  write_u32(out, kVersion);
-  write_u32(out, g.node_count());
-  write_u32(out, g.edge_count());
-  d.word(kMagic);
-  d.word(kVersion);
-  d.word(g.node_count());
-  d.word(g.edge_count());
-  for (EdgeId e = 0; e < g.edge_count(); ++e) {
-    write_u32(out, g.edge_u(e));
-    d.word(g.edge_u(e));
+  // Write-then-rename, like the manifest: the final path only ever holds a
+  // complete file, so a crash mid-write can't leave a torn .fcg the
+  // manifest vouches for.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) io_fail(tmp, "cannot open for writing");
+    Digest d;
+    write_u32(out, kMagic);
+    write_u32(out, kVersion);
+    write_u32(out, g.node_count());
+    write_u32(out, g.edge_count());
+    d.word(kMagic);
+    d.word(kVersion);
+    d.word(g.node_count());
+    d.word(g.edge_count());
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      write_u32(out, g.edge_u(e));
+      d.word(g.edge_u(e));
+    }
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      write_u32(out, g.edge_v(e));
+      d.word(g.edge_v(e));
+    }
+    write_u64(out, d.h);
+    if (!out) io_fail(tmp, "write failed");
   }
-  for (EdgeId e = 0; e < g.edge_count(); ++e) {
-    write_u32(out, g.edge_v(e));
-    d.word(g.edge_v(e));
-  }
-  write_u64(out, d.h);
-  if (!out) io_fail(path, "write failed");
+  std::filesystem::rename(tmp, path);
 }
 
 Graph load_binary(const std::string& path) {
@@ -348,7 +355,12 @@ Graph load_or_generate(const GraphSpec& spec, const std::string& cache_dir,
         return g;
       }
     } catch (const std::exception&) {
-      // Stale or corrupt cache entry: fall through and regenerate.
+      // Corrupt cache entry (bad magic, truncation, checksum mismatch):
+      // quarantine it as <file>.bad for post-mortem instead of silently
+      // overwriting the evidence, then fall through and regenerate.
+      std::error_code ec;
+      fs::rename(file, fs::path(file.string() + ".bad"), ec);
+      if (ec) fs::remove(file, ec);  // rename failed: at least unblock
     }
   }
   Graph g = Registry::instance().build(spec);

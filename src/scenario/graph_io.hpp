@@ -54,7 +54,9 @@ std::uint64_t graph_checksum(const Graph& g);
 void save_edge_list(const Graph& g, const std::string& path);
 Graph load_edge_list(const std::string& path);
 
-/// Binary CSR cache (see the format note above).
+/// Binary CSR cache (see the format note above). Written atomically —
+/// to `path + ".tmp"` then renamed into place, like the manifest — so the
+/// final path only ever holds a complete, checksummed file.
 void save_binary(const Graph& g, const std::string& path);
 Graph load_binary(const std::string& path);
 
@@ -100,10 +102,13 @@ GcResult gc_corpus(const std::string& cache_dir);
 
 /// Load the spec's graph from `cache_dir` if a valid cache file exists;
 /// otherwise generate it via the Registry and write the cache + manifest
-/// entry. A corrupt or unreadable cache file — or one whose checksum
-/// disagrees with the manifest — is silently regenerated. `from_cache`
-/// (optional) reports which path was taken. Any `weights=` parameter is
-/// ignored here: caching is by topology (see load_or_generate_weighted).
+/// entry. A corrupt or unreadable cache file (bad magic, truncation,
+/// checksum failure) is QUARANTINED — renamed to `<file>.bad` so the
+/// evidence survives for post-mortem — and the graph regenerates; one
+/// whose content merely disagrees with the manifest's checksum is
+/// regenerated in place. `from_cache` (optional) reports which path was
+/// taken. Any `weights=` parameter is ignored here: caching is by
+/// topology (see load_or_generate_weighted).
 Graph load_or_generate(const GraphSpec& spec, const std::string& cache_dir,
                        bool* from_cache = nullptr);
 

@@ -28,6 +28,7 @@ congest::RunOptions run_options(const ScenarioConfig& cfg) {
   opts.telemetry = cfg.telemetry;
   opts.pool = cfg.pool;
   opts.faults = cfg.faults;
+  opts.cancel = cfg.cancel;
   return opts;
 }
 
@@ -68,6 +69,7 @@ void accumulate(ScenarioResult& r, const congest::RunResult& cost,
   r.rounds += cost.rounds;
   r.messages += cost.messages;
   r.finished = r.finished && cost.finished;
+  r.cancelled = r.cancelled || cost.cancelled;
   if (arc_sends.empty()) arc_sends.assign(cost.arc_sends.size(), 0);
   for (std::size_t a = 0; a < cost.arc_sends.size(); ++a)
     arc_sends[a] += cost.arc_sends[a];
@@ -148,10 +150,12 @@ ScenarioResult run_batch_sssp_scenario(const WeightedGraph& g,
   opts.telemetry = cfg.telemetry;
   opts.pool = cfg.pool;
   opts.network = cfg.network;
+  opts.cancel = cfg.cancel;
   auto rep = apps::batch_sssp(g, batch_sources(g.graph(), cfg), opts);
   r.rounds = rep.rounds;
   r.messages = rep.messages;
   r.finished = rep.finished;
+  r.cancelled = rep.cancelled;
   finish(r, g.graph(), rep.arc_sends);
   if (cfg.payload != nullptr) {
     cfg.payload->sources = rep.sources;
@@ -358,10 +362,12 @@ ScenarioResult run_mst_scenario(const WeightedGraph& full,
   opts.force_dense = cfg.force_dense;
   opts.telemetry = cfg.telemetry;
   opts.pool = cfg.pool;
+  opts.cancel = cfg.cancel;
   const auto rep = apps::distributed_mst(g, opts);
   r.rounds = rep.rounds;
   r.messages = rep.messages;
   r.finished = rep.finished;
+  r.cancelled = rep.cancelled;
   finish(r, g.graph(), rep.arc_sends);
   if (cfg.payload != nullptr) {
     cfg.payload->sources = {cfg.root};
@@ -403,10 +409,12 @@ ScenarioResult run_sssp_scenario(const WeightedGraph& full,
   opts.pool = cfg.pool;
   opts.network = cfg.network;
   opts.faults = cfg.faults;
+  opts.cancel = cfg.cancel;
   const auto rep = apps::distributed_sssp(g, w.root, opts);
   r.rounds = rep.rounds;
   r.messages = rep.messages;
   r.finished = rep.finished;
+  r.cancelled = rep.cancelled;
   finish(r, g.graph(), rep.arc_sends);
   if (cfg.payload != nullptr) {
     cfg.payload->distances.push_back(

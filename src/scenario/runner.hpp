@@ -20,6 +20,7 @@ class ThreadPool;
 }
 
 namespace fc::congest {
+class CancelToken;
 class Network;
 class Telemetry;
 struct FaultPlan;
@@ -117,6 +118,14 @@ struct ScenarioConfig {
   /// RESTRICTED ids, so plans are best paired with connected graphs
   /// (`largest_cc=1`).
   const congest::FaultPlan* faults = nullptr;
+  /// Cooperative cancellation/deadline token threaded through every engine
+  /// execution of the scenario (null = never cancels). Supported wherever
+  /// the engine runs — including the composite apps (mst, batch-sssp),
+  /// whose next phase observes the token — and IGNORED by weighted-apsp
+  /// (no RunOptions plumbing there yet); callers with hard deadlines
+  /// should also check the clock after the run. A cancelled scenario sets
+  /// ScenarioResult::cancelled and reports the work done up to the cut.
+  const congest::CancelToken* cancel = nullptr;
 };
 
 /// One algorithm run on one graph, in paper cost measures.
@@ -135,6 +144,9 @@ struct ScenarioResult {
   std::uint64_t arc_p50 = 0;
   std::uint64_t arc_p99 = 0;
   bool finished = false;
+  /// Some engine execution was truncated by ScenarioConfig::cancel; the
+  /// cost measures cover the work up to the cut (`finished` stays false).
+  bool cancelled = false;
   std::string note;  // algorithm-specific outcome, e.g. "depth=7"
 };
 

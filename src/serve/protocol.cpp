@@ -16,6 +16,8 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kBadSource: return "bad-source";
     case ErrorCode::kOversized: return "oversized";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kOverloaded: return "overloaded";
   }
   return "internal";
 }
@@ -60,7 +62,7 @@ bool read_string(const JsonValue& obj, const char* key, std::string* out,
 constexpr const char* kQueryKeys[] = {
     "id",      "spec",        "algo",    "root",       "seed",
     "k",       "sources",     "source_mode", "stretch", "max_rounds",
-    "engine",  "payload"};
+    "engine",  "payload",     "deadline_ms"};
 
 }  // namespace
 
@@ -143,7 +145,8 @@ bool parse_request(const JsonValue& line, Request* out, ErrorCode* error,
       !read_uint(line, "root", &root, message) ||
       !read_uint(line, "sources", &q.cfg.sources, message) ||
       !read_uint(line, "stretch", &stretch, message) ||
-      !read_uint(line, "max_rounds", &q.cfg.max_rounds, message))
+      !read_uint(line, "max_rounds", &q.cfg.max_rounds, message) ||
+      !read_uint(line, "deadline_ms", &q.deadline_ms, message))
     return fail(ErrorCode::kBadRequest, *message, error, message);
   q.cfg.root = static_cast<NodeId>(root);
   q.cfg.stretch_k = static_cast<std::uint32_t>(stretch);
@@ -204,6 +207,7 @@ std::string serialize(const Response& r) {
   w.begin_object().field("id", r.id).field("ok", r.ok);
   if (!r.ok) {
     w.field("error", to_string(r.error)).field("message", r.message);
+    if (r.retry_after_ms > 0) w.field("retry_after_ms", r.retry_after_ms);
     return w.end_object().take();
   }
   const scenario::ScenarioResult& res = r.result;
@@ -248,12 +252,14 @@ std::string serialize(const Response& r) {
 }
 
 std::string error_response(std::uint64_t id, ErrorCode code,
-                           const std::string& message) {
+                           const std::string& message,
+                           std::uint64_t retry_after_ms) {
   Response r;
   r.id = id;
   r.ok = false;
   r.error = code;
   r.message = message;
+  r.retry_after_ms = retry_after_ms;
   return serialize(r);
 }
 

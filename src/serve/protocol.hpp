@@ -24,6 +24,10 @@
 //   max_rounds   uint   per-execution round cap
 //   engine       string "event" (default) | "dense"
 //   payload      bool   include typed results (distances/hops/mst_edges)
+//   deadline_ms  uint   per-query time budget, measured from admission
+//                       (0 = none); an exceeded deadline answers the typed
+//                       "deadline-exceeded" error and cancels the engine
+//                       run cooperatively (within one round)
 //
 // Control lines use {"cmd": ...}: "flush" forces the current batching
 // window out early, "stats" reports pool/service counters, "shutdown"
@@ -65,6 +69,10 @@ enum class ErrorCode {
   kBadSource,    // root/sources out of range for the resolved graph
   kOversized,    // request line exceeds the service's max_request_bytes
   kInternal,     // unexpected failure while running the scenario
+  kDeadlineExceeded,  // the query's deadline_ms (or the service's flush
+                      // budget) expired before an answer was produced
+  kOverloaded,   // admission queue full; the response carries
+                 // retry_after_ms as a client backoff hint
 };
 
 /// Wire name of an error code ("parse", "bad-request", ...).
@@ -79,6 +87,10 @@ struct Query {
   std::string algo;
   scenario::ScenarioConfig cfg;
   bool want_payload = false;
+  /// Per-query time budget in milliseconds, measured from admission; 0 =
+  /// no deadline. The service converts it to an absolute steady-clock
+  /// deadline at submit time, so queue wait counts against it.
+  std::uint64_t deadline_ms = 0;
 };
 
 /// Daemon control commands (the {"cmd": ...} lines).
@@ -116,14 +128,19 @@ struct Response {
   std::uint32_t coalesced = 1;
   bool has_payload = false;
   scenario::ScenarioPayload payload;
+  /// kOverloaded only: suggested client backoff before retrying, derived
+  /// from the service's current queue depth. Serialized when nonzero.
+  std::uint64_t retry_after_ms = 0;
 };
 
 /// Render a response as one NDJSON line (no trailing newline). Unreachable
 /// entries in distances/hops serialize as -1; MST edges as [u, v] arrays.
 std::string serialize(const Response& r);
 
-/// Shorthand for a typed failure line.
+/// Shorthand for a typed failure line. `retry_after_ms` is serialized when
+/// nonzero (the kOverloaded backoff hint).
 std::string error_response(std::uint64_t id, ErrorCode code,
-                           const std::string& message);
+                           const std::string& message,
+                           std::uint64_t retry_after_ms = 0);
 
 }  // namespace fc::serve

@@ -1,5 +1,6 @@
 #include "serve/service.hpp"
 
+#include <chrono>
 #include <map>
 #include <ostream>
 #include <stdexcept>
@@ -75,6 +76,21 @@ std::vector<std::string> Service::submit(const std::string& line) {
       break;
   }
 
+  // Admission control: a bounded queue sheds excess QUERIES (control lines
+  // are never shed) with a typed overloaded error instead of letting the
+  // backlog — and every client's latency — grow without bound. The retry
+  // hint scales with the depth the client would have waited behind.
+  if (opts_.max_pending > 0 && pending_.size() >= opts_.max_pending) {
+    ++stats_.shed;
+    const std::uint64_t retry_ms =
+        1 + 2 * static_cast<std::uint64_t>(pending_.size());
+    return {count(error_response(
+        req.query.id, ErrorCode::kOverloaded,
+        "admission queue full (" + std::to_string(pending_.size()) +
+            " pending); retry after backoff",
+        retry_ms))};
+  }
+
   // Validate what is checkable without a graph, so a doomed query errors
   // NOW instead of poisoning the window it would have batched with.
   PendingQuery p;
@@ -91,6 +107,11 @@ std::vector<std::string> Service::submit(const std::string& line) {
     return {count(
         error_response(p.query.id, ErrorCode::kBadSpec, err.what()))};
   }
+  // The deadline clock starts at ADMISSION: time spent waiting in the
+  // window counts against the budget, exactly what a latency SLO means.
+  if (p.query.deadline_ms > 0)
+    p.deadline =
+        Clock::now() + std::chrono::milliseconds(p.query.deadline_ms);
   pending_.push_back(std::move(p));
   if (pending_.size() >= opts_.window) return flush();
   return {};
@@ -121,6 +142,23 @@ std::vector<std::string> Service::flush() {
 
   std::vector<std::string> responses(batch.size());
 
+  // Effective deadline per query: its own admission deadline tightened by
+  // the flush budget, so one pathological window-mate cannot hold every
+  // other query (and the transport's event loop) hostage.
+  std::vector<std::optional<Clock::time_point>> deadlines(batch.size());
+  if (opts_.flush_budget_ms > 0) {
+    const Clock::time_point budget_deadline =
+        Clock::now() + std::chrono::milliseconds(opts_.flush_budget_ms);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      deadlines[i] = batch[i].deadline;
+      if (!deadlines[i] || budget_deadline < *deadlines[i])
+        deadlines[i] = budget_deadline;
+    }
+  } else {
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      deadlines[i] = batch[i].deadline;
+  }
+
   // Group coalescible queries; everything else runs individually in order.
   std::map<std::string, std::vector<std::size_t>> groups;
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -139,16 +177,16 @@ std::vector<std::string> Service::flush() {
         !batch[members.front()].spec.has_weights())
       continue;
     if (batch[members.front()].query.algo == "bfs")
-      run_coalesced_bfs(members, batch, responses);
+      run_coalesced_bfs(members, batch, deadlines, responses);
     else
-      run_coalesced_sssp(members, batch, responses);
+      run_coalesced_sssp(members, batch, deadlines, responses);
     for (const std::size_t i : members) handled[i] = 1;
     ++stats_.coalesced_runs;
     stats_.coalesced_queries += members.size();
   }
 
   for (std::size_t i = 0; i < batch.size(); ++i)
-    if (!handled[i]) responses[i] = run_one(batch[i]);
+    if (!handled[i]) responses[i] = run_one(batch[i], deadlines[i]);
 
   active_telemetry_ = nullptr;
   if (telemetry.enabled() && opts_.metrics != nullptr) {
@@ -232,9 +270,24 @@ std::string Service::update_response(const Request& req) {
   }
 }
 
-std::string Service::run_one(const PendingQuery& p) {
+std::string Service::deadline_exceeded_response(std::uint64_t id,
+                                                std::uint64_t cancelled_rounds,
+                                                const std::string& message) {
+  ++stats_.deadline_exceeded;
+  stats_.cancelled_rounds += cancelled_rounds;
+  return error_response(id, ErrorCode::kDeadlineExceeded, message);
+}
+
+std::string Service::run_one(
+    const PendingQuery& p,
+    const std::optional<Clock::time_point>& deadline) {
   Response resp;
   resp.id = p.query.id;
+  // Already expired (queue wait ate the whole budget): don't even touch
+  // the pool — the client has given up on this answer.
+  if (deadline && Clock::now() >= *deadline)
+    return deadline_exceeded_response(resp.id, 0,
+                                      "deadline expired before execution");
   try {
     prepare_dynamic(p.spec);
     EnginePool::Entry& entry = pool_.acquire(p.spec, &resp.cache_hit);
@@ -256,6 +309,11 @@ std::string Service::run_one(const PendingQuery& p) {
     cfg.telemetry = active_telemetry_;
     scenario::ScenarioPayload payload;
     if (p.query.want_payload) cfg.payload = &payload;
+    congest::CancelToken token;
+    if (deadline) {
+      token.set_deadline(*deadline);
+      cfg.cancel = &token;
+    }
 
     const std::uint64_t runs_before = entry.network->runs_started();
     resp.result =
@@ -263,6 +321,17 @@ std::string Service::run_one(const PendingQuery& p) {
             ? runner_.run(p.query.algo, entry.weighted_graph(), entry.key,
                           cfg)
             : runner_.run(p.query.algo, g, entry.key, cfg);
+    if (resp.result.cancelled)
+      return deadline_exceeded_response(
+          resp.id, resp.result.rounds,
+          "deadline expired after " + std::to_string(resp.result.rounds) +
+              " engine rounds (run cancelled)");
+    // Response-time check: catches workloads the token cannot truncate
+    // (weighted-apsp) and runs that finished just past the deadline — the
+    // client stopped waiting either way.
+    if (deadline && Clock::now() >= *deadline)
+      return deadline_exceeded_response(resp.id, 0,
+                                        "answer produced after the deadline");
     resp.engine_reused =
         resp.cache_hit && entry.network->runs_started() > runs_before;
     resp.ok = true;
@@ -278,9 +347,33 @@ std::string Service::run_one(const PendingQuery& p) {
   }
 }
 
-void Service::run_coalesced_bfs(const std::vector<std::size_t>& members,
-                                std::vector<PendingQuery>& batch,
-                                std::vector<std::string>& responses) {
+namespace {
+
+/// The one cancellation deadline a coalesced execution runs under: the
+/// LATEST live member's effective deadline — cancelling at the earliest
+/// would truncate window-mates that still have budget; members whose own
+/// deadline passes earlier are converted at response time. Unarmed
+/// (nullopt) when any live member has no deadline at all: that member is
+/// owed a full run.
+std::optional<congest::CancelToken::Clock::time_point> group_deadline_of(
+    const std::vector<std::size_t>& live,
+    const std::vector<std::optional<congest::CancelToken::Clock::time_point>>&
+        deadlines) {
+  congest::CancelToken::Clock::time_point latest{};
+  for (const std::size_t i : live) {
+    if (!deadlines[i]) return std::nullopt;
+    latest = std::max(latest, *deadlines[i]);
+  }
+  return latest;
+}
+
+}  // namespace
+
+void Service::run_coalesced_bfs(
+    const std::vector<std::size_t>& members,
+    std::vector<PendingQuery>& batch,
+    const std::vector<std::optional<Clock::time_point>>& deadlines,
+    std::vector<std::string>& responses) {
   const PendingQuery& first = batch[members.front()];
   bool cache_hit = false;
   EnginePool::Entry* entry = nullptr;
@@ -295,11 +388,17 @@ void Service::run_coalesced_bfs(const std::vector<std::size_t>& members,
   }
   const Graph& g = entry->graph();
 
-  // Per-query roots become the batch's source list; invalid roots error
-  // individually and drop out of the execution.
+  // Per-query roots become the batch's source list; invalid roots — and
+  // queries whose deadline already expired — error individually and drop
+  // out of the execution.
   std::vector<NodeId> sources;
   std::vector<std::size_t> live;
   for (const std::size_t i : members) {
+    if (deadlines[i] && Clock::now() >= *deadlines[i]) {
+      responses[i] = deadline_exceeded_response(
+          batch[i].query.id, 0, "deadline expired before execution");
+      continue;
+    }
     const NodeId root = batch[i].query.cfg.root;
     if (root >= g.node_count()) {
       responses[i] = error_response(
@@ -319,13 +418,31 @@ void Service::run_coalesced_bfs(const std::vector<std::size_t>& members,
     ropts.force_dense = first.query.cfg.force_dense;
     ropts.telemetry = active_telemetry_;
     ropts.pool = opts_.pool;
+    congest::CancelToken token;
+    if (const auto group = group_deadline_of(live, deadlines)) {
+      token.set_deadline(*group);
+      ropts.cancel = &token;
+    }
     algo::BatchBfs alg(g, sources);
     const std::uint64_t runs_before = entry->network->runs_started();
     const auto cost = entry->network->run(alg, ropts);
+    if (cost.cancelled) {
+      for (std::size_t s = 0; s < live.size(); ++s)
+        responses[live[s]] = deadline_exceeded_response(
+            batch[live[s]].query.id, s == 0 ? cost.rounds : 0,
+            "deadline expired after " + std::to_string(cost.rounds) +
+                " engine rounds (coalesced run cancelled)");
+      return;
+    }
     const congest::HistogramSummary h =
         congest::summarize_counts(cost.arc_sends);
 
     for (std::size_t s = 0; s < live.size(); ++s) {
+      if (deadlines[live[s]] && Clock::now() >= *deadlines[live[s]]) {
+        responses[live[s]] = deadline_exceeded_response(
+            batch[live[s]].query.id, 0, "answer produced after the deadline");
+        continue;
+      }
       const std::size_t i = live[s];
       Response resp;
       resp.id = batch[i].query.id;
@@ -367,9 +484,11 @@ void Service::run_coalesced_bfs(const std::vector<std::size_t>& members,
   }
 }
 
-void Service::run_coalesced_sssp(const std::vector<std::size_t>& members,
-                                 std::vector<PendingQuery>& batch,
-                                 std::vector<std::string>& responses) {
+void Service::run_coalesced_sssp(
+    const std::vector<std::size_t>& members,
+    std::vector<PendingQuery>& batch,
+    const std::vector<std::optional<Clock::time_point>>& deadlines,
+    std::vector<std::string>& responses) {
   const PendingQuery& first = batch[members.front()];
   bool cache_hit = false;
   EnginePool::Entry* entry = nullptr;
@@ -388,6 +507,11 @@ void Service::run_coalesced_sssp(const std::vector<std::size_t>& members,
   std::vector<NodeId> sources;
   std::vector<std::size_t> live;
   for (const std::size_t i : members) {
+    if (deadlines[i] && Clock::now() >= *deadlines[i]) {
+      responses[i] = deadline_exceeded_response(
+          batch[i].query.id, 0, "deadline expired before execution");
+      continue;
+    }
     const NodeId root = batch[i].query.cfg.root;
     if (root >= g.node_count()) {
       responses[i] = error_response(
@@ -408,13 +532,31 @@ void Service::run_coalesced_sssp(const std::vector<std::size_t>& members,
     opts.telemetry = active_telemetry_;
     opts.pool = opts_.pool;
     opts.network = entry->network.get();
+    congest::CancelToken token;
+    if (const auto group = group_deadline_of(live, deadlines)) {
+      token.set_deadline(*group);
+      opts.cancel = &token;
+    }
     const std::uint64_t runs_before = entry->network->runs_started();
     auto rep = apps::batch_sssp(wg, sources, opts);
+    if (rep.cancelled) {
+      for (std::size_t s = 0; s < live.size(); ++s)
+        responses[live[s]] = deadline_exceeded_response(
+            batch[live[s]].query.id, s == 0 ? rep.rounds : 0,
+            "deadline expired after " + std::to_string(rep.rounds) +
+                " engine rounds (coalesced run cancelled)");
+      return;
+    }
     const congest::HistogramSummary h =
         congest::summarize_counts(rep.arc_sends);
 
     for (std::size_t s = 0; s < live.size(); ++s) {
       const std::size_t i = live[s];
+      if (deadlines[i] && Clock::now() >= *deadlines[i]) {
+        responses[i] = deadline_exceeded_response(
+            batch[i].query.id, 0, "answer produced after the deadline");
+        continue;
+      }
       Response resp;
       resp.id = batch[i].query.id;
       resp.ok = true;
@@ -465,6 +607,10 @@ std::string Service::stats_response(std::uint64_t id) const {
       .field("update_batches", stats_.update_batches)
       .field("edges_deleted", stats_.edges_deleted)
       .field("edges_inserted", stats_.edges_inserted)
+      .field("deadline_exceeded", stats_.deadline_exceeded)
+      .field("cancelled_rounds", stats_.cancelled_rounds)
+      .field("shed", stats_.shed)
+      .field("sigpipe_drops", stats_.sigpipe_drops)
       .field("dynamic_scenarios", std::uint64_t{scenarios_.size()})
       .field("pending", std::uint64_t{pending_.size()});
   w.key("pool").begin_object();

@@ -33,13 +33,16 @@
 //
 // Thread-safety: none; one Service per connection/thread.
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "congest/cancel.hpp"
 #include "congest/telemetry.hpp"
 #include "dynamic/scenario.hpp"
 #include "scenario/runner.hpp"
@@ -68,6 +71,15 @@ struct ServiceOptions {
   std::ostream* metrics = nullptr;
   /// Thread pool for engine rounds; null selects ThreadPool::global().
   ThreadPool* pool = nullptr;
+  /// Admission bound: a QUERY arriving while this many are already pending
+  /// is shed with a typed `overloaded` error carrying retry_after_ms
+  /// (control commands are never shed). 0 = unbounded (accept everything).
+  std::size_t max_pending = 0;
+  /// Per-flush time budget in milliseconds: every query of a flushed
+  /// window gets an effective deadline of min(its own deadline_ms, flush
+  /// start + budget), so one pathological query cannot hold the window
+  /// hostage. 0 = no budget.
+  std::uint64_t flush_budget_ms = 0;
 };
 
 struct ServiceStats {
@@ -85,6 +97,16 @@ struct ServiceStats {
   /// Lifetime edge churn across all dynamic scenarios served.
   std::uint64_t edges_deleted = 0;
   std::uint64_t edges_inserted = 0;
+  /// Queries answered with the `deadline-exceeded` error (own deadline_ms
+  /// or the flush budget), and engine rounds consumed by executions that
+  /// were then cancelled — the work the deadlines wasted, not saved.
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t cancelled_rounds = 0;
+  /// Queries shed at admission by max_pending (`overloaded` responses).
+  std::uint64_t shed = 0;
+  /// Client connections dropped on a broken pipe (EPIPE/ECONNRESET) —
+  /// bumped by the transport via note_client_drop(); the daemon survives.
+  std::uint64_t sigpipe_drops = 0;
 };
 
 class Service {
@@ -103,18 +125,43 @@ class Service {
   /// True once a shutdown command was accepted; the transport loop exits.
   bool shutdown_requested() const { return shutdown_; }
 
+  /// Queries buffered in the current window. The transport polls this to
+  /// flush when input goes idle instead of holding a part-filled window
+  /// hostage until EOF.
+  std::size_t pending() const { return pending_.size(); }
+
   const ServiceStats& stats() const { return stats_; }
   const PoolStats& pool_stats() const { return pool_.stats(); }
   EnginePool& engine_pool() { return pool_; }
 
+  /// Transport hook: a client vanished mid-write (EPIPE/ECONNRESET). Only
+  /// bookkeeping — the service carries no per-client state to clean up.
+  void note_client_drop() { ++stats_.sigpipe_drops; }
+
+  /// A stats line OUTSIDE the request/response ledger (not counted in
+  /// `responses`): the graceful-drain farewell the transport emits after
+  /// answering everything, so stats stay reconcilable with the queries.
+  std::string stats_line() { return stats_response(0); }
+
  private:
+  using Clock = congest::CancelToken::Clock;
+
   struct PendingQuery {
     Query query;
     scenario::GraphSpec spec;  // parsed, pre-validated at submit time
     std::string pool_key;
+    /// Absolute deadline resolved at ADMISSION from deadline_ms (queue
+    /// wait counts against the budget); nullopt = none.
+    std::optional<Clock::time_point> deadline;
   };
 
-  std::string run_one(const PendingQuery& p);
+  std::string run_one(const PendingQuery& p,
+                      const std::optional<Clock::time_point>& deadline);
+  /// Count + build one deadline-exceeded error. `cancelled_rounds` is the
+  /// engine work a cancelled execution burned (0 when nothing ran).
+  std::string deadline_exceeded_response(std::uint64_t id,
+                                         std::uint64_t cancelled_rounds,
+                                         const std::string& message);
   /// Dynamic specs resolve through their DynamicScenario, never a Registry
   /// build: get-or-create the scenario for `spec`'s pool key and, if the
   /// pool lacks the entry (first touch, or evicted), install the CURRENT
@@ -124,12 +171,16 @@ class Service {
   /// Apply one update command: flush happens in submit(); this advances the
   /// scenario and installs the mutated graph into the pool.
   std::string update_response(const Request& req);
-  void run_coalesced_bfs(const std::vector<std::size_t>& members,
-                         std::vector<PendingQuery>& batch,
-                         std::vector<std::string>& responses);
-  void run_coalesced_sssp(const std::vector<std::size_t>& members,
-                          std::vector<PendingQuery>& batch,
-                          std::vector<std::string>& responses);
+  void run_coalesced_bfs(
+      const std::vector<std::size_t>& members,
+      std::vector<PendingQuery>& batch,
+      const std::vector<std::optional<Clock::time_point>>& deadlines,
+      std::vector<std::string>& responses);
+  void run_coalesced_sssp(
+      const std::vector<std::size_t>& members,
+      std::vector<PendingQuery>& batch,
+      const std::vector<std::optional<Clock::time_point>>& deadlines,
+      std::vector<std::string>& responses);
   std::string stats_response(std::uint64_t id) const;
   std::string count(const std::string& response_line);
 

@@ -113,6 +113,25 @@ if [ -n "$serve" ]; then
     echo "doc-sync: docs/SERVING.md is missing" >&2
     status=1
   fi
+
+  # The duress surface rides the same contract: the deadline query key and
+  # the typed pressure responses must be documented in the protocol
+  # reference, and the counters they bump in the observability contract.
+  for key in 'deadline_ms' 'retry_after_ms' 'deadline-exceeded' \
+             'overloaded'; do
+    if ! grep -q -- "\`$key\`" "$root/docs/SERVING.md"; then
+      echo "doc-sync: serve protocol key $key is undocumented in docs/SERVING.md" >&2
+      status=1
+    fi
+    checked=$((checked + 1))
+  done
+  for counter in deadline_exceeded cancelled_rounds shed sigpipe_drops; do
+    if ! grep -q -- "\`$counter\`" "$root/docs/OBSERVABILITY.md"; then
+      echo "doc-sync: serve stats counter $counter is undocumented in docs/OBSERVABILITY.md" >&2
+      status=1
+    fi
+    checked=$((checked + 1))
+  done
 fi
 
 if [ "$status" -eq 0 ]; then
